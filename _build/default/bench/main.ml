@@ -1,0 +1,494 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, plus the ablations called out in DESIGN.md.
+
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe -- fig1a online   -- run selected experiments
+
+   Experiments (see DESIGN.md section 4 for the experiment index):
+     fig1a      -- Figure 1a: sequence-databank divisibility
+     fig1b      -- Figure 1b: motif-set divisibility
+     makespan   -- Theorem 1: optimal makespan vs bounds, scaling
+     maxflow    -- Theorem 2: optimal max weighted flow, milestone counts
+     preemptive -- Section 4.4: preemptive vs divisible optima
+     online     -- Conclusion: online heuristics vs offline optimum
+     lp         -- ablation: exact-rational vs float simplex
+     search     -- ablation: accelerated vs pure-exact milestone search
+     micro      -- Bechamel micro-benchmarks of the core operations
+
+   Absolute numbers are machine- and substrate-dependent; EXPERIMENTS.md
+   records how the *shapes* compare with the paper. *)
+
+module R = Numeric.Rat
+module I = Sched_core.Instance
+module S = Sched_core.Schedule
+module Dv = Gripps.Divisibility
+module W = Gripps.Workload
+
+let ri = R.of_int
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* Random unrelated-machines instances for the theory experiments. *)
+let random_instance rng ~jobs ~machines =
+  let releases = Array.init jobs (fun _ -> ri (Gripps.Prng.int rng 20)) in
+  let weights = Array.init jobs (fun _ -> ri (1 + Gripps.Prng.int rng 4)) in
+  let cost =
+    Array.init machines (fun _ ->
+        Array.init jobs (fun _ ->
+            if Gripps.Prng.int rng 4 = 0 then None
+            else Some (ri (1 + Gripps.Prng.int rng 9))))
+  in
+  for j = 0 to jobs - 1 do
+    if Array.for_all (fun row -> row.(j) = None) cost then
+      cost.(0).(j) <- Some (ri (1 + Gripps.Prng.int rng 9))
+  done;
+  I.make ~releases ~weights cost
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let averaged points =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (p : Dv.point) ->
+      let sum, count = try Hashtbl.find tbl p.Dv.size with Not_found -> (0.0, 0) in
+      Hashtbl.replace tbl p.Dv.size (sum +. p.Dv.time, count + 1))
+    points;
+  Hashtbl.fold (fun size (sum, count) l -> (size, sum /. float_of_int count) :: l) tbl []
+  |> List.sort compare
+
+let figure ~name ~xlabel ~paper_intercept points =
+  section name;
+  Printf.printf "%14s %14s\n" xlabel "time (s)";
+  List.iter (fun (size, t) -> Printf.printf "%14d %14.2f\n" size t) (averaged points);
+  let r = Dv.linear_regression points in
+  Printf.printf "regression: time = %.4g*size + %.2f, r^2 = %.4f\n" r.Dv.slope r.Dv.intercept
+    r.Dv.r2;
+  Printf.printf "paper: fixed overhead ~%.1f s; measured here: %.2f s\n" paper_intercept
+    r.Dv.intercept
+
+let run_fig1a () =
+  figure ~name:"Figure 1a: sequence databank divisibility" ~xlabel:"block (seqs)"
+    ~paper_intercept:1.1
+    (Dv.sequence_experiment ())
+
+let run_fig1b () =
+  figure ~name:"Figure 1b: motif set divisibility" ~xlabel:"block (motifs)"
+    ~paper_intercept:10.5
+    (Dv.motif_experiment ())
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1: makespan                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_makespan () =
+  section "Theorem 1: makespan minimization (LP system 1)";
+  Printf.printf "%4s %4s %12s %12s %8s %10s\n" "n" "m" "makespan" "lower bnd" "ratio"
+    "time (ms)";
+  let rng = Gripps.Prng.create 101 in
+  List.iter
+    (fun (n, m) ->
+      let inst = random_instance rng ~jobs:n ~machines:m in
+      let r, elapsed = time_it (fun () -> Sched_core.Makespan.solve inst) in
+      (match S.validate_divisible r.Sched_core.Makespan.schedule with
+       | Ok () -> ()
+       | Error e -> failwith ("invalid makespan schedule: " ^ e));
+      let lb = Sched_core.Makespan.lower_bound inst in
+      Printf.printf "%4d %4d %12s %12s %8.3f %10.1f\n" n m
+        (R.to_string r.Sched_core.Makespan.makespan)
+        (R.to_string lb)
+        (R.to_float r.Sched_core.Makespan.makespan /. R.to_float lb)
+        (elapsed *. 1000.0))
+    [ (2, 2); (4, 2); (6, 3); (8, 3); (12, 4); (16, 4); (24, 6); (32, 8) ]
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 2: max weighted flow                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_maxflow () =
+  section "Theorem 2: max weighted flow (milestones + parametric LP)";
+  Printf.printf "%4s %4s %6s %6s %12s %12s %8s %10s\n" "n" "m" "miles" "bound" "F*"
+    "serial UB" "UB/F*" "time (ms)";
+  let rng = Gripps.Prng.create 102 in
+  List.iter
+    (fun (n, m) ->
+      let inst = random_instance rng ~jobs:n ~machines:m in
+      let r, elapsed = time_it (fun () -> Sched_core.Max_flow.solve inst) in
+      (match S.validate_divisible r.Sched_core.Max_flow.schedule with
+       | Ok () -> ()
+       | Error e -> failwith ("invalid max-flow schedule: " ^ e));
+      let ub = Sched_core.Max_flow.feasible_upper_bound inst in
+      Printf.printf "%4d %4d %6d %6d %12s %12s %8.3f %10.1f\n" n m
+        (List.length r.Sched_core.Max_flow.milestones)
+        (Sched_core.Milestones.count_bound inst)
+        (R.to_string r.Sched_core.Max_flow.objective)
+        (R.to_string ub)
+        (R.to_float ub /. R.to_float r.Sched_core.Max_flow.objective)
+        (elapsed *. 1000.0))
+    [ (2, 2); (4, 2); (6, 3); (8, 3); (10, 4); (12, 4); (16, 5) ]
+
+(* ------------------------------------------------------------------ *)
+(* Section 4.4: preemptive vs divisible                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_preemptive () =
+  section "Section 4.4: preemptive (no divisibility) vs divisible optima";
+  Printf.printf "%4s %4s %12s %12s %8s %6s %10s\n" "n" "m" "F* div" "F* pre" "gap %"
+    "slots" "time (ms)";
+  let rng = Gripps.Prng.create 103 in
+  List.iter
+    (fun (n, m) ->
+      let inst = random_instance rng ~jobs:n ~machines:m in
+      let d = Sched_core.Max_flow.solve inst in
+      let p, elapsed = time_it (fun () -> Sched_core.Preemptive.solve inst) in
+      (match S.validate_preemptive p.Sched_core.Preemptive.schedule with
+       | Ok () -> ()
+       | Error e -> failwith ("invalid preemptive schedule: " ^ e));
+      let fd = R.to_float d.Sched_core.Max_flow.objective in
+      let fp = R.to_float p.Sched_core.Preemptive.objective in
+      Printf.printf "%4d %4d %12s %12s %8.2f %6d %10.1f\n" n m
+        (R.to_string d.Sched_core.Max_flow.objective)
+        (R.to_string p.Sched_core.Preemptive.objective)
+        (100.0 *. ((fp /. fd) -. 1.0))
+        p.Sched_core.Preemptive.preemption_slots
+        (elapsed *. 1000.0))
+    [ (2, 2); (4, 2); (6, 3); (8, 3); (10, 4); (12, 4) ]
+
+(* ------------------------------------------------------------------ *)
+(* Conclusion: online policies vs offline optimum                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_online () =
+  section "Conclusion: online scheduling vs offline optimum (max stretch)";
+  Printf.printf
+    "GriPPS platform: 4 machines, 3 databanks, replication 2; Poisson requests.\n";
+  Printf.printf "%8s %-12s %12s %12s %12s\n" "load" "policy" "mean ratio" "worst ratio"
+    "mean stretch";
+  let seeds = [ 1; 2; 3; 4; 5 ] in
+  List.iter
+    (fun (load_name, rate, count) ->
+      let per_policy = Hashtbl.create 8 in
+      List.iter
+        (fun seed ->
+          let rng = Gripps.Prng.create seed in
+          let platform = W.random_platform rng ~machines:4 ~banks:3 ~replication:2 in
+          let requests = W.poisson_requests rng ~rate ~count ~max_motifs:60 ~banks:3 in
+          let inst = I.stretch_weights (W.to_instance platform requests) in
+          let report = Online.Compare.run inst in
+          List.iter
+            (fun (e : Online.Compare.entry) ->
+              let ratios, stretches =
+                try Hashtbl.find per_policy e.policy with Not_found -> ([], [])
+              in
+              Hashtbl.replace per_policy e.policy
+                (e.vs_offline :: ratios, R.to_float e.max_stretch :: stretches))
+            report.Online.Compare.entries)
+        seeds;
+      List.iter
+        (fun (module P : Online.Sim.POLICY) ->
+          let ratios, stretches = Hashtbl.find per_policy P.name in
+          let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+          let worst = List.fold_left max 0.0 ratios in
+          Printf.printf "%8s %-12s %12.3f %12.3f %12.3f\n" load_name P.name (mean ratios)
+            worst (mean stretches))
+        Online.Compare.default_policies)
+    [ ("light", 1.0 /. 120.0, 8); ("medium", 1.0 /. 60.0, 10); ("heavy", 1.0 /. 30.0, 12) ]
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial families: unbounded heuristic ratios                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_adversary () =
+  section "Adversarial families: heuristic ratios grow without bound";
+  Printf.printf "MCT trap (max stretch vs offline optimum):\n";
+  Printf.printf "%8s %10s %12s %12s\n" "scale" "mct" "online-opt" "srpt";
+  List.iter
+    (fun k ->
+      let inst = I.stretch_weights (Online.Adversarial.mct_trap ~scale:k) in
+      let report =
+        Online.Compare.run
+          ~policies:
+            [ (module Online.Policies.Mct); (module Online.Online_opt.Divisible);
+              (module Online.Policies.Srpt) ]
+          inst
+      in
+      match report.Online.Compare.entries with
+      | [ mct; oo; srpt ] ->
+        Printf.printf "%8d %10.2f %12.2f %12.2f\n" k mct.Online.Compare.vs_offline
+          oo.Online.Compare.vs_offline srpt.Online.Compare.vs_offline
+      | _ -> assert false)
+    [ 2; 4; 8; 12 ];
+  Printf.printf "SRPT starvation (max flow vs offline optimum):\n";
+  Printf.printf "%8s %10s %12s\n" "jobs" "srpt" "online-opt";
+  List.iter
+    (fun n ->
+      let inst = Online.Adversarial.srpt_starvation ~jobs:n in
+      let report =
+        Online.Compare.run
+          ~policies:
+            [ (module Online.Policies.Srpt); (module Online.Online_opt.Divisible) ]
+          inst
+      in
+      match report.Online.Compare.entries with
+      | [ srpt; oo ] ->
+        Printf.printf "%8d %10.2f %12.2f\n" n srpt.Online.Compare.vs_offline
+          oo.Online.Compare.vs_offline
+      | _ -> assert false)
+    [ 2; 4; 8; 12 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: re-optimization frequency of the online adaptation        *)
+(* ------------------------------------------------------------------ *)
+
+let run_reopt () =
+  section "Ablation: eager vs lazy re-optimization of the online adaptation";
+  Printf.printf
+    "Finding: the two coincide — the plan's first epochal boundary is the\n\
+     earliest deadline, where a job completes anyway, so the lazy variant\n\
+     refreshes at the same instants the eager one does.\n";
+  Printf.printf "%6s %-16s %12s %12s %8s\n" "seed" "policy" "max stretch" "vs offline"
+    "events";
+  List.iter
+    (fun seed ->
+      let rng = Gripps.Prng.create seed in
+      let platform = W.random_platform rng ~machines:4 ~banks:3 ~replication:2 in
+      let requests = W.poisson_requests rng ~rate:(1.0 /. 15.0) ~count:14 ~max_motifs:60 ~banks:3 in
+      let inst = I.stretch_weights (W.to_instance platform requests) in
+      let report =
+        Online.Compare.run
+          ~policies:
+            [ (module Online.Online_opt.Divisible);
+              (module Online.Online_opt.Lazy_divisible) ]
+          inst
+      in
+      List.iter
+        (fun (e : Online.Compare.entry) ->
+          Printf.printf "%6d %-16s %12.3f %12.3f %8d\n" seed e.Online.Compare.policy
+            (R.to_float e.Online.Compare.max_stretch)
+            e.Online.Compare.vs_offline e.Online.Compare.decisions)
+        report.Online.Compare.entries)
+    [ 11; 12; 13 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: exact vs float simplex                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_lp () =
+  section "Ablation: exact-rational vs float simplex";
+  Printf.printf "%6s %6s %12s %12s %12s %10s %10s\n" "vars" "cons" "rational(ms)"
+    "frac-free" "float (ms)" "rat/ff" "agree";
+  let rng = Gripps.Prng.create 104 in
+  List.iter
+    (fun (nv, nc) ->
+      (* Feasible-by-construction minimization, as in the LP tests. *)
+      let x0 = Array.init nv (fun _ -> Gripps.Prng.int rng 10) in
+      let st = Lp.Problem.Builder.create () in
+      for i = 0 to nv - 1 do
+        ignore (Lp.Problem.Builder.fresh_var st ~name:(Printf.sprintf "x%d" i))
+      done;
+      for _ = 1 to nc do
+        let row = Array.init nv (fun _ -> Gripps.Prng.int rng 5) in
+        let rhs = Array.fold_left ( + ) 0 (Array.mapi (fun v k -> k * x0.(v)) row) in
+        Lp.Problem.Builder.add_constr st
+          (Array.to_list (Array.mapi (fun v k -> (v, ri k)) row))
+          Lp.Problem.Ge (ri rhs)
+      done;
+      Lp.Problem.Builder.set_objective st Lp.Problem.Minimize
+        (List.init nv (fun v -> (v, ri (1 + Gripps.Prng.int rng 5))));
+      let p = Lp.Problem.Builder.finish st in
+      let pf = Lp.Problem.map R.to_float p in
+      let exact, t_exact = time_it (fun () -> Lp.Simplex.Exact.solve p) in
+      let ff, t_ff = time_it (fun () -> Lp.Simplex_ff.solve p) in
+      let approx, t_float = time_it (fun () -> Lp.Simplex.Approx.solve pf) in
+      let agree =
+        match (exact, ff, approx) with
+        | Lp.Simplex.Exact.Optimal a, Lp.Simplex.Exact.Optimal b, Lp.Simplex.Approx.Optimal c ->
+          R.equal a.objective b.objective
+          && Float.abs (R.to_float a.objective -. c.objective) < 1e-6
+        | _ -> false
+      in
+      Printf.printf "%6d %6d %12.2f %12.2f %12.2f %10.1f %10b\n" nv nc
+        (t_exact *. 1000.0) (t_ff *. 1000.0) (t_float *. 1000.0)
+        (t_exact /. Float.max 1e-9 t_ff)
+        agree)
+    [ (5, 5); (10, 10); (15, 15); (20, 20); (25, 25); (30, 30) ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: accelerated vs pure-exact milestone search                *)
+(* ------------------------------------------------------------------ *)
+
+let run_search () =
+  section "Ablation: accelerated vs pure-exact milestone search, and naive bisection";
+  Printf.printf "%4s %4s %12s %12s %12s %12s %10s\n" "n" "m" "accel (ms)" "exact (ms)"
+    "bisect (ms)" "bisect gap" "same F*";
+  let rng = Gripps.Prng.create 105 in
+  List.iter
+    (fun (n, m) ->
+      let inst = random_instance rng ~jobs:n ~machines:m in
+      let accel, t_accel = time_it (fun () -> Sched_core.Max_flow.solve inst) in
+      let pure, t_exact =
+        time_it (fun () -> Sched_core.Max_flow.solve ~accelerate:false inst)
+      in
+      (* The naive bounded-precision bisection of Section 4.3.1. *)
+      let bisect, t_bisect = time_it (fun () -> Sched_core.Max_flow.solve_bisection inst) in
+      let gap =
+        (R.to_float bisect.Sched_core.Max_flow.objective
+        /. R.to_float accel.Sched_core.Max_flow.objective)
+        -. 1.0
+      in
+      let same =
+        R.equal accel.Sched_core.Max_flow.objective pure.Sched_core.Max_flow.objective
+      in
+      Printf.printf "%4d %4d %12.1f %12.1f %12.1f %12.2e %10b\n" n m (t_accel *. 1000.0)
+        (t_exact *. 1000.0) (t_bisect *. 1000.0) gap same)
+    [ (4, 2); (6, 3); (8, 3); (10, 4); (12, 4); (16, 5) ]
+
+(* ------------------------------------------------------------------ *)
+(* Section 2, third experiment: communication overheads are negligible *)
+(* ------------------------------------------------------------------ *)
+
+let run_comm () =
+  section "Section 2: communication overhead vs computation (full request)";
+  Printf.printf "%-14s %12s %12s %12s %12s %12s\n" "network" "req bytes" "req (ms)"
+    "resp bytes" "resp (ms)" "overhead";
+  List.iter
+    (fun (name, net) ->
+      let a = Gripps.Network.full_request_accounting ~network:net () in
+      Printf.printf "%-14s %12d %12.2f %12d %12.2f %11.4f%%\n" name
+        a.Gripps.Network.request_bytes
+        (a.Gripps.Network.request_time *. 1000.0)
+        a.Gripps.Network.response_bytes
+        (a.Gripps.Network.response_time *. 1000.0)
+        (a.Gripps.Network.overhead_fraction *. 100.0))
+    [ ("fast-ethernet", Gripps.Network.fast_ethernet); ("gigabit", Gripps.Network.gigabit) ];
+  Printf.printf
+    "paper: \"communication overhead costs are negligible, compared to the\n\
+     computational workload\" — hence data transfers are ignored by the model.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: uniform-case feasibility via max flow vs LP               *)
+(* ------------------------------------------------------------------ *)
+
+let run_uniform () =
+  section "Ablation: uniform-machines deadline feasibility, max flow vs LP";
+  Printf.printf "%4s %4s %14s %14s %10s %8s\n" "n" "m" "flow (ms)" "LP (ms)" "speedup"
+    "agree";
+  let rng = Gripps.Prng.create 107 in
+  List.iter
+    (fun (n, m) ->
+      let speeds = Array.init m (fun _ -> ri (1 + Gripps.Prng.int rng 3)) in
+      let sizes = Array.init n (fun _ -> ri (1 + Gripps.Prng.int rng 6)) in
+      let releases = Array.init n (fun _ -> ri (Gripps.Prng.int rng 10)) in
+      let available =
+        Array.init m (fun _ -> Array.init n (fun _ -> Gripps.Prng.int rng 3 > 0))
+      in
+      for j = 0 to n - 1 do
+        if Array.for_all (fun row -> not row.(j)) available then available.(0).(j) <- true
+      done;
+      let u =
+        Sched_core.Uniform.make ~speeds ~sizes ~releases ~weights:(Array.make n R.one)
+          ~available
+      in
+      (* Deadlines around the feasibility boundary. *)
+      let deadlines =
+        Array.init n (fun j ->
+            R.add releases.(j) (R.mul_int sizes.(j) (1 + Gripps.Prng.int rng m)))
+      in
+      let via_flow, t_flow =
+        time_it (fun () -> Sched_core.Uniform.is_feasible u ~deadlines)
+      in
+      let via_lp, t_lp =
+        time_it (fun () ->
+            Sched_core.Deadline.is_feasible (Sched_core.Uniform.to_instance u) ~deadlines)
+      in
+      Printf.printf "%4d %4d %14.2f %14.2f %10.1f %8b\n" n m (t_flow *. 1000.0)
+        (t_lp *. 1000.0)
+        (t_lp /. Float.max 1e-9 t_flow)
+        (via_flow = via_lp))
+    [ (4, 2); (8, 3); (12, 4); (16, 5); (24, 6); (32, 8) ]
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (Bechamel)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_micro () =
+  section "Micro-benchmarks (Bechamel, ns/run)";
+  let open Bechamel in
+  let rng = Gripps.Prng.create 106 in
+  let big_a = Numeric.Bigint.of_string (String.make 60 '7') in
+  let big_b = Numeric.Bigint.of_string (String.make 55 '3') in
+  let rat_a = R.of_ints 355 113 and rat_b = R.of_ints 22 7 in
+  let small_inst = random_instance rng ~jobs:4 ~machines:2 in
+  let bank =
+    Gripps.Databank.generate (Gripps.Prng.create 1) ~name:"micro" ~num_sequences:20
+      ~mean_length:80
+  in
+  let motif = Gripps.Motif.of_string "C-x(2,4)-[ST]-{P}-G" in
+  let tests =
+    [ Test.make ~name:"bigint-mul-60x55-digits"
+        (Staged.stage (fun () -> Numeric.Bigint.mul big_a big_b));
+      Test.make ~name:"bigint-divmod"
+        (Staged.stage (fun () -> Numeric.Bigint.divmod big_a big_b));
+      Test.make ~name:"rat-add" (Staged.stage (fun () -> R.add rat_a rat_b));
+      Test.make ~name:"maxflow-n4-m2"
+        (Staged.stage (fun () -> Sched_core.Max_flow.solve small_inst));
+      Test.make ~name:"makespan-n4-m2"
+        (Staged.stage (fun () -> Sched_core.Makespan.solve small_inst));
+      Test.make ~name:"scanner-20seq"
+        (Staged.stage (fun () -> Gripps.Scanner.scan [ motif ] bank))
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"dlsched" tests) in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  Printf.printf "%-40s %16s\n" "benchmark" "ns/run";
+  Hashtbl.fold (fun name r acc -> (name, r) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, r) ->
+         match Analyze.OLS.estimates r with
+         | Some [ ns ] -> Printf.printf "%-40s %16.1f\n" name ns
+         | _ -> Printf.printf "%-40s %16s\n" name "n/a")
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ ("fig1a", run_fig1a);
+    ("fig1b", run_fig1b);
+    ("comm", run_comm);
+    ("makespan", run_makespan);
+    ("maxflow", run_maxflow);
+    ("preemptive", run_preemptive);
+    ("online", run_online);
+    ("adversary", run_adversary);
+    ("reopt", run_reopt);
+    ("lp", run_lp);
+    ("search", run_search);
+    ("uniform", run_uniform);
+    ("micro", run_micro)
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment %S; available: %s\n" name
+          (String.concat ", " (List.map fst experiments));
+        exit 1)
+    requested;
+  Printf.printf "\nAll requested experiments completed.\n"

@@ -1,0 +1,259 @@
+(* dlsched: command-line front end to the library.
+
+     dlsched solve INSTANCE [--objective makespan|maxflow|stretch|preemptive]
+     dlsched feasible INSTANCE --deadlines 8,7,6
+     dlsched milestones INSTANCE
+     dlsched simulate INSTANCE [--policy mct|fcfs|srpt|online-opt] [--stretch]
+     dlsched compare INSTANCE [--stretch]
+     dlsched generate --jobs N --machines M [--seed S] [-o FILE]
+     dlsched gripps [--machines M] [--banks B] [--replication R] [--requests N]
+
+   Instances use the textual format of Sched_core.Instance_io (see
+   `dlsched generate` for examples). *)
+
+module R = Numeric.Rat
+module I = Sched_core.Instance
+module S = Sched_core.Schedule
+open Cmdliner
+
+let print_schedule ~header sched =
+  Format.printf "%s@." header;
+  Format.printf "%a" (S.pp_gantt ?width:None) sched;
+  Format.printf "@.slices:@.%a@." S.pp sched;
+  Format.printf "metrics: makespan=%s max-flow=%s max-weighted-flow=%s max-stretch=%s@."
+    (R.to_string (S.makespan sched))
+    (R.to_string (S.max_flow sched))
+    (R.to_string (S.max_weighted_flow sched))
+    (R.to_string (S.max_stretch sched))
+
+let instance_arg =
+  let doc = "Instance file (see `dlsched generate` for the format)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE" ~doc)
+
+(* --- solve ------------------------------------------------------- *)
+
+let svg_arg =
+  let doc = "Also write an SVG Gantt chart of the schedule to $(docv)." in
+  Cmdliner.Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
+
+let maybe_svg svg sched =
+  match svg with
+  | Some path ->
+    Sched_core.Gantt_svg.save path sched;
+    Format.printf "wrote %s@." path
+  | None -> ()
+
+let solve_cmd =
+  let objective =
+    let doc = "Objective: makespan, maxflow (max weighted flow, divisible), \
+               stretch (max stretch, divisible), or preemptive (max weighted \
+               flow, preemption without divisibility)." in
+    Arg.(value & opt (enum [ ("makespan", `Makespan); ("maxflow", `Maxflow);
+                             ("stretch", `Stretch); ("preemptive", `Preemptive) ])
+           `Maxflow
+         & info [ "objective"; "O" ] ~doc)
+  in
+  let run file objective svg =
+    let inst = Sched_core.Instance_io.load file in
+    let schedule =
+      match objective with
+      | `Makespan ->
+        let r = Sched_core.Makespan.solve inst in
+        Format.printf "optimal makespan: %s@." (R.to_string r.Sched_core.Makespan.makespan);
+        r.Sched_core.Makespan.schedule
+      | `Maxflow ->
+        let r = Sched_core.Max_flow.solve inst in
+        Format.printf "optimal max weighted flow: %s%s (%d milestones)@."
+          (R.to_string r.Sched_core.Max_flow.objective)
+          (let approx = R.approx ~max_den:1000 r.Sched_core.Max_flow.objective in
+           if R.equal approx r.Sched_core.Max_flow.objective then ""
+           else Printf.sprintf " (~%s)" (R.to_string approx))
+          (List.length r.Sched_core.Max_flow.milestones);
+        r.Sched_core.Max_flow.schedule
+      | `Stretch ->
+        let r = Sched_core.Max_flow.solve_max_stretch inst in
+        Format.printf "optimal max stretch: %s (~%.4f)@."
+          (R.to_string r.Sched_core.Max_flow.objective)
+          (R.to_float r.Sched_core.Max_flow.objective);
+        r.Sched_core.Max_flow.schedule
+      | `Preemptive ->
+        let r = Sched_core.Preemptive.solve inst in
+        Format.printf "optimal max weighted flow (preemptive): %s (%d slots)@."
+          (R.to_string r.Sched_core.Preemptive.objective)
+          r.Sched_core.Preemptive.preemption_slots;
+        r.Sched_core.Preemptive.schedule
+    in
+    print_schedule ~header:"schedule:" schedule;
+    maybe_svg svg schedule
+  in
+  let doc = "Solve an offline scheduling problem exactly (Theorems 1/2, Section 4.4)." in
+  Cmd.v (Cmd.info "solve" ~doc) Term.(const run $ instance_arg $ objective $ svg_arg)
+
+(* --- feasible ----------------------------------------------------- *)
+
+let feasible_cmd =
+  let deadlines =
+    let doc = "Comma-separated deadlines, one rational per job (e.g. 8,15/2,6)." in
+    Arg.(required & opt (some string) None & info [ "deadlines"; "d" ] ~doc)
+  in
+  let run file deadlines =
+    let inst = Sched_core.Instance_io.load file in
+    let ds =
+      String.split_on_char ',' deadlines |> List.map R.of_string |> Array.of_list
+    in
+    if Array.length ds <> I.num_jobs inst then begin
+      Format.eprintf "expected %d deadlines, got %d@." (I.num_jobs inst) (Array.length ds);
+      exit 2
+    end;
+    match Sched_core.Deadline.feasible inst ~deadlines:ds with
+    | Some sched ->
+      Format.printf "FEASIBLE@.";
+      print_schedule ~header:"witness schedule:" sched
+    | None ->
+      Format.printf "INFEASIBLE@.";
+      exit 1
+  in
+  let doc = "Decide deadline feasibility (Lemma 1) and print a witness schedule." in
+  Cmd.v (Cmd.info "feasible" ~doc) Term.(const run $ instance_arg $ deadlines)
+
+(* --- milestones ---------------------------------------------------- *)
+
+let milestones_cmd =
+  let run file =
+    let inst = Sched_core.Instance_io.load file in
+    let ms = Sched_core.Milestones.compute inst in
+    Format.printf "%d milestones (bound n^2 - n = %d):@." (List.length ms)
+      (Sched_core.Milestones.count_bound inst);
+    List.iter (fun f -> Format.printf "  %s@." (R.to_string f)) ms
+  in
+  let doc = "List the milestones (critical trial values) of the instance." in
+  Cmd.v (Cmd.info "milestones" ~doc) Term.(const run $ instance_arg)
+
+(* --- simulate ------------------------------------------------------ *)
+
+let simulate_cmd =
+  let policy =
+    let doc = "Online policy: mct, fcfs, srpt or online-opt." in
+    Arg.(value & opt (enum [ ("mct", `Mct); ("fcfs", `Fcfs); ("srpt", `Srpt);
+                             ("online-opt", `Oo) ])
+           `Mct
+         & info [ "policy"; "p" ] ~doc)
+  in
+  let stretch =
+    let doc = "Reweight the instance for max-stretch before simulating." in
+    Arg.(value & flag & info [ "stretch" ] ~doc)
+  in
+  let run file policy stretch =
+    let inst = Sched_core.Instance_io.load file in
+    let inst = if stretch then I.stretch_weights inst else inst in
+    let m : (module Online.Sim.POLICY) =
+      match policy with
+      | `Mct -> (module Online.Policies.Mct)
+      | `Fcfs -> (module Online.Policies.Fcfs)
+      | `Srpt -> (module Online.Policies.Srpt)
+      | `Oo -> (module Online.Online_opt.Divisible)
+    in
+    let r = Online.Sim.run m inst in
+    let offline = Sched_core.Max_flow.solve inst in
+    print_schedule ~header:(Printf.sprintf "%s schedule:" r.Online.Sim.policy)
+      r.Online.Sim.schedule;
+    Format.printf "offline optimal max weighted flow: %s; achieved: %s@."
+      (R.to_string offline.Sched_core.Max_flow.objective)
+      (R.to_string (S.max_weighted_flow r.Online.Sim.schedule))
+  in
+  let doc = "Run an online policy on the instance and compare to the offline optimum." in
+  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ instance_arg $ policy $ stretch)
+
+(* --- compare ------------------------------------------------------- *)
+
+let compare_cmd =
+  let stretch =
+    let doc = "Reweight the instance for max-stretch before comparing." in
+    Arg.(value & flag & info [ "stretch" ] ~doc)
+  in
+  let run file stretch =
+    let inst = Sched_core.Instance_io.load file in
+    let inst = if stretch then I.stretch_weights inst else inst in
+    let report = Online.Compare.run inst in
+    Format.printf "%a@." Online.Compare.pp report
+  in
+  let doc = "Run every online policy on the instance and tabulate them              against the offline optimum." in
+  Cmd.v (Cmd.info "compare" ~doc) Term.(const run $ instance_arg $ stretch)
+
+(* --- generate ------------------------------------------------------ *)
+
+let generate_cmd =
+  let jobs = Arg.(value & opt int 6 & info [ "jobs"; "n" ] ~doc:"Number of jobs.") in
+  let machines =
+    Arg.(value & opt int 3 & info [ "machines"; "m" ] ~doc:"Number of machines.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed"; "s" ] ~doc:"PRNG seed.") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"Output file.")
+  in
+  let run jobs machines seed output =
+    let rng = Gripps.Prng.create seed in
+    let releases = Array.init jobs (fun _ -> R.of_int (Gripps.Prng.int rng 20)) in
+    let weights = Array.init jobs (fun _ -> R.of_int (1 + Gripps.Prng.int rng 4)) in
+    let cost =
+      Array.init machines (fun _ ->
+          Array.init jobs (fun _ ->
+              if Gripps.Prng.int rng 4 = 0 then None
+              else Some (R.of_int (1 + Gripps.Prng.int rng 9))))
+    in
+    for j = 0 to jobs - 1 do
+      if Array.for_all (fun row -> row.(j) = None) cost then
+        cost.(0).(j) <- Some (R.of_int (1 + Gripps.Prng.int rng 9))
+    done;
+    let inst = I.make ~releases ~weights cost in
+    let text = Sched_core.Instance_io.to_string inst in
+    match output with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc -> output_string oc text);
+      Format.printf "wrote %s@." path
+    | None -> print_string text
+  in
+  let doc = "Generate a random instance in the textual format." in
+  Cmd.v (Cmd.info "generate" ~doc) Term.(const run $ jobs $ machines $ seed $ output)
+
+(* --- gripps -------------------------------------------------------- *)
+
+let gripps_cmd =
+  let machines = Arg.(value & opt int 4 & info [ "machines"; "m" ] ~doc:"Number of servers.") in
+  let banks = Arg.(value & opt int 3 & info [ "banks"; "b" ] ~doc:"Number of databanks.") in
+  let replication =
+    Arg.(value & opt int 2 & info [ "replication"; "r" ] ~doc:"Replicas per databank.")
+  in
+  let requests = Arg.(value & opt int 8 & info [ "requests" ] ~doc:"Number of requests.") in
+  let rate =
+    Arg.(value & opt float (1.0 /. 60.0)
+         & info [ "rate" ] ~doc:"Poisson arrival rate (requests per second).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed"; "s" ] ~doc:"PRNG seed.") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"Output file.")
+  in
+  let run machines banks replication requests rate seed output =
+    let rng = Gripps.Prng.create seed in
+    let platform = Gripps.Workload.random_platform rng ~machines ~banks ~replication in
+    let reqs =
+      Gripps.Workload.poisson_requests rng ~rate ~count:requests ~max_motifs:60 ~banks
+    in
+    let inst = Gripps.Workload.to_instance platform reqs in
+    let text = Sched_core.Instance_io.to_string inst in
+    match output with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc -> output_string oc text);
+      Format.printf "wrote %s@." path
+    | None -> print_string text
+  in
+  let doc = "Generate a GriPPS-style instance: heterogeneous servers, replicated              databanks, Poisson motif-comparison requests." in
+  Cmd.v (Cmd.info "gripps" ~doc)
+    Term.(const run $ machines $ banks $ replication $ requests $ rate $ seed $ output)
+
+let () =
+  let doc = "exact schedulers for divisible requests on heterogeneous databanks" in
+  let info = Cmd.info "dlsched" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+          [ solve_cmd; feasible_cmd; milestones_cmd; simulate_cmd; compare_cmd;
+            generate_cmd; gripps_cmd ]))

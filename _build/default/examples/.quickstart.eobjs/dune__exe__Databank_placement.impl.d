@@ -1,0 +1,1 @@
+examples/databank_placement.ml: Array Format Gripps List Numeric Online Sched_core Sys

@@ -1,0 +1,1 @@
+examples/databank_placement.mli:

@@ -1,0 +1,1 @@
+examples/divisibility_study.ml: Array Format Gripps Hashtbl List String Sys

@@ -1,0 +1,1 @@
+examples/divisibility_study.mli:

@@ -1,0 +1,1 @@
+examples/gripps_day.ml: Array Format Gripps List Numeric Online Sched_core String Sys

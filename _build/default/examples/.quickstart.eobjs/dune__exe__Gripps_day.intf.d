@@ -1,0 +1,1 @@
+examples/gripps_day.mli:

@@ -1,0 +1,1 @@
+examples/preemptive_vs_divisible.ml: Format Numeric Sched_core

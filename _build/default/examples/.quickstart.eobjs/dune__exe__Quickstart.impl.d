@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Numeric Sched_core

@@ -1,0 +1,48 @@
+(* The divisibility study of Section 2: regenerate the data behind
+   Figure 1a (sequence-databank partitioning) and Figure 1b (motif-set
+   partitioning), run the linear regressions, and contrast the two fixed
+   overheads — the paper reports 1.1 s vs 10.5 s.
+
+     dune exec examples/divisibility_study.exe [--measured]
+
+   With --measured, the study additionally runs the real scanner on a
+   laptop-scale synthetic databank and regresses wall-clock time, showing
+   that the linearity is a property of the computation, not of the model. *)
+
+module Dv = Gripps.Divisibility
+
+let print_series title points =
+  Format.printf "@.%s@." title;
+  Format.printf "%10s %12s@." "size" "time (s)";
+  (* Average the iterations per size for a compact display. *)
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (p : Dv.point) ->
+      let sum, count = try Hashtbl.find tbl p.Dv.size with Not_found -> (0.0, 0) in
+      Hashtbl.replace tbl p.Dv.size (sum +. p.Dv.time, count + 1))
+    points;
+  Hashtbl.fold (fun size acc l -> (size, acc) :: l) tbl []
+  |> List.sort compare
+  |> List.iter (fun (size, (sum, count)) ->
+         Format.printf "%10d %12.2f@." size (sum /. float_of_int count));
+  let r = Dv.linear_regression points in
+  Format.printf "regression: time = %.4g·size + %.2f   (r² = %.4f)@." r.Dv.slope
+    r.Dv.intercept r.Dv.r2;
+  r
+
+let () =
+  let measured = Array.exists (String.equal "--measured") Sys.argv in
+  Format.printf "Divisibility study (simulated at the paper's scale: 38000 sequences, 300 motifs)@.";
+  let ra = print_series "Figure 1a — sequence databank partitioning" (Dv.sequence_experiment ()) in
+  let rb = print_series "Figure 1b — motif set partitioning" (Dv.motif_experiment ()) in
+  Format.printf "@.Fixed overheads: sequence partitioning %.2f s (paper: 1.1 s), " ra.Dv.intercept;
+  Format.printf "motif partitioning %.2f s (paper: 10.5 s)@." rb.Dv.intercept;
+  Format.printf "Conclusion (as in the paper): partition the sequence set, not the motif set.@.";
+  if measured then begin
+    Format.printf "@.Measured mode: real scans on a synthetic databank (wall-clock).@.";
+    let rm =
+      print_series "Measured — sequence block scans"
+        (Dv.measured_sequence_experiment ())
+    in
+    Format.printf "measured linearity r² = %.4f@." rm.Dv.r2
+  end

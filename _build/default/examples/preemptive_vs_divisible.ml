@@ -1,0 +1,55 @@
+(* Divisible load vs preemption-only (Section 4.3 vs Section 4.4).
+
+     dune exec examples/preemptive_vs_divisible.exe
+
+   Divisibility lets one job run on several machines at once, so its
+   optimal maximum weighted flow is at most the preemptive one; the gap is
+   largest when a single big job could profit from all machines.  This
+   example walks through instances where the gap is zero, small, and
+   extreme, printing both optima and the reconstructed preemptive
+   timetable. *)
+
+module R = Numeric.Rat
+module I = Sched_core.Instance
+module S = Sched_core.Schedule
+
+let ri = R.of_int
+
+let study name inst =
+  let d = Sched_core.Max_flow.solve inst in
+  let p = Sched_core.Preemptive.solve inst in
+  let fd = d.Sched_core.Max_flow.objective and fp = p.Sched_core.Preemptive.objective in
+  Format.printf "@.== %s ==@." name;
+  Format.printf "divisible  F* = %-8s preemptive F* = %-8s gap = %.1f%%  (%d slots)@."
+    (R.to_string fd) (R.to_string fp)
+    (100.0 *. ((R.to_float fp /. R.to_float fd) -. 1.0))
+    p.Sched_core.Preemptive.preemption_slots;
+  (match S.validate_preemptive p.Sched_core.Preemptive.schedule with
+   | Ok () -> ()
+   | Error e -> failwith ("invalid preemptive schedule: " ^ e));
+  Format.printf "preemptive timetable:@.%a" S.pp p.Sched_core.Preemptive.schedule
+
+let () =
+  (* One machine: the models coincide (nothing to parallelize). *)
+  study "single machine — no gap"
+    (I.make
+       ~releases:[| ri 0; ri 1 |]
+       ~weights:[| ri 1; ri 2 |]
+       [| [| Some (ri 3); Some (ri 2) |] |]);
+
+  (* One big job, four identical machines: divisibility quarters the flow,
+     preemption gains nothing — the extreme gap. *)
+  study "one job, four machines — maximal gap"
+    (I.make ~releases:[| ri 0 |] ~weights:[| ri 1 |]
+       [| [| Some (ri 8) |]; [| Some (ri 8) |]; [| Some (ri 8) |]; [| Some (ri 8) |] |]);
+
+  (* A balanced mix: several jobs share two unrelated machines; the gap is
+     strictly between the extremes and the open-shop reconstruction has to
+     interleave jobs to avoid intra-job parallelism. *)
+  study "mixed workload — intermediate gap"
+    (I.make
+       ~releases:[| ri 0; ri 0; ri 1 |]
+       ~weights:[| ri 1; ri 1; ri 3 |]
+       [| [| Some (ri 4); Some (ri 6); Some (ri 2) |];
+          [| Some (ri 6); Some (ri 3); Some (ri 5) |]
+       |])

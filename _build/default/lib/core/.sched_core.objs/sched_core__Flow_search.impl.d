@@ -1,0 +1,1 @@
+lib/core/flow_search.ml: Array Numeric

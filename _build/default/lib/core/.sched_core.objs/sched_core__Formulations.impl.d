@@ -1,0 +1,1 @@
+lib/core/formulations.ml: Array Hashtbl Instance Intervals List Lp Numeric Printf

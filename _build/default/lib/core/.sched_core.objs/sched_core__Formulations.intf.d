@@ -1,0 +1,1 @@
+lib/core/formulations.mli: Instance Lp Numeric

@@ -1,0 +1,1 @@
+lib/core/gantt_svg.ml: Array Buffer Float Fun Instance List Numeric Printf Schedule

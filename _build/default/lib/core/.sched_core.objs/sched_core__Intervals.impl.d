@@ -1,0 +1,1 @@
+lib/core/intervals.ml: Array List Numeric

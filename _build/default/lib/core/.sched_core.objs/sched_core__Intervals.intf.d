@@ -1,0 +1,1 @@
+lib/core/intervals.mli: Numeric

@@ -1,0 +1,1 @@
+lib/core/makespan.ml: Array Formulations Instance Lp Numeric Schedule

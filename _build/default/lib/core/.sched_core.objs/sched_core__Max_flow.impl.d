@@ -1,0 +1,1 @@
+lib/core/max_flow.ml: Array Deadline Flow_search Formulations Instance List Lp Milestones Numeric Schedule

@@ -1,0 +1,1 @@
+lib/core/max_flow.mli: Instance Numeric Schedule

@@ -1,0 +1,1 @@
+lib/core/milestones.ml: Instance List Numeric

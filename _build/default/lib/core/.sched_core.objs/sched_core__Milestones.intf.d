@@ -1,0 +1,1 @@
+lib/core/milestones.mli: Instance Numeric

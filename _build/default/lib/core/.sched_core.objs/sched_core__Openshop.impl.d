@@ -1,0 +1,1 @@
+lib/core/openshop.ml: Array List Numeric

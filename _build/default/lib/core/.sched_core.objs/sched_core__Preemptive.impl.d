@@ -1,0 +1,1 @@
+lib/core/preemptive.ml: Array Deadline Flow_search Formulations Instance List Lp Max_flow Milestones Numeric Openshop Schedule

@@ -1,0 +1,1 @@
+lib/core/preemptive.mli: Instance Numeric Schedule

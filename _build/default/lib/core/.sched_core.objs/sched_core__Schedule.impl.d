@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Bytes Char Format Instance List Numeric Printf Result Stdlib

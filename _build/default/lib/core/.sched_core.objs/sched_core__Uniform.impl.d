@@ -1,0 +1,1 @@
+lib/core/uniform.ml: Array Flownet Instance Intervals List Numeric Option Printf Schedule

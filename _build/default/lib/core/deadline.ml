@@ -1,0 +1,33 @@
+module Rat = Numeric.Rat
+module Sx = Lp.Simplex.Exact
+
+let solve_form inst (form : Formulations.deadline_form) =
+  match Lp.Simplex_ff.solve form.dl_problem with
+  | Sx.Optimal sol ->
+    let fractions = form.dl_decode sol.values in
+    Some (Schedule.pack inst ~intervals:form.dl_intervals ~fractions)
+  | Sx.Infeasible -> None
+  | Sx.Unbounded -> assert false (* feasibility system: bounded by construction *)
+
+let feasible inst ~deadlines =
+  solve_form inst (Formulations.deadline_system inst ~deadlines)
+
+let is_feasible ?divisible inst ~deadlines =
+  let form = Formulations.deadline_system ?divisible inst ~deadlines in
+  match Lp.Simplex_ff.solve form.dl_problem with
+  | Sx.Optimal _ -> true
+  | Sx.Infeasible -> false
+  | Sx.Unbounded -> assert false
+
+let is_feasible_approx ?divisible inst ~deadlines =
+  let form = Formulations.deadline_system ?divisible inst ~deadlines in
+  let module Sf = Lp.Simplex.Approx in
+  match Sf.solve (Lp.Problem.map Rat.to_float form.dl_problem) with
+  | Sf.Optimal _ -> true
+  | Sf.Infeasible -> false
+  | Sf.Unbounded -> assert false
+
+let flow_deadlines inst ~objective =
+  Array.init (Instance.num_jobs inst) (fun j ->
+      Rat.add (Instance.flow_origin inst j)
+        (Rat.div objective (Instance.weight inst j)))

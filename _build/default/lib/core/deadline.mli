@@ -1,0 +1,24 @@
+(** Deadline scheduling in the divisible-load model (Section 4.2 of the
+    paper, Lemma 1): there is a schedule meeting every job's release date
+    and deadline if, and only if, LP system (2) is feasible. *)
+
+module Rat = Numeric.Rat
+
+val feasible : Instance.t -> deadlines:Rat.t array -> Schedule.t option
+(** [Some schedule] iff every job [J_j] can be fully processed within
+    [\[r_j, deadlines.(j)\]].  The returned schedule is valid for
+    {!Schedule.validate_divisible} and meets all deadlines. *)
+
+val is_feasible : ?divisible:bool -> Instance.t -> deadlines:Rat.t array -> bool
+(** Feasibility only, skipping schedule construction.  [divisible] (default
+    [true]) selects system (2) or, when [false], system (5) at a fixed
+    objective (the preemptive model of Section 4.4). *)
+
+val is_feasible_approx : ?divisible:bool -> Instance.t -> deadlines:Rat.t array -> bool
+(** Same question answered with the float simplex: much faster, possibly
+    wrong near the feasibility boundary.  The milestone search uses it as a
+    pre-check and verifies the answer exactly at the decision points. *)
+
+val flow_deadlines : Instance.t -> objective:Rat.t -> Rat.t array
+(** The deadlines [d̄_j(F) = r_j + F/w_j] induced by a maximum weighted
+    flow objective [F] (Section 4.3.1). *)

@@ -1,0 +1,25 @@
+module Rat = Numeric.Rat
+
+let binary_search ~feasible candidates lo hi =
+  (* invariant: candidates.(hi) feasible, everything below lo infeasible *)
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if feasible candidates.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let first_feasible ~exact ~approx candidates =
+  let last = Array.length candidates - 1 in
+  let guess = binary_search ~feasible:approx candidates 0 last in
+  (* Certify the float answer with exact tests at the boundary. *)
+  let guess_ok = exact candidates.(guess) in
+  if guess_ok then begin
+    if guess = 0 || not (exact candidates.(guess - 1)) then guess
+    else
+      (* Float search overshot: the exact boundary is at or below guess-1. *)
+      binary_search ~feasible:exact candidates 0 (guess - 1)
+  end
+  else
+    (* Float search undershot: the exact boundary is above guess. *)
+    binary_search ~feasible:exact candidates (guess + 1) last

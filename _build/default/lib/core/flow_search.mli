@@ -1,0 +1,22 @@
+(** Verified accelerated binary search over milestone candidates.
+
+    Feasibility of a flow objective is monotone (a larger [F] only loosens
+    deadlines), so the optimal objective lies between the last infeasible
+    and the first feasible candidate.  The exact LP feasibility test is
+    expensive; this module drives the binary search with the float LP and
+    then certifies the answer with at most two exact tests — falling back
+    to a fully exact binary search in the (rare) case the float search was
+    fooled by a near-boundary instance.  The result is therefore exactly
+    the one a purely exact search would produce. *)
+
+module Rat = Numeric.Rat
+
+val first_feasible :
+  exact:(Rat.t -> bool) ->
+  approx:(Rat.t -> bool) ->
+  Rat.t array ->
+  int
+(** [first_feasible ~exact ~approx candidates] returns the smallest index
+    [i] with [exact candidates.(i)], given that feasibility is monotone
+    increasing and [exact candidates.(last)] holds.  [approx] must answer
+    the same question approximately. *)

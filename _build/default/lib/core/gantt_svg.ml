@@ -1,0 +1,71 @@
+module Rat = Numeric.Rat
+
+(* A fixed qualitative palette, cycled over job indices. *)
+let palette =
+  [| "#4e79a7"; "#f28e2b"; "#e15759"; "#76b7b2"; "#59a14f"; "#edc948";
+     "#b07aa1"; "#ff9da7"; "#9c755f"; "#bab0ac" |]
+
+let color_of_job j = palette.(j mod Array.length palette)
+
+let render ?(width = 800) ?(lane_height = 28) sched =
+  let inst = Schedule.instance sched in
+  let m = Instance.num_machines inst in
+  let horizon = Schedule.makespan sched in
+  let margin_left = 40 and margin_top = 20 and axis_height = 30 in
+  let chart_width = width - margin_left - 10 in
+  let height = margin_top + (m * lane_height) + axis_height in
+  let x_of time =
+    if Rat.sign horizon <= 0 then float_of_int margin_left
+    else
+      float_of_int margin_left
+      +. (Rat.to_float (Rat.div time horizon) *. float_of_int chart_width)
+  in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     font-family=\"sans-serif\" font-size=\"11\">\n"
+    width height;
+  out "<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n";
+  (* Machine lanes. *)
+  for i = 0 to m - 1 do
+    let y = margin_top + (i * lane_height) in
+    out
+      "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\"/>\n"
+      margin_left y chart_width (lane_height - 2)
+      (if i mod 2 = 0 then "#f4f4f4" else "#ececec");
+    out "<text x=\"4\" y=\"%d\">M%d</text>\n" (y + (lane_height / 2) + 4) i
+  done;
+  (* Slices. *)
+  List.iter
+    (fun (s : Schedule.slice) ->
+      let x0 = x_of s.start and x1 = x_of s.stop in
+      let y = margin_top + (s.machine * lane_height) in
+      out
+        "<rect x=\"%.2f\" y=\"%d\" width=\"%.2f\" height=\"%d\" fill=\"%s\" \
+         stroke=\"white\" stroke-width=\"0.5\"><title>J%d [%s, %s)</title></rect>\n"
+        x0 (y + 2)
+        (Float.max 0.5 (x1 -. x0))
+        (lane_height - 6) (color_of_job s.job) s.job (Rat.to_string s.start)
+        (Rat.to_string s.stop);
+      if x1 -. x0 > 14.0 then
+        out
+          "<text x=\"%.2f\" y=\"%d\" fill=\"white\" text-anchor=\"middle\">%d</text>\n"
+          ((x0 +. x1) /. 2.0)
+          (y + (lane_height / 2) + 3)
+          s.job)
+    (Schedule.slices sched);
+  (* Time axis: origin and horizon. *)
+  let axis_y = margin_top + (m * lane_height) + 14 in
+  out "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#555\"/>\n" margin_left
+    (axis_y - 10) (margin_left + chart_width) (axis_y - 10);
+  out "<text x=\"%d\" y=\"%d\">0</text>\n" margin_left axis_y;
+  out "<text x=\"%d\" y=\"%d\" text-anchor=\"end\">%s</text>\n"
+    (margin_left + chart_width) axis_y
+    (if Rat.sign horizon <= 0 then "0" else Rat.to_string horizon);
+  out "</svg>\n";
+  Buffer.contents buf
+
+let save path sched =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render sched))

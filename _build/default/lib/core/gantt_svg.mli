@@ -1,0 +1,15 @@
+(** SVG rendering of schedules.
+
+    Produces a self-contained SVG Gantt chart: one lane per machine, one
+    rectangle per slice, colored by job, with a time axis and a legend.
+    Used by the CLI ([dlsched solve --svg out.svg]) and handy for inspecting
+    the open-shop reconstructions of Section 4.4, whose slot structure is
+    hard to read from slice lists. *)
+
+val render : ?width:int -> ?lane_height:int -> Schedule.t -> string
+(** The SVG document as a string.  [width] is the drawing width in pixels
+    (default 800); [lane_height] the machine-lane height (default 28).
+    Schedules with no slices render as an empty chart. *)
+
+val save : string -> Schedule.t -> unit
+(** Write {!render} output to a file. *)

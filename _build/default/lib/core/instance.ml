@@ -1,0 +1,120 @@
+module Rat = Numeric.Rat
+
+type job = { release : Rat.t; weight : Rat.t; flow_origin : Rat.t }
+
+type t = {
+  jobs : job array;
+  num_machines : int;
+  cost : Rat.t option array array;
+}
+
+let make ?flow_origins ~releases ~weights cost =
+  let n = Array.length releases in
+  if Array.length weights <> n then invalid_arg "Instance.make: weights length mismatch";
+  let flow_origins = Option.value flow_origins ~default:releases in
+  if Array.length flow_origins <> n then
+    invalid_arg "Instance.make: flow_origins length mismatch";
+  let m = Array.length cost in
+  if m = 0 then invalid_arg "Instance.make: no machines";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Instance.make: cost row length mismatch")
+    cost;
+  Array.iter
+    (fun r -> if Rat.sign r < 0 then invalid_arg "Instance.make: negative release date")
+    releases;
+  Array.iteri
+    (fun j o ->
+      if Rat.sign o < 0 then invalid_arg "Instance.make: negative flow origin";
+      if Rat.compare o releases.(j) > 0 then
+        invalid_arg "Instance.make: flow origin after release date")
+    flow_origins;
+  Array.iter
+    (fun w -> if Rat.sign w <= 0 then invalid_arg "Instance.make: weight must be positive")
+    weights;
+  Array.iter
+    (Array.iter (function
+      | Some c when Rat.sign c <= 0 ->
+        invalid_arg "Instance.make: finite cost must be positive"
+      | _ -> ()))
+    cost;
+  for j = 0 to n - 1 do
+    let runnable = ref false in
+    for i = 0 to m - 1 do
+      if cost.(i).(j) <> None then runnable := true
+    done;
+    if not !runnable then
+      invalid_arg (Printf.sprintf "Instance.make: job %d cannot run on any machine" j)
+  done;
+  {
+    jobs =
+      Array.init n (fun j ->
+          { release = releases.(j); weight = weights.(j); flow_origin = flow_origins.(j) });
+    num_machines = m;
+    cost = Array.map Array.copy cost;
+  }
+
+let uniform ~speeds ~sizes ~releases ~weights ~available =
+  let m = Array.length speeds and n = Array.length sizes in
+  if Array.length available <> m then invalid_arg "Instance.uniform: availability rows";
+  let cost =
+    Array.init m (fun i ->
+        if Array.length available.(i) <> n then
+          invalid_arg "Instance.uniform: availability cols";
+        Array.init n (fun j ->
+            if available.(i).(j) then Some (Rat.mul sizes.(j) speeds.(i)) else None))
+  in
+  make ~releases ~weights cost
+
+let num_jobs t = Array.length t.jobs
+let num_machines t = t.num_machines
+let job t j = t.jobs.(j)
+let release t j = t.jobs.(j).release
+let weight t j = t.jobs.(j).weight
+let flow_origin t j = t.jobs.(j).flow_origin
+let cost t ~machine ~job = t.cost.(machine).(job)
+let can_run t ~machine ~job = t.cost.(machine).(job) <> None
+
+let fastest_cost t ~job =
+  let best = ref None in
+  for i = 0 to t.num_machines - 1 do
+    match t.cost.(i).(job) with
+    | Some c -> (
+      match !best with
+      | None -> best := Some c
+      | Some b -> if Rat.compare c b < 0 then best := Some c)
+    | None -> ()
+  done;
+  match !best with
+  | Some c -> c
+  | None -> assert false (* ruled out by [make] *)
+
+let max_release t =
+  Array.fold_left (fun acc j -> Rat.max acc j.release) Rat.zero t.jobs
+
+let stretch_weights t =
+  let n = Array.length t.jobs in
+  {
+    t with
+    jobs =
+      Array.init n (fun j ->
+          { t.jobs.(j) with weight = Rat.inv (fastest_cost t ~job:j) });
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%d jobs on %d machines@," (num_jobs t) t.num_machines;
+  Array.iteri
+    (fun j job ->
+      Format.fprintf fmt "  J%d: r=%a w=%a" j Rat.pp job.release Rat.pp job.weight;
+      if not (Rat.equal job.flow_origin job.release) then
+        Format.fprintf fmt " o=%a" Rat.pp job.flow_origin;
+      Format.fprintf fmt " costs=[";
+      for i = 0 to t.num_machines - 1 do
+        (match t.cost.(i).(j) with
+         | Some c -> Format.fprintf fmt "%a" Rat.pp c
+         | None -> Format.pp_print_string fmt "∞");
+        if i < t.num_machines - 1 then Format.pp_print_string fmt "; "
+      done;
+      Format.fprintf fmt "]@,")
+    t.jobs;
+  Format.fprintf fmt "@]"

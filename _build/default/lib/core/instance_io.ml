@@ -1,0 +1,93 @@
+module Rat = Numeric.Rat
+
+let fail line fmt =
+  Printf.ksprintf (fun s -> invalid_arg (Printf.sprintf "Instance_io: line %d: %s" line s)) fmt
+
+let parse_cost line s =
+  if String.lowercase_ascii s = "inf" then None
+  else
+    match Rat.of_string s with
+    | c -> Some c
+    | exception _ -> fail line "bad cost %S" s
+
+let parse_rat line s =
+  match Rat.of_string s with
+  | r -> r
+  | exception _ -> fail line "bad rational %S" s
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let machines = ref None in
+  let jobs = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let content =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      match
+        String.split_on_char ' ' content
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun t -> t <> "")
+      with
+      | [] -> ()
+      | [ "machines"; m ] -> (
+        match int_of_string_opt m with
+        | Some m when m > 0 -> machines := Some m
+        | _ -> fail line "bad machine count %S" m)
+      | "job" :: release :: weight :: costs -> (
+        match !machines with
+        | None -> fail line "the 'machines' line must come before jobs"
+        | Some m ->
+          if List.length costs <> m then
+            fail line "expected %d costs, got %d" m (List.length costs);
+          jobs :=
+            ( parse_rat line release,
+              parse_rat line weight,
+              List.map (parse_cost line) costs )
+            :: !jobs)
+      | tok :: _ -> fail line "unknown directive %S" tok)
+    lines;
+  match !machines with
+  | None -> invalid_arg "Instance_io: missing 'machines' line"
+  | Some m ->
+    let jobs = Array.of_list (List.rev !jobs) in
+    if Array.length jobs = 0 then invalid_arg "Instance_io: no jobs";
+    let releases = Array.map (fun (r, _, _) -> r) jobs in
+    let weights = Array.map (fun (_, w, _) -> w) jobs in
+    let cost =
+      Array.init m (fun i -> Array.map (fun (_, _, costs) -> List.nth costs i) jobs)
+    in
+    Instance.make ~releases ~weights cost
+
+let to_string inst =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "machines %d\n" (Instance.num_machines inst));
+  for j = 0 to Instance.num_jobs inst - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "job %s %s"
+         (Rat.to_string (Instance.release inst j))
+         (Rat.to_string (Instance.weight inst j)));
+    for i = 0 to Instance.num_machines inst - 1 do
+      Buffer.add_string buf
+        (match Instance.cost inst ~machine:i ~job:j with
+         | Some c -> " " ^ Rat.to_string c
+         | None -> " inf")
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))
+
+let save path inst =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string inst))

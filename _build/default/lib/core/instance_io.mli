@@ -1,0 +1,26 @@
+(** Textual instance format, for the command-line tools.
+
+    The format is line-oriented; blank lines and [#] comments are ignored:
+
+    {v
+    machines 3
+    # job <release> <weight> <cost on M0> <cost on M1> <cost on M2>
+    job 0    1    6  12  inf
+    job 5/2  2    inf 4  8
+    v}
+
+    Costs are rationals ([3], [7/2], [1.25]) or [inf] when the machine
+    cannot process the job (databank absent).  Release dates and weights
+    are rationals; weights must be positive. *)
+
+val of_string : string -> Instance.t
+(** @raise Invalid_argument with a line-numbered message on syntax or
+    semantic errors. *)
+
+val to_string : Instance.t -> string
+(** Round-trips through {!of_string}. *)
+
+val load : string -> Instance.t
+(** Read an instance from a file path. *)
+
+val save : string -> Instance.t -> unit

@@ -1,0 +1,9 @@
+module Rat = Numeric.Rat
+
+let of_epochals values =
+  let sorted = List.sort_uniq Rat.compare values in
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | _ -> []
+  in
+  Array.of_list (pairs sorted)

@@ -1,0 +1,13 @@
+(** Epochal time intervals.
+
+    Sections 4.1–4.4 of the paper all start the same way: collect the
+    relevant epochal times (release dates, possibly deadlines), order them,
+    and work interval by interval between consecutive ones.  This module is
+    that shared step. *)
+
+module Rat = Numeric.Rat
+
+val of_epochals : Rat.t list -> (Rat.t * Rat.t) array
+(** Sort, deduplicate, and pair consecutive values:
+    [of_epochals \[3; 1; 2; 1\]] is [\[|(1,2); (2,3)|\]].  Fewer than two
+    distinct values yield no intervals. *)

@@ -1,0 +1,20 @@
+(** Makespan minimization in the divisible-load model (Section 4.1 of the
+    paper, Theorem 1): the optimal makespan is [r_n + Δ_n] where [Δ_n] is
+    the optimal value of LP system (1). *)
+
+module Rat = Numeric.Rat
+
+type result = {
+  makespan : Rat.t;
+  schedule : Schedule.t;  (** an optimal schedule achieving it *)
+}
+
+val solve : Instance.t -> result
+(** Always succeeds (every valid instance admits a schedule).
+    @raise Invalid_argument on an empty instance. *)
+
+val lower_bound : Instance.t -> Rat.t
+(** A combinatorial lower bound used by tests and benches:
+    [max_j (r_j + 1 / Σ_i 1/c_{i,j})] — after its release date, job [j]
+    cannot finish faster than by monopolizing every machine able to run it
+    (divisibility allows simultaneous execution, hence the harmonic sum). *)

@@ -1,0 +1,97 @@
+module Rat = Numeric.Rat
+module Sx = Lp.Simplex.Exact
+
+type result = {
+  objective : Rat.t;
+  schedule : Schedule.t;
+  milestones : Rat.t list;
+  search_range : Rat.t * Rat.t;
+}
+
+let feasible_upper_bound inst =
+  let n = Instance.num_jobs inst in
+  let order = List.init n (fun j -> j) in
+  let order =
+    List.sort
+      (fun a b ->
+        let c = Rat.compare (Instance.release inst a) (Instance.release inst b) in
+        if c <> 0 then c else compare a b)
+      order
+  in
+  let finish = ref Rat.zero and worst = ref Rat.zero in
+  List.iter
+    (fun j ->
+      let start = Rat.max !finish (Instance.release inst j) in
+      let stop = Rat.add start (Instance.fastest_cost inst ~job:j) in
+      finish := stop;
+      let wflow =
+        Rat.mul (Instance.weight inst j) (Rat.sub stop (Instance.flow_origin inst j))
+      in
+      worst := Rat.max !worst wflow)
+    order;
+  !worst
+
+let is_feasible_at inst f =
+  Deadline.is_feasible inst ~deadlines:(Deadline.flow_deadlines inst ~objective:f)
+
+(* Smallest index [i] in [candidates] (sorted increasing, last one known
+   feasible) such that the objective [candidates.(i)] is feasible.
+   Feasibility is monotone in F: larger F only loosens every deadline.
+   The search is float-driven and exactly certified (see {!Flow_search}). *)
+let first_feasible ~accelerate inst candidates =
+  let exact f = is_feasible_at inst f in
+  let approx =
+    if accelerate then fun f ->
+      Deadline.is_feasible_approx inst ~deadlines:(Deadline.flow_deadlines inst ~objective:f)
+    else exact
+  in
+  Flow_search.first_feasible ~exact ~approx candidates
+
+let solve ?(accelerate = true) inst =
+  if Instance.num_jobs inst = 0 then invalid_arg "Max_flow.solve: empty instance";
+  let f_ub = feasible_upper_bound inst in
+  let milestones = Milestones.compute inst in
+  (* Only milestones at most [f_ub] matter: the optimum is ≤ f_ub, and
+     [f_ub] itself is appended as a feasible sentinel so the binary search
+     is always well-defined. *)
+  let below = List.filter (fun m -> Rat.compare m f_ub < 0) milestones in
+  let candidates = Array.of_list (below @ [ f_ub ]) in
+  let idx = first_feasible ~accelerate inst candidates in
+  let f_hi = candidates.(idx) in
+  let f_lo = if idx = 0 then Rat.zero else candidates.(idx - 1) in
+  (* The open range (f_lo, f_hi) contains no milestone; minimize F there. *)
+  let form = Formulations.parametric_system ~divisible:true inst ~f_lo ~f_hi in
+  match Lp.Simplex_ff.solve form.pf_problem with
+  | Sx.Optimal sol ->
+    let f_star, fractions = form.pf_decode sol.values in
+    let intervals =
+      Array.init
+        (Array.length form.pf_bounds - 1)
+        (fun t ->
+          ( Numeric.Affine.eval form.pf_bounds.(t) f_star,
+            Numeric.Affine.eval form.pf_bounds.(t + 1) f_star ))
+    in
+    let schedule = Schedule.pack inst ~intervals ~fractions in
+    { objective = f_star; schedule; milestones; search_range = (f_lo, f_hi) }
+  | Sx.Infeasible ->
+    assert false (* f_hi is feasible, so the range contains a solution *)
+  | Sx.Unbounded -> assert false (* F is bounded below by f_lo ≥ 0 *)
+
+let solve_max_stretch inst = solve (Instance.stretch_weights inst)
+
+let default_epsilon = Rat.of_ints 1 1048576 (* 2^-20 *)
+
+let solve_bisection ?(epsilon = default_epsilon) inst =
+  if Instance.num_jobs inst = 0 then invalid_arg "Max_flow.solve_bisection: empty instance";
+  if Rat.sign epsilon <= 0 then invalid_arg "Max_flow.solve_bisection: epsilon must be positive";
+  let lo = ref Rat.zero and hi = ref (feasible_upper_bound inst) in
+  (* invariant: hi feasible, lo infeasible (or zero) *)
+  while Rat.compare (Rat.sub !hi !lo) (Rat.mul epsilon !hi) > 0 do
+    let mid = Rat.div_int (Rat.add !lo !hi) 2 in
+    if is_feasible_at inst mid then hi := mid else lo := mid
+  done;
+  let deadlines = Deadline.flow_deadlines inst ~objective:!hi in
+  match Deadline.feasible inst ~deadlines with
+  | Some schedule ->
+    { objective = !hi; schedule; milestones = []; search_range = (!lo, !hi) }
+  | None -> assert false (* hi is feasible by the loop invariant *)

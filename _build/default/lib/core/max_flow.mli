@@ -1,0 +1,46 @@
+(** Minimization of the maximum weighted flow in the divisible-load model
+    (Section 4.3 of the paper, Theorem 2).
+
+    The algorithm is the paper's: enumerate the milestones (O(n²) objective
+    values at which the relative order of release dates and parametric
+    deadlines changes), binary-search for the first feasible one using the
+    deadline-scheduling LP of Lemma 1, then solve the parametric system (3)
+    on the bracketing milestone-free range, with the objective [F] itself as
+    an LP variable.  Everything runs on exact rationals, so the returned
+    objective is the exact optimum. *)
+
+module Rat = Numeric.Rat
+
+type result = {
+  objective : Rat.t;  (** optimal maximum weighted flow [F*] *)
+  schedule : Schedule.t;  (** a schedule achieving it *)
+  milestones : Rat.t list;  (** the milestones that were enumerated *)
+  search_range : Rat.t * Rat.t;
+      (** the milestone-free range on which the parametric LP found [F*] *)
+}
+
+val solve : ?accelerate:bool -> Instance.t -> result
+(** [accelerate] (default [true]) drives the milestone binary search with
+    the float LP, certified exactly ({!Flow_search}); [false] uses exact
+    feasibility tests throughout.  The result is identical either way.
+    @raise Invalid_argument on an empty instance. *)
+
+val solve_max_stretch : Instance.t -> result
+(** Maximum stretch as the particular case of maximum weighted flow with
+    [w_j = 1 / fastest_cost j] (Section 3).  The returned schedule is for
+    the reweighted instance, which differs from the input only in weights. *)
+
+val feasible_upper_bound : Instance.t -> Rat.t
+(** Weighted flow of a trivial serial schedule (jobs in release order, each
+    run entirely on its fastest machine): a finite feasible objective that
+    seeds the milestone search. *)
+
+val solve_bisection : ?epsilon:Rat.t -> Instance.t -> result
+(** The naive approach the paper contrasts with in Section 4.3.1: plain
+    bisection on the objective value, which "is not guaranteed to terminate"
+    at the exact optimum and must settle for a precision bound.  Stops when
+    the bracket satisfies [hi - lo <= epsilon·hi] (default
+    [epsilon = 2^-20]) and returns the feasible upper end: the result is
+    within a factor [1 + epsilon] of optimal, never below it.  Provided as
+    the comparison baseline for the exact milestone algorithm (see the
+    [search] bench). *)

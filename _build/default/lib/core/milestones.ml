@@ -1,0 +1,27 @@
+module Rat = Numeric.Rat
+
+(* d̄_j(F) = o_j + F/w_j (with o_j the flow origin, equal to r_j in the
+   paper's offline problem) crosses the release date r_k at
+   F = w_j (r_k − o_j), and crosses d̄_k(F) (for w_j ≠ w_k) at
+   F = (o_k − o_j) / (1/w_j − 1/w_k). *)
+let compute inst =
+  let n = Instance.num_jobs inst in
+  let candidates = ref [] in
+  let push f = if Rat.sign f > 0 then candidates := f :: !candidates in
+  for j = 0 to n - 1 do
+    let oj = Instance.flow_origin inst j and wj = Instance.weight inst j in
+    for k = 0 to n - 1 do
+      push (Rat.mul wj (Rat.sub (Instance.release inst k) oj));
+      if k > j then begin
+        let wk = Instance.weight inst k in
+        let dslope = Rat.sub (Rat.inv wj) (Rat.inv wk) in
+        if not (Rat.is_zero dslope) then
+          push (Rat.div (Rat.sub (Instance.flow_origin inst k) oj) dslope)
+      end
+    done
+  done;
+  List.sort_uniq Rat.compare !candidates
+
+let count_bound inst =
+  let n = Instance.num_jobs inst in
+  (n * n) - n

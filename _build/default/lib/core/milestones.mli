@@ -1,0 +1,16 @@
+(** Milestones of the parametric deadline system (Section 4.3.2).
+
+    A milestone is a value of the objective [F] at which the relative order
+    of the epochal times [{r_1, …, r_n, d̄_1(F), …, d̄_n(F)}] changes: a
+    deadline function [d̄_j(F) = r_j + F/w_j] crosses a release date or
+    another deadline function.  Labetoulle, Lawler, Lenstra and Rinnooy Kan
+    call these "critical trial values".  There are at most [n² − n] of
+    them. *)
+
+module Rat = Numeric.Rat
+
+val compute : Instance.t -> Rat.t list
+(** Strictly positive milestones, sorted increasing, without duplicates. *)
+
+val count_bound : Instance.t -> int
+(** The paper's bound [n² − n] (used by tests and the bench report). *)

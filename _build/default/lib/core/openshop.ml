@@ -1,0 +1,123 @@
+module Rat = Numeric.Rat
+
+type slot = { duration : Rat.t; assignment : int option array }
+
+(* Kuhn's augmenting-path maximum matching on the support of [d] (entries
+   with positive value).  Returns, for every column, the matched row (-1 if
+   unmatched).  The embedded matrix is doubly stochastic (up to scale), so a
+   perfect matching always exists. *)
+let perfect_matching d k =
+  let match_of_col = Array.make k (-1) in
+  let try_row row =
+    let visited = Array.make k false in
+    let rec augment i =
+      let rec cols j =
+        if j >= k then false
+        else if (not visited.(j)) && Rat.sign d.(i).(j) > 0 then begin
+          visited.(j) <- true;
+          if match_of_col.(j) < 0 || augment match_of_col.(j) then begin
+            match_of_col.(j) <- i;
+            true
+          end
+          else cols (j + 1)
+        end
+        else cols (j + 1)
+      in
+      cols 0
+    in
+    augment row
+  in
+  for i = 0 to k - 1 do
+    if not (try_row i) then
+      (* Birkhoff–von Neumann guarantees this never happens on a scaled
+         doubly stochastic matrix. *)
+      invalid_arg "Openshop.perfect_matching: support has no perfect matching"
+  done;
+  let match_of_row = Array.make k (-1) in
+  Array.iteri (fun j i -> match_of_row.(i) <- j) match_of_col;
+  match_of_row
+
+let decompose ~matrix ~limit =
+  let m = Array.length matrix in
+  let n = if m = 0 then 0 else Array.length matrix.(0) in
+  if m = 0 || n = 0 then []
+  else begin
+    Array.iter
+      (Array.iter (fun v ->
+           if Rat.sign v < 0 then invalid_arg "Openshop.decompose: negative entry"))
+      matrix;
+    let row_sum i = Array.fold_left Rat.add Rat.zero matrix.(i) in
+    let col_sum j =
+      let acc = ref Rat.zero in
+      for i = 0 to m - 1 do
+        acc := Rat.add !acc matrix.(i).(j)
+      done;
+      !acc
+    in
+    for i = 0 to m - 1 do
+      if Rat.compare (row_sum i) limit > 0 then
+        invalid_arg "Openshop.decompose: row sum exceeds limit"
+    done;
+    for j = 0 to n - 1 do
+      if Rat.compare (col_sum j) limit > 0 then
+        invalid_arg "Openshop.decompose: column sum exceeds limit"
+    done;
+    if Rat.sign limit <= 0 then []
+    else begin
+      (* Embedding with every row and column summing to [limit]:
+           D = [ A              diag(limit - rowsum) ]
+               [ diag(limit - colsum)     Aᵀ         ]
+         Rows 0..m-1 are real machines; columns 0..n-1 are real jobs. *)
+      let k = m + n in
+      let d = Array.make_matrix k k Rat.zero in
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          d.(i).(j) <- matrix.(i).(j);
+          d.(m + j).(n + i) <- matrix.(i).(j)
+        done
+      done;
+      for i = 0 to m - 1 do
+        d.(i).(n + i) <- Rat.sub limit (row_sum i)
+      done;
+      for j = 0 to n - 1 do
+        d.(m + j).(j) <- Rat.sub limit (col_sum j)
+      done;
+      let slots = ref [] in
+      let remaining = ref limit in
+      while Rat.sign !remaining > 0 do
+        let match_of_row = perfect_matching d k in
+        (* Slot length: smallest matched entry (never longer than what
+           remains, since every row sums to [remaining]). *)
+        let delta = ref !remaining in
+        for i = 0 to k - 1 do
+          delta := Rat.min !delta d.(i).(match_of_row.(i))
+        done;
+        assert (Rat.sign !delta > 0);
+        for i = 0 to k - 1 do
+          let j = match_of_row.(i) in
+          d.(i).(j) <- Rat.sub d.(i).(j) !delta
+        done;
+        let assignment =
+          Array.init m (fun i ->
+              let j = match_of_row.(i) in
+              if j < n then Some j else None)
+        in
+        slots := { duration = !delta; assignment } :: !slots;
+        remaining := Rat.sub !remaining !delta
+      done;
+      List.rev !slots
+    end
+  end
+
+let total_assigned slots ~machines ~jobs =
+  let acc = Array.make_matrix machines jobs Rat.zero in
+  List.iter
+    (fun slot ->
+      Array.iteri
+        (fun i assn ->
+          match assn with
+          | Some j -> acc.(i).(j) <- Rat.add acc.(i).(j) slot.duration
+          | None -> ())
+        slot.assignment)
+    slots;
+  acc

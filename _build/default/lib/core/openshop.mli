@@ -1,0 +1,36 @@
+(** Preemptive schedule reconstruction à la Gonzalez–Sahni and
+    Lawler–Labetoulle (Section 4.4 of the paper).
+
+    Given the per-interval processing-time matrix [t_{i,j} = α_{i,j}·c_{i,j}]
+    whose row sums (machine usage) and column sums (per-job processing) are
+    at most the interval length [T], build a schedule of length [T] in which
+    at every instant each machine runs at most one job and each job runs on
+    at most one machine.
+
+    The construction embeds the matrix into an [(m+n)×(m+n)] nonnegative
+    matrix all of whose rows and columns sum exactly to [T] (adding one
+    dummy job per machine and one dummy machine per job), then applies the
+    Birkhoff–von Neumann decomposition: repeatedly extract a perfect
+    matching on the support and subtract the minimum matched entry.  Each
+    extraction zeroes at least one entry, so there are at most [(m+n)²]
+    slots.  All arithmetic is exact. *)
+
+module Rat = Numeric.Rat
+
+type slot = {
+  duration : Rat.t;  (** strictly positive *)
+  assignment : int option array;
+      (** [assignment.(i) = Some j]: machine [i] runs job [j] during this
+          slot; [None]: machine [i] is idle *)
+}
+
+val decompose : matrix:Rat.t array array -> limit:Rat.t -> slot list
+(** [decompose ~matrix ~limit] with [matrix] of shape machines × jobs.
+    The slot durations sum to exactly [limit], and for every pair [(i,j)],
+    the total duration of slots assigning [j] to [i] equals
+    [matrix.(i).(j)].
+    @raise Invalid_argument if some entry is negative or a row/column sum
+    exceeds [limit]. *)
+
+val total_assigned : slot list -> machines:int -> jobs:int -> Rat.t array array
+(** Reconstruct the per-pair totals (test helper, inverse of the above). *)

@@ -1,0 +1,30 @@
+(** Minimization of the maximum weighted flow with preemption but without
+    divisibility (Section 4.4 of the paper).
+
+    In this model a job may be interrupted and resumed, possibly on another
+    machine, but never runs on two machines simultaneously.  Feasibility of
+    an objective value is LP system (5) — system (3) plus the per-job
+    interval-capacity constraint (5b) — and a witness schedule is rebuilt
+    interval by interval with the Lawler–Labetoulle construction
+    ({!Openshop}).  The milestone machinery is shared with {!Max_flow}.
+
+    The paper notes that Bender, Chakrabarti and Muthukrishnan gave an
+    FPTAS for this problem; this module solves it exactly in polynomial
+    time. *)
+
+module Rat = Numeric.Rat
+
+type result = {
+  objective : Rat.t;  (** optimal maximum weighted flow [F*] *)
+  schedule : Schedule.t;
+      (** a preemptive schedule achieving it; passes
+          {!Schedule.validate_preemptive} *)
+  milestones : Rat.t list;
+  search_range : Rat.t * Rat.t;
+  preemption_slots : int;  (** total open-shop slots over all intervals *)
+}
+
+val solve : Instance.t -> result
+(** @raise Invalid_argument on an empty instance. *)
+
+val solve_max_stretch : Instance.t -> result

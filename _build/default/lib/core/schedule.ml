@@ -1,0 +1,223 @@
+module Rat = Numeric.Rat
+
+type slice = { machine : int; job : int; start : Rat.t; stop : Rat.t }
+
+type t = { instance : Instance.t; slices : slice list }
+
+let make instance slices =
+  let n = Instance.num_jobs instance and m = Instance.num_machines instance in
+  List.iter
+    (fun s ->
+      if s.machine < 0 || s.machine >= m then invalid_arg "Schedule.make: bad machine";
+      if s.job < 0 || s.job >= n then invalid_arg "Schedule.make: bad job";
+      if Rat.compare s.stop s.start < 0 then
+        invalid_arg "Schedule.make: negative-length slice")
+    slices;
+  let slices =
+    slices
+    |> List.filter (fun s -> Rat.compare s.start s.stop < 0)
+    |> List.sort (fun a b ->
+           let c = Rat.compare a.start b.start in
+           if c <> 0 then c else compare (a.machine, a.job) (b.machine, b.job))
+  in
+  { instance; slices }
+
+let slices t = t.slices
+let instance t = t.instance
+
+let pack inst ~intervals ~fractions =
+  (* Cursor per (interval, machine): next free time inside that interval. *)
+  let m = Instance.num_machines inst in
+  let cursors =
+    Array.init (Array.length intervals) (fun t -> Array.make m (fst intervals.(t)))
+  in
+  let slices =
+    List.filter_map
+      (fun (t, i, j, frac) ->
+        if Rat.sign frac <= 0 then None
+        else begin
+          let c =
+            match Instance.cost inst ~machine:i ~job:j with
+            | Some c -> c
+            | None -> invalid_arg "Schedule.pack: fraction on unavailable machine"
+          in
+          let duration = Rat.mul frac c in
+          let start = cursors.(t).(i) in
+          let stop = Rat.add start duration in
+          if Rat.compare stop (snd intervals.(t)) > 0 then
+            invalid_arg
+              (Printf.sprintf "Schedule.pack: machine %d overfull in interval %d" i t);
+          cursors.(t).(i) <- stop;
+          Some { machine = i; job = j; start; stop }
+        end)
+      fractions
+  in
+  make inst slices
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(* Check that no two time ranges in [ranges] (already sorted by start)
+   overlap; [what] labels the error message. *)
+let check_disjoint what ranges =
+  let rec go = function
+    | (_, stop1, id1) :: ((start2, _, id2) :: _ as rest) ->
+      if Rat.compare stop1 start2 > 0 then
+        err "%s: slices %s and %s overlap" what id1 id2
+      else go rest
+    | _ -> Ok ()
+  in
+  go ranges
+
+let ( let* ) = Result.bind
+
+let validate_common t =
+  let inst = t.instance in
+  (* Release dates. *)
+  let* () =
+    List.fold_left
+      (fun acc s ->
+        let* () = acc in
+        if Rat.compare s.start (Instance.release inst s.job) < 0 then
+          err "job %d processed before its release date" s.job
+        else Ok ())
+      (Ok ()) t.slices
+  in
+  (* Machine-disjointness. *)
+  let* () =
+    let rec per_machine i =
+      if i >= Instance.num_machines inst then Ok ()
+      else begin
+        let ranges =
+          t.slices
+          |> List.filter (fun s -> s.machine = i)
+          |> List.map (fun s ->
+                 (s.start, s.stop, Printf.sprintf "(m%d,j%d@%s)" s.machine s.job
+                                     (Rat.to_string s.start)))
+        in
+        let* () = check_disjoint (Printf.sprintf "machine %d" i) ranges in
+        per_machine (i + 1)
+      end
+    in
+    per_machine 0
+  in
+  (* Completion: fractions of every job sum to exactly one. *)
+  let fractions = Array.make (Instance.num_jobs inst) Rat.zero in
+  let* () =
+    List.fold_left
+      (fun acc s ->
+        let* () = acc in
+        match Instance.cost inst ~machine:s.machine ~job:s.job with
+        | None -> err "job %d scheduled on unavailable machine %d" s.job s.machine
+        | Some c ->
+          fractions.(s.job) <-
+            Rat.add fractions.(s.job) (Rat.div (Rat.sub s.stop s.start) c);
+          Ok ())
+      (Ok ()) t.slices
+  in
+  let rec check_complete j =
+    if j >= Array.length fractions then Ok ()
+    else if not (Rat.equal fractions.(j) Rat.one) then
+      err "job %d fractions sum to %s, not 1" j (Rat.to_string fractions.(j))
+    else check_complete (j + 1)
+  in
+  check_complete 0
+
+let validate_divisible t = validate_common t
+
+let validate_preemptive t =
+  let* () = validate_common t in
+  let rec per_job j =
+    if j >= Instance.num_jobs t.instance then Ok ()
+    else begin
+      let ranges =
+        t.slices
+        |> List.filter (fun s -> s.job = j)
+        |> List.map (fun s ->
+               (s.start, s.stop, Printf.sprintf "(m%d@%s)" s.machine (Rat.to_string s.start)))
+      in
+      let* () = check_disjoint (Printf.sprintf "job %d (intra-job parallelism)" j) ranges in
+      per_job (j + 1)
+    end
+  in
+  per_job 0
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let completion_time t j =
+  List.fold_left
+    (fun acc s -> if s.job = j then Rat.max acc s.stop else acc)
+    (Instance.release t.instance j)
+    t.slices
+
+let completion_times t = Array.init (Instance.num_jobs t.instance) (completion_time t)
+
+let makespan t = Array.fold_left Rat.max Rat.zero (completion_times t)
+
+let flow t j = Rat.sub (completion_time t j) (Instance.flow_origin t.instance j)
+
+let fold_jobs f t init =
+  let n = Instance.num_jobs t.instance in
+  let rec go j acc = if j >= n then acc else go (j + 1) (f acc j) in
+  go 0 init
+
+let max_flow t = fold_jobs (fun acc j -> Rat.max acc (flow t j)) t Rat.zero
+let sum_flow t = fold_jobs (fun acc j -> Rat.add acc (flow t j)) t Rat.zero
+
+let weighted_flow t j = Rat.mul (Instance.weight t.instance j) (flow t j)
+
+let max_weighted_flow t = fold_jobs (fun acc j -> Rat.max acc (weighted_flow t j)) t Rat.zero
+
+let max_stretch t =
+  fold_jobs
+    (fun acc j ->
+      Rat.max acc (Rat.div (flow t j) (Instance.fastest_cost t.instance ~job:j)))
+    t Rat.zero
+
+let machine_busy_time t i =
+  List.fold_left
+    (fun acc s -> if s.machine = i then Rat.add acc (Rat.sub s.stop s.start) else acc)
+    Rat.zero t.slices
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "M%d: J%d [%a, %a)@," s.machine s.job Rat.pp s.start Rat.pp
+        s.stop)
+    t.slices;
+  Format.fprintf fmt "@]"
+
+let job_glyph j =
+  (* 0-9 then a-z then '#': enough to tell small instances apart. *)
+  if j < 10 then Char.chr (Char.code '0' + j)
+  else if j < 36 then Char.chr (Char.code 'a' + j - 10)
+  else '#'
+
+let pp_gantt ?(width = 64) fmt t =
+  let horizon = makespan t in
+  if Rat.sign horizon <= 0 then Format.fprintf fmt "(empty schedule)@."
+  else begin
+    let cell_of time =
+      (* time / horizon * width, clamped *)
+      let x = Rat.to_float (Rat.div time horizon) *. float_of_int width in
+      Stdlib.min (width - 1) (Stdlib.max 0 (int_of_float x))
+    in
+    for i = 0 to Instance.num_machines t.instance - 1 do
+      let row = Bytes.make width '.' in
+      List.iter
+        (fun s ->
+          if s.machine = i then
+            for c = cell_of s.start to cell_of (Rat.sub s.stop (Rat.div horizon (Rat.of_int (width * 4)))) do
+              Bytes.set row c (job_glyph s.job)
+            done)
+        t.slices;
+      Format.fprintf fmt "M%d |%s|@." i (Bytes.to_string row)
+    done;
+    Format.fprintf fmt "    0%*s@." (width - 1) (Rat.to_string horizon)
+  end

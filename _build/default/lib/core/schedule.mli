@@ -1,0 +1,79 @@
+(** Explicit schedules and their metrics.
+
+    A schedule is a set of slices: machine [i] processes (a fraction of)
+    job [j] during [\[start, stop)].  The divisible-load model allows a job
+    to occupy several machines simultaneously; the preemptive model of
+    Section 4.4 of the paper forbids it.  Both validity notions are checked
+    exactly. *)
+
+module Rat = Numeric.Rat
+
+type slice = { machine : int; job : int; start : Rat.t; stop : Rat.t }
+
+type t = private { instance : Instance.t; slices : slice list }
+
+val make : Instance.t -> slice list -> t
+(** Zero-length slices are dropped; slices are sorted by start time.
+    @raise Invalid_argument on negative-length slices or out-of-range
+    machine/job indices. *)
+
+val slices : t -> slice list
+val instance : t -> Instance.t
+
+(** {1 Construction from LP interval allocations} *)
+
+val pack :
+  Instance.t ->
+  intervals:(Rat.t * Rat.t) array ->
+  fractions:(int * int * int * Rat.t) list ->
+  t
+(** [pack inst ~intervals ~fractions] lays out the job fractions produced by
+    the LP solvers: for every [(t, i, j, α)] with [α > 0], a slice of
+    duration [α·c_{i,j}] is placed on machine [i] within interval [t],
+    consecutively in list order (the paper: "we can schedule in any order,
+    and without idle time, the non-null fractions α^{(t)}_{i,j}").
+    @raise Invalid_argument if a machine's interval capacity is exceeded or
+    the job cannot run on the machine. *)
+
+(** {1 Validation} *)
+
+val validate_divisible : t -> (unit, string) result
+(** Checks: slices respect release dates; no two slices overlap on one
+    machine; every job is processed to completion
+    ([Σ (stop-start)/c_{i,j} = 1], exactly). *)
+
+val validate_preemptive : t -> (unit, string) result
+(** [validate_divisible] plus: no two slices of the same job overlap in
+    time (a job never runs on two machines simultaneously). *)
+
+(** {1 Metrics} *)
+
+val completion_time : t -> int -> Rat.t
+(** Latest [stop] over the job's slices; the job's release date if it has
+    none (a job of zero remaining work). *)
+
+val completion_times : t -> Rat.t array
+val makespan : t -> Rat.t
+
+val flow : t -> int -> Rat.t
+(** [C_j - r_j]. *)
+
+val max_flow : t -> Rat.t
+val sum_flow : t -> Rat.t
+
+val weighted_flow : t -> int -> Rat.t
+(** [w_j (C_j - r_j)]. *)
+
+val max_weighted_flow : t -> Rat.t
+
+val max_stretch : t -> Rat.t
+(** Maximum over jobs of [(C_j - r_j) / fastest_cost j]. *)
+
+val machine_busy_time : t -> int -> Rat.t
+
+val pp : Format.formatter -> t -> unit
+
+val pp_gantt : ?width:int -> Format.formatter -> t -> unit
+(** ASCII Gantt chart, one row per machine, [width] columns (default 64)
+    spanning [\[0, makespan\]].  Each cell shows the job occupying most of
+    that cell's time span ([.] when idle). *)

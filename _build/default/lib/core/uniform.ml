@@ -1,0 +1,99 @@
+module Rat = Numeric.Rat
+
+type t = {
+  speeds : Rat.t array;
+  sizes : Rat.t array;
+  releases : Rat.t array;
+  weights : Rat.t array;
+  available : bool array array;
+}
+
+let make ~speeds ~sizes ~releases ~weights ~available =
+  let m = Array.length speeds and n = Array.length sizes in
+  if m = 0 then invalid_arg "Uniform.make: no machines";
+  if Array.length releases <> n || Array.length weights <> n then
+    invalid_arg "Uniform.make: job array length mismatch";
+  if Array.length available <> m then invalid_arg "Uniform.make: availability rows";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Uniform.make: availability cols")
+    available;
+  Array.iter
+    (fun s -> if Rat.sign s <= 0 then invalid_arg "Uniform.make: speed must be positive")
+    speeds;
+  Array.iter
+    (fun w -> if Rat.sign w <= 0 then invalid_arg "Uniform.make: size must be positive")
+    sizes;
+  Array.iter
+    (fun w -> if Rat.sign w <= 0 then invalid_arg "Uniform.make: weight must be positive")
+    weights;
+  for j = 0 to n - 1 do
+    let ok = ref false in
+    for i = 0 to m - 1 do
+      if available.(i).(j) then ok := true
+    done;
+    if not !ok then
+      invalid_arg (Printf.sprintf "Uniform.make: job %d has no available machine" j)
+  done;
+  { speeds; sizes; releases; weights; available }
+
+let to_instance t =
+  Instance.uniform ~speeds:t.speeds ~sizes:t.sizes ~releases:t.releases ~weights:t.weights
+    ~available:t.available
+
+let feasible t ~deadlines =
+  let n = Array.length t.sizes and m = Array.length t.speeds in
+  if Array.length deadlines <> n then invalid_arg "Uniform.feasible: deadlines length";
+  let intervals =
+    Intervals.of_epochals (Array.to_list t.releases @ Array.to_list deadlines)
+  in
+  let nint = Array.length intervals in
+  (* Vertex layout: 0 = source; 1..n = jobs; n+1 .. n+nint*m = (t, i)
+     pairs; last = sink. *)
+  let source = 0 in
+  let job_vertex j = 1 + j in
+  let pool_vertex ti i = 1 + n + (ti * m) + i in
+  let sink = 1 + n + (nint * m) in
+  let net = Flownet.Dinic.create (sink + 1) in
+  let total_work = Array.fold_left Rat.add Rat.zero t.sizes in
+  for j = 0 to n - 1 do
+    Flownet.Dinic.add_edge net ~src:source ~dst:(job_vertex j) ~capacity:t.sizes.(j)
+  done;
+  Array.iteri
+    (fun ti (lo, hi) ->
+      let len = Rat.sub hi lo in
+      for i = 0 to m - 1 do
+        (* Machine i delivers at most len / s_i units of work during t. *)
+        Flownet.Dinic.add_edge net ~src:(pool_vertex ti i) ~dst:sink
+          ~capacity:(Rat.div len t.speeds.(i));
+        for j = 0 to n - 1 do
+          if t.available.(i).(j)
+             && Rat.compare lo t.releases.(j) >= 0
+             && Rat.compare hi deadlines.(j) <= 0
+          then
+            Flownet.Dinic.add_edge net ~src:(job_vertex j) ~dst:(pool_vertex ti i)
+              ~capacity:t.sizes.(j)
+        done
+      done)
+    intervals;
+  let value = Flownet.Dinic.max_flow net ~source ~sink in
+  if not (Rat.equal value total_work) then None
+  else begin
+    (* Decode job → (t, i) flows into fractions of each job. *)
+    let inst = to_instance t in
+    let fractions =
+      List.filter_map
+        (fun (src, dst, flow) ->
+          if src >= 1 && src <= n && dst > n && dst < sink then begin
+            let j = src - 1 in
+            let k = dst - 1 - n in
+            let ti = k / m and i = k mod m in
+            Some (ti, i, j, Rat.div flow t.sizes.(j))
+          end
+          else None)
+        (Flownet.Dinic.edge_flows net)
+    in
+    Some (Schedule.pack inst ~intervals ~fractions)
+  end
+
+let is_feasible t ~deadlines = Option.is_some (feasible t ~deadlines)

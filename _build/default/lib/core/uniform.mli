@@ -1,0 +1,47 @@
+(** The uniform-machines-with-restricted-availabilities special case.
+
+    Section 3 of the paper notes that the GriPPS platform is really this
+    case: [c_{i,j} = W_j · s_i] where [s_i] is machine [i]'s slowness and
+    [W_j] the job's size, masked by databank availability — "a uniform
+    machines with restricted availabilities scheduling problem, which is a
+    specific instance of the more general unrelated machines scheduling
+    problem".  The paper then works in the general model; this module
+    exploits the special structure: measuring work in job-size units makes
+    deadline feasibility a pure transportation problem, solved by maximum
+    flow ({!Flownet.Dinic}) with no linear programming at all.
+
+    Used as a differential oracle for {!Deadline} in the tests and as a
+    performance ablation in the bench. *)
+
+module Rat = Numeric.Rat
+
+type t = {
+  speeds : Rat.t array;  (** [s_i > 0], seconds per unit of work *)
+  sizes : Rat.t array;  (** [W_j > 0], units of work *)
+  releases : Rat.t array;
+  weights : Rat.t array;
+  available : bool array array;  (** [available.(i).(j)] *)
+}
+
+val make :
+  speeds:Rat.t array ->
+  sizes:Rat.t array ->
+  releases:Rat.t array ->
+  weights:Rat.t array ->
+  available:bool array array ->
+  t
+(** @raise Invalid_argument on inconsistent dimensions, non-positive
+    speeds/sizes/weights, or a job with no available machine. *)
+
+val to_instance : t -> Instance.t
+(** The equivalent unrelated-machines instance
+    ({!Instance.uniform} with the same data). *)
+
+val feasible : t -> deadlines:Rat.t array -> Schedule.t option
+(** Deadline feasibility by maximum flow: source → job ([W_j]) →
+    (interval, machine) pairs (allowed when the job is live in the interval
+    and the machine holds its databank) → sink ([len_t / s_i]).  Feasible
+    iff the max flow saturates [Σ_j W_j]; the flow decomposition is decoded
+    into a valid divisible schedule. *)
+
+val is_feasible : t -> deadlines:Rat.t array -> bool

@@ -1,0 +1,1 @@
+lib/flownet/dinic.ml: Array List Numeric Queue

@@ -1,0 +1,1 @@
+lib/flownet/dinic.mli: Numeric

@@ -1,0 +1,154 @@
+module Rat = Numeric.Rat
+
+(* Adjacency as arrays of edge indices; each edge stores its reverse twin
+   (the classic residual-graph representation). *)
+type edge = {
+  dst : int;
+  mutable cap : Rat.t; (* residual capacity *)
+  twin : int; (* index of the reverse edge *)
+  original : bool; (* false for residual twins *)
+  original_cap : Rat.t;
+}
+
+type t = {
+  n : int;
+  mutable edges : edge array;
+  mutable num_edges : int;
+  adj : int list array; (* edge indices out of each vertex, reversed order *)
+}
+
+let create n =
+  if n <= 0 then invalid_arg "Dinic.create: need at least one vertex";
+  { n; edges = Array.make 16 { dst = 0; cap = Rat.zero; twin = 0; original = false; original_cap = Rat.zero };
+    num_edges = 0;
+    adj = Array.make n [] }
+
+let num_vertices t = t.n
+
+let push_edge t e =
+  if t.num_edges = Array.length t.edges then begin
+    let bigger = Array.make (2 * t.num_edges) e in
+    Array.blit t.edges 0 bigger 0 t.num_edges;
+    t.edges <- bigger
+  end;
+  t.edges.(t.num_edges) <- e;
+  t.num_edges <- t.num_edges + 1;
+  t.num_edges - 1
+
+let add_edge t ~src ~dst ~capacity =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Dinic.add_edge: vertex out of range";
+  if Rat.sign capacity < 0 then invalid_arg "Dinic.add_edge: negative capacity";
+  let fwd_idx = t.num_edges in
+  let fwd =
+    { dst; cap = capacity; twin = fwd_idx + 1; original = true; original_cap = capacity }
+  in
+  let bwd =
+    { dst = src; cap = Rat.zero; twin = fwd_idx; original = false; original_cap = Rat.zero }
+  in
+  ignore (push_edge t fwd);
+  ignore (push_edge t bwd);
+  t.adj.(src) <- fwd_idx :: t.adj.(src);
+  t.adj.(dst) <- (fwd_idx + 1) :: t.adj.(dst)
+
+(* BFS level graph from the source over positive-residual edges. *)
+let levels t ~source =
+  let level = Array.make t.n (-1) in
+  level.(source) <- 0;
+  let queue = Queue.create () in
+  Queue.push source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun ei ->
+        let e = t.edges.(ei) in
+        if Rat.sign e.cap > 0 && level.(e.dst) < 0 then begin
+          level.(e.dst) <- level.(u) + 1;
+          Queue.push e.dst queue
+        end)
+      t.adj.(u)
+  done;
+  level
+
+(* DFS blocking flow along strictly increasing levels.  [iter] caches the
+   remaining out-edges per vertex so each edge is scanned once per phase. *)
+let blocking_flow t ~source ~sink ~level =
+  let iter = Array.map (fun l -> ref l) t.adj in
+  let total = ref Rat.zero in
+  let rec push u limit =
+    if u = sink then limit
+    else begin
+      let sent = ref Rat.zero in
+      let continue = ref true in
+      while !continue do
+        match !(iter.(u)) with
+        | [] -> continue := false
+        | ei :: rest ->
+          let e = t.edges.(ei) in
+          let room = Rat.sub limit !sent in
+          if Rat.sign room <= 0 then continue := false
+          else if Rat.sign e.cap > 0 && level.(e.dst) = level.(u) + 1 then begin
+            let pushed = push e.dst (Rat.min room e.cap) in
+            if Rat.sign pushed > 0 then begin
+              e.cap <- Rat.sub e.cap pushed;
+              let tw = t.edges.(e.twin) in
+              tw.cap <- Rat.add tw.cap pushed;
+              sent := Rat.add !sent pushed;
+              if Rat.is_zero e.cap then iter.(u) := rest
+            end
+            else iter.(u) := rest
+          end
+          else iter.(u) := rest
+      done;
+      !sent
+    end
+  in
+  (* Push from the source until the level graph is saturated; the sum of
+     source-out capacities serves as the "infinite" initial limit. *)
+  let source_cap =
+    List.fold_left
+      (fun acc ei ->
+        let e = t.edges.(ei) in
+        if e.original then Rat.add acc e.original_cap else acc)
+      Rat.zero t.adj.(source)
+  in
+  let rec drain () =
+    let sent = push source source_cap in
+    if Rat.sign sent > 0 then begin
+      total := Rat.add !total sent;
+      drain ()
+    end
+  in
+  drain ();
+  !total
+
+let max_flow t ~source ~sink =
+  if source = sink then invalid_arg "Dinic.max_flow: source equals sink";
+  let continue = ref true in
+  while !continue do
+    let level = levels t ~source in
+    if level.(sink) < 0 then continue := false
+    else ignore (blocking_flow t ~source ~sink ~level)
+  done;
+  (* Report the cumulative flow from the original source edges, so that
+     repeated calls are idempotent in value. *)
+  List.fold_left
+    (fun acc ei ->
+      let e = t.edges.(ei) in
+      if e.original then Rat.add acc (Rat.sub e.original_cap e.cap) else acc)
+    Rat.zero t.adj.(source)
+
+let edge_flows t =
+  let acc = ref [] in
+  for ei = t.num_edges - 1 downto 0 do
+    let e = t.edges.(ei) in
+    if e.original then begin
+      let flow = Rat.sub e.original_cap e.cap in
+      if Rat.sign flow > 0 then begin
+        (* Recover the source endpoint from the twin. *)
+        let src = t.edges.(e.twin).dst in
+        acc := (src, e.dst, flow) :: !acc
+      end
+    end
+  done;
+  !acc

@@ -1,0 +1,31 @@
+(** Maximum flow on directed networks with exact rational capacities
+    (Dinic's algorithm).
+
+    Substrate for the uniform-machines special case of the paper
+    (Section 3): when [c_{i,j} = W_j·s_i], deadline feasibility reduces to
+    a transportation problem that this module solves without any LP.  The
+    number of phases of Dinic's algorithm is bounded by the number of
+    vertices, independent of capacities, so exact rational capacities cost
+    nothing in termination. *)
+
+module Rat = Numeric.Rat
+
+type t
+
+val create : int -> t
+(** A network with vertices [0 .. n-1] and no edges. *)
+
+val add_edge : t -> src:int -> dst:int -> capacity:Rat.t -> unit
+(** Adds a directed edge.  Parallel edges are allowed.
+    @raise Invalid_argument on negative capacity or bad vertex. *)
+
+val max_flow : t -> source:int -> sink:int -> Rat.t
+(** Computes the maximum flow; the edge flows are left in the network for
+    inspection via {!edge_flows}.  Calling it twice continues from the
+    current flow (idempotent in value). *)
+
+val edge_flows : t -> (int * int * Rat.t) list
+(** [(src, dst, flow)] for every original edge with positive flow, in
+    insertion order. *)
+
+val num_vertices : t -> int

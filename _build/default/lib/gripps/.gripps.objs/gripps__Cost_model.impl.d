@@ -1,0 +1,1 @@
+lib/gripps/cost_model.ml: Prng

@@ -1,0 +1,1 @@
+lib/gripps/databank.ml: Array Printf Prng String

@@ -1,0 +1,1 @@
+lib/gripps/databank.mli: Prng

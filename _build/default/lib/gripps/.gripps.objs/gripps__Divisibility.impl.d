@@ -1,0 +1,1 @@
+lib/gripps/divisibility.ml: Array Cost_model Databank Float List Motif Printf Prng Scanner Unix

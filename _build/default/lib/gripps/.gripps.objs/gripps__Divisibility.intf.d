@@ -1,0 +1,1 @@
+lib/gripps/divisibility.mli:

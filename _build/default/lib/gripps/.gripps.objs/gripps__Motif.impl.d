@@ -1,0 +1,1 @@
+lib/gripps/motif.ml: Array Char Databank List Printf Prng String

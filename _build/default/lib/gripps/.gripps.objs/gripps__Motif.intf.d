@@ -1,0 +1,1 @@
+lib/gripps/motif.mli: Prng

@@ -1,0 +1,1 @@
+lib/gripps/network.ml: Cost_model Databank List Motif Printf Prng Scanner String

@@ -1,0 +1,1 @@
+lib/gripps/network.mli: Motif

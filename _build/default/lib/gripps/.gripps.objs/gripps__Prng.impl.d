@@ -1,0 +1,1 @@
+lib/gripps/prng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/gripps/scanner.ml: Array Char Databank Int List Motif Set String

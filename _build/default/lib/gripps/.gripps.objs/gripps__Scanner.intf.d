@@ -1,0 +1,1 @@
+lib/gripps/scanner.mli: Databank Motif

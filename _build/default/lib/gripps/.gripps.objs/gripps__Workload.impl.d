@@ -1,0 +1,1 @@
+lib/gripps/workload.ml: Array Cost_model Float List Numeric Prng Sched_core

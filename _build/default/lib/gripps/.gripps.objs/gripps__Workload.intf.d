@@ -1,0 +1,1 @@
+lib/gripps/workload.mli: Numeric Prng Sched_core

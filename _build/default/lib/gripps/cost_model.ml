@@ -1,0 +1,24 @@
+type t = { base : float; bank : float; work : float }
+
+let reference_sequences = 38_000
+let reference_motifs = 300
+
+(* Solve the three calibration equations of the interface comment:
+   T(0⁺, 300) = 1.1;  T(38000, m) intercept = 10.5;  T(38000, 300) = 110. *)
+let default =
+  let base = 1.1 in
+  let bank = (10.5 -. base) /. float_of_int reference_sequences in
+  let work =
+    (110.0 -. 10.5)
+    /. (float_of_int reference_sequences *. float_of_int reference_motifs)
+  in
+  { base; bank; work }
+
+let block_time t ~num_sequences ~num_motifs =
+  let s = float_of_int num_sequences and m = float_of_int num_motifs in
+  t.base +. (t.bank *. s) +. (t.work *. s *. m)
+
+let block_time_noisy t rng ~relative_noise ~num_sequences ~num_motifs =
+  let clean = block_time t ~num_sequences ~num_motifs in
+  let factor = 1.0 +. (relative_noise *. ((2.0 *. Prng.float rng) -. 1.0)) in
+  clean *. factor

@@ -1,0 +1,48 @@
+(** Calibrated execution-time model of a GriPPS invocation.
+
+    The paper's Figure 1 measurements constrain three quantities on the
+    authors' reference machine:
+
+    - the full run (38 000 sequences × ~300 motifs) takes ≈ 110 s;
+    - partitioning the sequence set leaves a fixed overhead of ≈ 1.1 s per
+      invocation (regression intercept of Figure 1a);
+    - partitioning the motif set leaves a fixed overhead of ≈ 10.5 s per
+      invocation (regression intercept of Figure 1b).
+
+    A single bilinear model reproduces all three:
+
+    [T(s, m) = base + bank·s + work·s·m]
+
+    where [s] is the sequence block size and [m] the motif count.  The
+    Figure 1a intercept is [base]; the Figure 1b intercept is
+    [base + bank·38000]; fitting gives [base = 1.1 s],
+    [bank = 9.4/38000 s/seq] (per-sequence databank handling done once per
+    invocation whatever the motif count) and
+    [work = 99.5/(38000·300) s/(seq·motif)].  This reproduces the shape of
+    both figures and the asymmetry the paper stresses: splitting the motif
+    set re-pays the databank pass on every piece, splitting the sequence
+    set does not. *)
+
+type t = {
+  base : float;  (** per-invocation fixed cost, seconds *)
+  bank : float;  (** per-sequence databank handling, seconds *)
+  work : float;  (** per-(sequence×motif) comparison cost, seconds *)
+}
+
+val default : t
+(** The calibration above ([base = 1.1], [bank = 9.4/38000],
+    [work = 99.5/11 400 000]). *)
+
+val reference_sequences : int
+(** 38 000, the paper's databank size. *)
+
+val reference_motifs : int
+(** 300, the paper's motif-set size. *)
+
+val block_time : t -> num_sequences:int -> num_motifs:int -> float
+(** Execution time of one invocation, in seconds. *)
+
+val block_time_noisy :
+  t -> Prng.t -> relative_noise:float -> num_sequences:int -> num_motifs:int -> float
+(** Same with multiplicative uniform noise [±relative_noise], mimicking the
+    measurement scatter visible in Figure 1. *)

@@ -1,0 +1,29 @@
+let alphabet = "ACDEFGHIKLMNPQRSTVWY"
+
+type t = { name : string; sequences : string array }
+
+let random_sequence rng ~mean_length =
+  (* Half deterministic, half exponential: protein lengths have a heavy
+     right tail but a hard minimum. *)
+  let base = mean_length / 2 in
+  let extra = int_of_float (Prng.exponential rng ~mean:(float_of_int (mean_length - base))) in
+  let len = max 8 (base + extra) in
+  String.init len (fun _ -> alphabet.[Prng.int rng (String.length alphabet)])
+
+let generate rng ~name ~num_sequences ~mean_length =
+  { name; sequences = Array.init num_sequences (fun _ -> random_sequence rng ~mean_length) }
+
+let num_sequences t = Array.length t.sequences
+
+let total_residues t =
+  Array.fold_left (fun acc s -> acc + String.length s) 0 t.sequences
+
+let sub t rng ~size =
+  let n = num_sequences t in
+  if size > n then invalid_arg "Databank.sub: size exceeds databank";
+  let indices = Array.init n (fun i -> i) in
+  Prng.shuffle rng indices;
+  {
+    name = Printf.sprintf "%s[%d/%d]" t.name size n;
+    sequences = Array.init size (fun k -> t.sequences.(indices.(k)));
+  }

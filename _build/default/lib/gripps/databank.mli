@@ -1,0 +1,31 @@
+(** Synthetic protein databanks.
+
+    Stands in for the reference amino-acid sequence databases of the GriPPS
+    application (Section 2 of the paper: "large reference databases of amino
+    acid sequences, located at fixed locations in a distributed
+    heterogeneous computing platform").  Sequences are drawn over the
+    standard 20-letter amino-acid alphabet with lengths clustered around a
+    configurable mean, mimicking protein length distributions. *)
+
+val alphabet : string
+(** The 20 standard amino-acid one-letter codes. *)
+
+type t = {
+  name : string;
+  sequences : string array;
+}
+
+val generate :
+  Prng.t -> name:string -> num_sequences:int -> mean_length:int -> t
+(** Lengths are [mean_length/2 + geometric-ish noise]; every residue is
+    uniform over {!alphabet}. *)
+
+val num_sequences : t -> int
+
+val total_residues : t -> int
+
+val sub : t -> Prng.t -> size:int -> t
+(** A random sub-databank of [size] sequences drawn without replacement —
+    the paper's partitioning protocol for the divisibility experiments
+    ("the sequences chosen randomly from the complete set").
+    @raise Invalid_argument if [size] exceeds the databank size. *)

@@ -1,0 +1,143 @@
+type atom =
+  | Any
+  | Exact of char
+  | One_of of string
+  | Not_of of string
+
+type element = { atom : atom; min_rep : int; max_rep : int }
+
+type t = { name : string; elements : element list }
+
+let is_residue c = String.contains Databank.alphabet c
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fail fmt = Printf.ksprintf invalid_arg ("Motif.of_string: " ^^ fmt)
+
+(* Parse one element starting at [pos]; returns (element, next position). *)
+let parse_element s pos =
+  let len = String.length s in
+  let atom, pos =
+    match s.[pos] with
+    | 'x' -> (Any, pos + 1)
+    | '[' | '{' ->
+      let closing = if s.[pos] = '[' then ']' else '}' in
+      let rec find i =
+        if i >= len then fail "unterminated class at %d" pos
+        else if s.[i] = closing then i
+        else find (i + 1)
+      in
+      let close = find (pos + 1) in
+      let body = String.sub s (pos + 1) (close - pos - 1) in
+      if body = "" then fail "empty class at %d" pos;
+      String.iter (fun c -> if not (is_residue c) then fail "bad residue %c" c) body;
+      ((if closing = ']' then One_of body else Not_of body), close + 1)
+    | c when is_residue c -> (Exact c, pos + 1)
+    | c -> fail "unexpected character %c at %d" c pos
+  in
+  (* Optional repetition suffix (n) or (n,m). *)
+  if pos < len && s.[pos] = '(' then begin
+    let rec find i =
+      if i >= len then fail "unterminated repetition at %d" pos
+      else if s.[i] = ')' then i
+      else find (i + 1)
+    in
+    let close = find (pos + 1) in
+    let body = String.sub s (pos + 1) (close - pos - 1) in
+    let min_rep, max_rep =
+      match String.split_on_char ',' body with
+      | [ n ] -> (int_of_string (String.trim n), int_of_string (String.trim n))
+      | [ n; m ] -> (int_of_string (String.trim n), int_of_string (String.trim m))
+      | _ -> fail "bad repetition %s" body
+    in
+    if min_rep < 0 || max_rep < min_rep then fail "bad repetition bounds %s" body;
+    ({ atom; min_rep; max_rep }, close + 1)
+  end
+  else ({ atom; min_rep = 1; max_rep = 1 }, pos)
+
+let of_string ?(name = "") s =
+  if s = "" then fail "empty pattern";
+  let len = String.length s in
+  let rec go pos acc =
+    let el, pos = parse_element s pos in
+    let acc = el :: acc in
+    if pos >= len then List.rev acc
+    else if s.[pos] = '-' then
+      if pos + 1 >= len then fail "trailing dash"
+      else go (pos + 1) acc
+    else fail "expected dash at %d" pos
+  in
+  let name = if name = "" then s else name in
+  { name; elements = go 0 [] }
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let atom_to_string = function
+  | Any -> "x"
+  | Exact c -> String.make 1 c
+  | One_of body -> "[" ^ body ^ "]"
+  | Not_of body -> "{" ^ body ^ "}"
+
+let element_to_string { atom; min_rep; max_rep } =
+  let base = atom_to_string atom in
+  if min_rep = 1 && max_rep = 1 then base
+  else if min_rep = max_rep then Printf.sprintf "%s(%d)" base min_rep
+  else Printf.sprintf "%s(%d,%d)" base min_rep max_rep
+
+let to_string t = String.concat "-" (List.map element_to_string t.elements)
+
+let min_length t = List.fold_left (fun acc e -> acc + e.min_rep) 0 t.elements
+let max_length t = List.fold_left (fun acc e -> acc + e.max_rep) 0 t.elements
+
+(* ------------------------------------------------------------------ *)
+(* Random generation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let random_class rng =
+  let k = 2 + Prng.int rng 3 in
+  let picked = Array.init k (fun _ -> Databank.alphabet.[Prng.int rng 20]) in
+  let dedup = List.sort_uniq Char.compare (Array.to_list picked) in
+  String.init (List.length dedup) (List.nth dedup)
+
+let random_element rng =
+  match Prng.int rng 10 with
+  | 0 | 1 ->
+    (* bounded wildcard gap, the most selective-to-cheap PROSITE idiom *)
+    let lo = Prng.int rng 3 in
+    let hi = lo + 1 + Prng.int rng 3 in
+    { atom = Any; min_rep = lo; max_rep = hi }
+  | 2 | 3 -> { atom = One_of (random_class rng); min_rep = 1; max_rep = 1 }
+  | 4 -> { atom = Not_of (random_class rng); min_rep = 1; max_rep = 1 }
+  | _ -> { atom = Exact Databank.alphabet.[Prng.int rng 20]; min_rep = 1; max_rep = 1 }
+
+let random rng ~name =
+  let k = 3 + Prng.int rng 6 in
+  { name; elements = List.init k (fun _ -> random_element rng) }
+
+let prosite_examples =
+  List.map
+    (fun (name, pattern) -> of_string ~name pattern)
+    [ ("PS00001 ASN_GLYCOSYLATION", "N-{P}-[ST]-{P}");
+      ("PS00004 CAMP_PHOSPHO_SITE", "[RK](2)-x-[ST]");
+      ("PS00005 PKC_PHOSPHO_SITE", "[ST]-x-[RK]");
+      ("PS00006 CK2_PHOSPHO_SITE", "[ST]-x(2)-[DE]");
+      ("PS00007 TYR_PHOSPHO_SITE", "[RK]-x(2,3)-[DE]-x(2,3)-Y");
+      ("PS00008 MYRISTYL", "G-{EDRKHPFYW}-x(2)-[STAGCN]-{P}");
+      ("PS00028 ZINC_FINGER_C2H2", "C-x(2,4)-C-x(3)-[LIVMFYWC]-x(8)-H-x(3,5)-H")
+    ]
+
+let random_selective_element rng =
+  match Prng.int rng 10 with
+  | 0 ->
+    let lo = Prng.int rng 2 in
+    { atom = Any; min_rep = lo; max_rep = lo + 1 + Prng.int rng 2 }
+  | 1 | 2 -> { atom = One_of (random_class rng); min_rep = 1; max_rep = 1 }
+  | _ -> { atom = Exact Databank.alphabet.[Prng.int rng 20]; min_rep = 1; max_rep = 1 }
+
+let random_selective rng ~name =
+  let k = 6 + Prng.int rng 7 in
+  { name; elements = List.init k (fun _ -> random_selective_element rng) }

@@ -1,0 +1,60 @@
+(** PROSITE-style protein motifs.
+
+    Motifs are the "compact representations of amino acid patterns that are
+    biologically significant" of Section 2.  The supported language is the
+    core of PROSITE pattern syntax:
+
+    - [A]        — an exact residue;
+    - [x]        — any residue;
+    - [\[ACD\]]  — any of the listed residues;
+    - [{P}]      — any residue except the listed ones;
+    - [e(n)]     — element [e] repeated exactly [n] times;
+    - [e(n,m)]   — element [e] repeated [n] to [m] times;
+
+    elements being separated by dashes, e.g. ["C-x(2,4)-\[ST\]-{P}-G"]. *)
+
+type atom =
+  | Any
+  | Exact of char
+  | One_of of string
+  | Not_of of string
+
+type element = {
+  atom : atom;
+  min_rep : int;
+  max_rep : int;  (** [>= min_rep] *)
+}
+
+type t = {
+  name : string;
+  elements : element list;
+}
+
+val of_string : ?name:string -> string -> t
+(** Parse PROSITE syntax.  @raise Invalid_argument on malformed patterns. *)
+
+val to_string : t -> string
+(** Round-trips with {!of_string}. *)
+
+val min_length : t -> int
+(** Shortest subject length the motif can match. *)
+
+val max_length : t -> int
+(** Longest match length. *)
+
+val random : Prng.t -> name:string -> t
+(** A random plausible motif: 3–8 elements mixing exact residues,
+    classes, negations and bounded wildcard gaps. *)
+
+val prosite_examples : t list
+(** A small library of real PROSITE patterns (by accession): the
+    N-glycosylation site PS00001, protein-kinase phosphorylation sites
+    PS00004–PS00007, the N-myristoylation site PS00008 and the C2H2 zinc
+    finger PS00028 — authentic instances of the motif language the GriPPS
+    requests carry. *)
+
+val random_selective : Prng.t -> name:string -> t
+(** A random motif with the selectivity of real PROSITE patterns: 6–12
+    mostly-exact elements, so that matches against random sequences are
+    rare events.  Used by the communication-cost accounting, where the
+    size of the match report matters. *)

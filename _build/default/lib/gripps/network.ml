@@ -1,0 +1,64 @@
+type t = { latency : float; bandwidth : float }
+
+let fast_ethernet = { latency = 100e-6; bandwidth = 12.5e6 }
+let gigabit = { latency = 50e-6; bandwidth = 125e6 }
+
+let transfer_time net ~bytes = net.latency +. (float_of_int bytes /. net.bandwidth)
+
+(* PROSITE text plus a small per-motif header (name, ids, lengths). *)
+let per_motif_framing = 32
+
+let motif_set_bytes motifs =
+  List.fold_left
+    (fun acc m -> acc + String.length (Motif.to_string m) + per_motif_framing)
+    0 motifs
+
+(* One occurrence record: sequence id, offset, motif id, score. *)
+let bytes_per_match = 16
+
+let result_bytes ~matches = matches * bytes_per_match
+
+type accounting = {
+  request_bytes : int;
+  request_time : float;
+  response_bytes : int;
+  response_time : float;
+  compute_time : float;
+  overhead_fraction : float;
+}
+
+let full_request_accounting ?(network = fast_ethernet) ?(seed = 46) () =
+  let rng = Prng.create seed in
+  let motifs =
+    (* Real PROSITE patterns are long and specific; an unselective random
+       motif would flood the report with spurious matches. *)
+    List.init Cost_model.reference_motifs (fun k ->
+        Motif.random_selective rng ~name:(Printf.sprintf "M%d" k))
+  in
+  let request_bytes = motif_set_bytes motifs in
+  (* Estimate the match density on a small sample and extrapolate to the
+     full databank, rather than scanning 38 000 sequences here. *)
+  let sample = Databank.generate rng ~name:"sample" ~num_sequences:60 ~mean_length:120 in
+  let stats = Scanner.scan motifs sample in
+  let matches_per_seq =
+    float_of_int stats.Scanner.matches /. float_of_int (Databank.num_sequences sample)
+  in
+  let total_matches =
+    int_of_float (matches_per_seq *. float_of_int Cost_model.reference_sequences)
+  in
+  let response_bytes = result_bytes ~matches:total_matches in
+  let request_time = transfer_time network ~bytes:request_bytes in
+  let response_time = transfer_time network ~bytes:response_bytes in
+  let compute_time =
+    Cost_model.block_time Cost_model.default
+      ~num_sequences:Cost_model.reference_sequences
+      ~num_motifs:Cost_model.reference_motifs
+  in
+  {
+    request_bytes;
+    request_time;
+    response_bytes;
+    response_time;
+    compute_time;
+    overhead_fraction = (request_time +. response_time) /. compute_time;
+  }

@@ -1,0 +1,45 @@
+(** Communication-cost model for the GriPPS platform.
+
+    Section 2's third experiment: "we performed a set of experiments to
+    study the time needed to send the full motif set across a typical
+    cluster interconnection network, and the time to report the results …
+    these communication overhead costs are negligible, compared to the
+    computational workload".  This module reproduces that accounting with
+    a latency+bandwidth network model and the serialized sizes of actual
+    motif sets and match reports, justifying why the scheduling model (and
+    this library) neglects data-transfer costs. *)
+
+type t = {
+  latency : float;  (** seconds per message *)
+  bandwidth : float;  (** bytes per second *)
+}
+
+val fast_ethernet : t
+(** 100 Mb/s switched Ethernet, 100 µs latency — a typical 2004 cluster
+    interconnect (the paper's era). *)
+
+val gigabit : t
+(** 1 Gb/s, 50 µs latency. *)
+
+val transfer_time : t -> bytes:int -> float
+(** [latency + bytes/bandwidth] seconds. *)
+
+val motif_set_bytes : Motif.t list -> int
+(** Serialized size of a motif set (PROSITE text plus per-motif framing). *)
+
+val result_bytes : matches:int -> int
+(** Size of a match report: one fixed-size record per occurrence. *)
+
+type accounting = {
+  request_bytes : int;
+  request_time : float;  (** motif set transfer *)
+  response_bytes : int;
+  response_time : float;  (** match report transfer *)
+  compute_time : float;  (** full scan per {!Cost_model} *)
+  overhead_fraction : float;  (** (request + response) / compute *)
+}
+
+val full_request_accounting : ?network:t -> ?seed:int -> unit -> accounting
+(** The paper's scenario: a full motif set (≈300 motifs, randomly
+    generated) against the full databank, with a match report sized from
+    the observed match density of the synthetic scanner. *)

@@ -1,0 +1,80 @@
+type stats = { invocations : int; positions_tried : int; matches : int }
+
+let atom_matches atom c =
+  match atom with
+  | Motif.Any -> true
+  | Motif.Exact e -> Char.equal e c
+  | Motif.One_of body -> String.contains body c
+  | Motif.Not_of body -> not (String.contains body c)
+
+(* Backtracking matcher: for each element, try every admissible repetition
+   count.  Repetition counts are tried shortest-first; PROSITE semantics is
+   existential so the order does not matter. *)
+let matches_at motif seq pos =
+  let len = String.length seq in
+  let rec elems es pos =
+    match es with
+    | [] -> true
+    | (e : Motif.element) :: rest ->
+      (* Consume k in [min_rep, max_rep] occurrences of the atom. *)
+      let rec consume k pos =
+        if k >= e.min_rep && elems rest pos then true
+        else if k >= e.max_rep then false
+        else if pos < len && atom_matches e.atom seq.[pos] then consume (k + 1) (pos + 1)
+        else false
+      in
+      consume 0 pos
+  in
+  pos >= 0 && pos <= len && elems motif.Motif.elements pos
+
+(* Reference implementation: set-of-positions propagation (equivalent to
+   running the obvious NFA breadth-first).  Used by tests to cross-check
+   the backtracking matcher. *)
+let matches_at_reference motif seq pos =
+  let len = String.length seq in
+  if pos < 0 || pos > len then false
+  else begin
+    let module IS = Set.Make (Int) in
+    let step_atom atom positions =
+      IS.fold
+        (fun p acc ->
+          if p < len && atom_matches atom seq.[p] then IS.add (p + 1) acc else acc)
+        positions IS.empty
+    in
+    let step_element (e : Motif.element) positions =
+      (* Exactly min_rep mandatory repetitions… *)
+      let rec mandatory k ps = if k = 0 then ps else mandatory (k - 1) (step_atom e.atom ps) in
+      let ps = mandatory e.min_rep positions in
+      (* …then up to (max_rep - min_rep) optional ones. *)
+      let rec optional k ps acc =
+        if k = 0 then acc
+        else begin
+          let next = step_atom e.atom ps in
+          optional (k - 1) next (IS.union acc next)
+        end
+      in
+      optional (e.max_rep - e.min_rep) ps ps
+    in
+    let final = List.fold_left (fun ps e -> step_element e ps) (IS.singleton pos) motif.Motif.elements in
+    not (IS.is_empty final)
+  end
+
+let count_matches motif seq =
+  let count = ref 0 in
+  for pos = 0 to String.length seq - 1 do
+    if matches_at motif seq pos then incr count
+  done;
+  !count
+
+let scan motifs bank =
+  let invocations = ref 0 and positions = ref 0 and matches = ref 0 in
+  List.iter
+    (fun motif ->
+      Array.iter
+        (fun seq ->
+          incr invocations;
+          positions := !positions + String.length seq;
+          matches := !matches + count_matches motif seq)
+        bank.Databank.sequences)
+    motifs;
+  { invocations = !invocations; positions_tried = !positions; matches = !matches }

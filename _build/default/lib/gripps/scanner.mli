@@ -1,0 +1,27 @@
+(** The sequence-comparison engine: matches motif sets against databank
+    sequences ("sequence comparison servers … capable of accepting a set of
+    motifs and identifying matches over any subset of the databank",
+    Section 2).
+
+    Two independent implementations of the match predicate are provided:
+    the production backtracking matcher and a dynamic-programming reference
+    used by the property tests. *)
+
+type stats = {
+  invocations : int;  (** number of (motif, sequence) scans *)
+  positions_tried : int;  (** match attempts, the unit of real work *)
+  matches : int;  (** successful motif occurrences *)
+}
+
+val matches_at : Motif.t -> string -> int -> bool
+(** Does the motif match the sequence starting exactly at this offset? *)
+
+val matches_at_reference : Motif.t -> string -> int -> bool
+(** Independent DP implementation of the same predicate (tests only). *)
+
+val count_matches : Motif.t -> string -> int
+(** Number of offsets at which the motif matches. *)
+
+val scan : Motif.t list -> Databank.t -> stats
+(** Full scan of a motif set against a databank block — the unit of work
+    whose divisibility Figure 1 of the paper establishes. *)

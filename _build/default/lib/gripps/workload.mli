@@ -1,0 +1,47 @@
+(** Workload and platform generators for the scheduling experiments.
+
+    A platform is a set of heterogeneous sequence-comparison servers, each
+    holding a subset of the databanks (Section 3: "uniform machines with
+    restricted availabilities").  A request compares a motif set against
+    one databank and may only run on servers that hold it. *)
+
+module Rat = Numeric.Rat
+
+type platform = {
+  speeds : Rat.t array;
+      (** relative slowdown per machine: 1 = reference machine of
+          {!Cost_model}, 2 = twice slower *)
+  bank_sizes : int array;  (** sequences per databank *)
+  has_bank : bool array array;  (** [has_bank.(machine).(bank)] *)
+}
+
+type request = {
+  arrival : Rat.t;  (** seconds *)
+  bank : int;
+  num_motifs : int;
+}
+
+val random_platform :
+  Prng.t -> machines:int -> banks:int -> replication:int -> platform
+(** Speeds uniform in [{1, …, 4}] (quantized quarters); every databank is
+    placed on [replication] distinct machines (at least one); bank sizes
+    vary within ×4 around 1/10 of the reference databank.
+    @raise Invalid_argument if [replication > machines] or any count is
+    not positive. *)
+
+val poisson_requests :
+  Prng.t -> rate:float -> count:int -> max_motifs:int -> banks:int -> request list
+(** [count] requests with exponential inter-arrival times of rate [rate]
+    (requests per second), uniform target bank, motif-set sizes uniform in
+    [\[1, max_motifs\]].  Arrival times are quantized to centiseconds so
+    the exact solvers stay fast. *)
+
+val request_cost : platform -> machine:int -> request -> Rat.t option
+(** Processing time of the request on the machine ([None] when the bank is
+    absent), from {!Cost_model.default} scaled by the machine speed,
+    quantized to centiseconds. *)
+
+val to_instance : platform -> request list -> Sched_core.Instance.t
+(** Offline instance with unit weights (maximum flow).  Use
+    {!Sched_core.Instance.stretch_weights} on the result for max-stretch
+    experiments. *)

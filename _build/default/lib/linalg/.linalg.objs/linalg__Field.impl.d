@@ -1,0 +1,1 @@
+lib/linalg/field.ml: Float Format Numeric

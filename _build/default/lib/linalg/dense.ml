@@ -1,0 +1,172 @@
+(* Dense vectors and matrices over an ordered field, with Gaussian
+   elimination.  Used by the LP tests (optimality certificates), by the
+   open-shop decomposition checks, and by property tests that need an
+   independent linear solver to compare against the simplex. *)
+
+module Make (F : Field.S) = struct
+  module Vec = struct
+    type t = F.t array
+
+    let make n v : t = Array.make n v
+    let init = Array.init
+    let dim (v : t) = Array.length v
+    let copy = Array.copy
+
+    let add a b = Array.mapi (fun i x -> F.add x b.(i)) a
+    let sub a b = Array.mapi (fun i x -> F.sub x b.(i)) a
+    let scale k = Array.map (F.mul k)
+    let neg = Array.map F.neg
+
+    let dot a b =
+      let acc = ref F.zero in
+      Array.iteri (fun i x -> acc := F.add !acc (F.mul x b.(i))) a;
+      !acc
+
+    let equal a b =
+      dim a = dim b && Array.for_all2 F.equal a b
+
+    let is_zero v = Array.for_all F.is_zero v
+
+    let pp fmt v =
+      Format.fprintf fmt "[@[%a@]]"
+        (Format.pp_print_array ~pp_sep:(fun f () -> Format.fprintf f ";@ ") F.pp)
+        v
+  end
+
+  module Mat = struct
+    type t = F.t array array (* row-major; all rows same length *)
+
+    let make rows cols v : t = Array.init rows (fun _ -> Array.make cols v)
+    let init rows cols f : t = Array.init rows (fun i -> Array.init cols (fun j -> f i j))
+    let rows (m : t) = Array.length m
+    let cols (m : t) = if Array.length m = 0 then 0 else Array.length m.(0)
+    let copy (m : t) : t = Array.map Array.copy m
+
+    let identity n = init n n (fun i j -> if i = j then F.one else F.zero)
+
+    let transpose m = init (cols m) (rows m) (fun i j -> m.(j).(i))
+
+    let mul_vec m v = Array.map (fun row -> Vec.dot row v) m
+
+    let mul a b =
+      let bt = transpose b in
+      init (rows a) (cols b) (fun i j -> Vec.dot a.(i) bt.(j))
+
+    let add a b = init (rows a) (cols a) (fun i j -> F.add a.(i).(j) b.(i).(j))
+
+    let equal a b =
+      rows a = rows b && cols a = cols b
+      && Array.for_all2 Vec.equal a b
+
+    (* Row-reduce [m] in place; returns the rank.  Partial pivoting: pick
+       the largest-magnitude pivot for the float instance (harmless for
+       rationals). *)
+    let row_reduce (m : t) =
+      let nr = rows m and nc = cols m in
+      let rank = ref 0 in
+      let col = ref 0 in
+      while !rank < nr && !col < nc do
+        let best = ref (-1) in
+        for i = !rank to nr - 1 do
+          if (not (F.is_zero m.(i).(!col)))
+             && (!best < 0 || F.compare (F.abs m.(i).(!col)) (F.abs m.(!best).(!col)) > 0)
+          then best := i
+        done;
+        if !best < 0 then incr col
+        else begin
+          let r = !rank in
+          if !best <> r then begin
+            let tmp = m.(r) in
+            m.(r) <- m.(!best);
+            m.(!best) <- tmp
+          end;
+          let piv = m.(r).(!col) in
+          for j = !col to nc - 1 do
+            m.(r).(j) <- F.div m.(r).(j) piv
+          done;
+          for i = 0 to nr - 1 do
+            if i <> r && not (F.is_zero m.(i).(!col)) then begin
+              let factor = m.(i).(!col) in
+              for j = !col to nc - 1 do
+                m.(i).(j) <- F.sub m.(i).(j) (F.mul factor m.(r).(j))
+              done
+            end
+          done;
+          incr rank;
+          incr col
+        end
+      done;
+      !rank
+
+    let rank m = row_reduce (copy m)
+
+    let det m =
+      if rows m <> cols m then invalid_arg "Dense.Mat.det: not square";
+      let n = rows m in
+      let a = copy m in
+      let sign = ref 1 and d = ref F.one in
+      (try
+         for k = 0 to n - 1 do
+           let best = ref (-1) in
+           for i = k to n - 1 do
+             if (not (F.is_zero a.(i).(k)))
+                && (!best < 0 || F.compare (F.abs a.(i).(k)) (F.abs a.(!best).(k)) > 0)
+             then best := i
+           done;
+           if !best < 0 then begin d := F.zero; raise Exit end;
+           if !best <> k then begin
+             let tmp = a.(k) in
+             a.(k) <- a.(!best);
+             a.(!best) <- tmp;
+             sign := - !sign
+           end;
+           d := F.mul !d a.(k).(k);
+           for i = k + 1 to n - 1 do
+             let factor = F.div a.(i).(k) a.(k).(k) in
+             for j = k to n - 1 do
+               a.(i).(j) <- F.sub a.(i).(j) (F.mul factor a.(k).(j))
+             done
+           done
+         done
+       with Exit -> ());
+      if !sign < 0 then F.neg !d else !d
+
+    (* Solve [m x = b]; returns [None] when the system is singular or
+       inconsistent.  When the system is underdetermined, returns one
+       solution (free variables set to zero). *)
+    let solve (m : t) (b : Vec.t) : Vec.t option =
+      let nr = rows m and nc = cols m in
+      let aug = init nr (nc + 1) (fun i j -> if j < nc then m.(i).(j) else b.(i)) in
+      let _ = row_reduce aug in
+      (* Detect inconsistency: a row [0 ... 0 | c] with c <> 0. *)
+      let inconsistent =
+        Array.exists
+          (fun row ->
+            let all_zero = ref true in
+            for j = 0 to nc - 1 do
+              if not (F.is_zero row.(j)) then all_zero := false
+            done;
+            !all_zero && not (F.is_zero row.(nc)))
+          aug
+      in
+      if inconsistent then None
+      else begin
+        let x = Array.make nc F.zero in
+        Array.iter
+          (fun row ->
+            match Array.find_index (fun v -> not (F.is_zero v)) (Array.sub row 0 nc) with
+            | Some lead -> x.(lead) <- row.(nc)
+            | None -> ())
+          aug;
+        Some x
+      end
+
+    let pp fmt m =
+      Format.fprintf fmt "@[<v>%a@]"
+        (Format.pp_print_array ~pp_sep:Format.pp_print_cut Vec.pp)
+        m
+  end
+end
+
+module Rational = Make (Field.Rational)
+module Approx = Make (Field.Approx)

@@ -1,0 +1,59 @@
+(** Dense vectors and matrices over an ordered field.
+
+    Functorized so the same Gaussian elimination runs on exact rationals
+    (tests, optimality certificates) and on floats (quick numeric checks).
+    Matrices are row-major arrays of rows. *)
+
+module Make (F : Field.S) : sig
+  module Vec : sig
+    type t = F.t array
+
+    val make : int -> F.t -> t
+    val init : int -> (int -> F.t) -> t
+    val dim : t -> int
+    val copy : t -> t
+    val add : t -> t -> t
+    val sub : t -> t -> t
+    val scale : F.t -> t -> t
+    val neg : t -> t
+    val dot : t -> t -> F.t
+    val equal : t -> t -> bool
+    val is_zero : t -> bool
+    val pp : Format.formatter -> t -> unit
+  end
+
+  module Mat : sig
+    type t = F.t array array
+
+    val make : int -> int -> F.t -> t
+    val init : int -> int -> (int -> int -> F.t) -> t
+    val rows : t -> int
+    val cols : t -> int
+    val copy : t -> t
+    val identity : int -> t
+    val transpose : t -> t
+    val mul_vec : t -> Vec.t -> Vec.t
+    val mul : t -> t -> t
+    val add : t -> t -> t
+    val equal : t -> t -> bool
+
+    val row_reduce : t -> int
+    (** In-place reduced row echelon form; returns the rank.  Pivots by
+        largest magnitude (matters for the float instance only). *)
+
+    val rank : t -> int
+
+    val det : t -> F.t
+    (** @raise Invalid_argument on a non-square matrix. *)
+
+    val solve : t -> Vec.t -> Vec.t option
+    (** [solve m b] is a solution of [m·x = b], or [None] when the system
+        is inconsistent.  Underdetermined systems yield one solution with
+        free variables set to zero. *)
+
+    val pp : Format.formatter -> t -> unit
+  end
+end
+
+module Rational : module type of Make (Field.Rational)
+module Approx : module type of Make (Field.Approx)

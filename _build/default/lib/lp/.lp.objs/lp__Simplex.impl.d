@@ -1,0 +1,1 @@
+lib/lp/simplex.ml: Array Buffer Format Linalg List Option Printf Problem

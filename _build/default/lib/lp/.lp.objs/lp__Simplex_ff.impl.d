@@ -1,0 +1,1 @@
+lib/lp/simplex_ff.ml: Array List Numeric Option Problem Simplex

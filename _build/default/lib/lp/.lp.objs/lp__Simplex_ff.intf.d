@@ -1,0 +1,1 @@
+lib/lp/simplex_ff.mli: Numeric Problem Simplex

@@ -1,0 +1,100 @@
+(* Linear-program description, generic in the coefficient field.
+
+   Conventions: every variable is nonnegative; constraints are sparse rows
+   [terms rel rhs] with [terms] a list of (variable index, coefficient).
+   This is exactly the shape of the paper's systems (1), (2), (3) and (5):
+   all [α] fractions and the flow objective [F] are nonnegative. *)
+
+type relation = Le | Ge | Eq
+
+type direction = Minimize | Maximize
+
+type 'f constr = {
+  cname : string;
+  terms : (int * 'f) list;
+  rel : relation;
+  rhs : 'f;
+}
+
+type 'f t = {
+  num_vars : int;
+  direction : direction;
+  objective : (int * 'f) list;
+  constraints : 'f constr list;
+  var_names : string array;
+}
+
+let pp_relation fmt = function
+  | Le -> Format.pp_print_string fmt "<="
+  | Ge -> Format.pp_print_string fmt ">="
+  | Eq -> Format.pp_print_string fmt "="
+
+(* Imperative builder: formulation code allocates variables one by one and
+   accumulates constraints, then seals the problem. *)
+module Builder = struct
+  type 'f state = {
+    mutable next_var : int;
+    mutable names : string list; (* reversed *)
+    mutable constrs : 'f constr list; (* reversed *)
+    mutable obj : (int * 'f) list;
+    mutable dir : direction;
+  }
+
+  let create () = { next_var = 0; names = []; constrs = []; obj = []; dir = Minimize }
+
+  let fresh_var st ~name =
+    let v = st.next_var in
+    st.next_var <- v + 1;
+    st.names <- name :: st.names;
+    v
+
+  let add_constr st ?(name = "") terms rel rhs =
+    st.constrs <- { cname = name; terms; rel; rhs } :: st.constrs
+
+  let set_objective st dir obj =
+    st.dir <- dir;
+    st.obj <- obj
+
+  let finish st =
+    {
+      num_vars = st.next_var;
+      direction = st.dir;
+      objective = st.obj;
+      constraints = List.rev st.constrs;
+      var_names = Array.of_list (List.rev st.names);
+    }
+end
+
+let num_constraints p = List.length p.constraints
+
+(* Change the coefficient field (e.g. exact rationals to floats for the
+   accelerated feasibility pre-checks). *)
+let map f p =
+  {
+    num_vars = p.num_vars;
+    direction = p.direction;
+    objective = List.map (fun (v, c) -> (v, f c)) p.objective;
+    constraints =
+      List.map
+        (fun c ->
+          { c with terms = List.map (fun (v, k) -> (v, f k)) c.terms; rhs = f c.rhs })
+        p.constraints;
+    var_names = p.var_names;
+  }
+
+let pp pp_coeff fmt p =
+  let pp_terms fmt terms =
+    Format.pp_print_list
+      ~pp_sep:(fun f () -> Format.fprintf f "@ + ")
+      (fun f (v, c) -> Format.fprintf f "%a·%s" pp_coeff c p.var_names.(v))
+      fmt terms
+  in
+  Format.fprintf fmt "@[<v>%s %a@,subject to:@,"
+    (match p.direction with Minimize -> "minimize" | Maximize -> "maximize")
+    pp_terms p.objective;
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  @[%s: %a %a %a@]@," c.cname pp_terms c.terms pp_relation c.rel
+        pp_coeff c.rhs)
+    p.constraints;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,283 @@
+module B = Numeric.Bigint
+module R = Numeric.Rat
+module Sx = Simplex.Exact
+
+let lcm a b =
+  if B.is_zero a || B.is_zero b then B.one
+  else B.abs (B.div (B.mul a b) (B.gcd a b))
+
+(* Exact division with a safety check: the Bareiss/Edmonds identity
+   guarantees divisibility, so any nonzero remainder is a solver bug. *)
+let exact_div a b =
+  let q, r = B.divmod a b in
+  assert (B.is_zero r);
+  q
+
+type tableau = {
+  rows : B.t array array; (* m rows of width [width]; last column = rhs *)
+  basis : int array;
+  obj : R.t array; (* reduced costs (real values), same width *)
+  mutable den : B.t; (* common denominator: real entry = int / den; > 0 *)
+  width : int;
+  art_start : int;
+}
+
+let real_entry t i j = R.make t.rows.(i).(j) t.den
+
+(* Entering rules mirror Simplex.Make so both solvers walk the same path. *)
+let entering_bland t ~allowed_up_to =
+  let rec go j =
+    if j >= allowed_up_to then None
+    else if R.sign t.obj.(j) < 0 then Some j
+    else go (j + 1)
+  in
+  go 0
+
+let entering_dantzig t ~allowed_up_to =
+  let best = ref None in
+  for j = 0 to allowed_up_to - 1 do
+    if R.sign t.obj.(j) < 0 then
+      match !best with
+      | None -> best := Some j
+      | Some b -> if R.compare t.obj.(j) t.obj.(b) < 0 then best := Some j
+  done;
+  !best
+
+(* Leaving row: min RHS_i / T[i][col] over positive T[i][col] (the common
+   denominator cancels), compared by integer cross-multiplication; ties by
+   smallest basic variable. *)
+let leaving t col =
+  let m = Array.length t.rows in
+  let best = ref None in
+  for i = 0 to m - 1 do
+    let coeff = t.rows.(i).(col) in
+    if B.sign coeff > 0 then begin
+      let rhs = t.rows.(i).(t.width - 1) in
+      match !best with
+      | None -> best := Some (rhs, coeff, i)
+      | Some (brhs, bcoeff, bi) ->
+        (* rhs/coeff ? brhs/bcoeff  <=>  rhs·bcoeff ? brhs·coeff *)
+        let c = B.compare (B.mul rhs bcoeff) (B.mul brhs coeff) in
+        if c < 0 || (c = 0 && t.basis.(i) < t.basis.(bi)) then
+          best := Some (rhs, coeff, i)
+    end
+  done;
+  Option.map (fun (_, _, i) -> i) !best
+
+let pivot t ~row ~col =
+  let piv = t.rows.(row).(col) in
+  assert (B.sign piv > 0);
+  let prow = t.rows.(row) in
+  (* Integer update: new[i][j] = (piv·old[i][j] − old[i][col]·prow[j]) / den.
+     The pivot row itself is left untouched; the denominator becomes piv. *)
+  Array.iteri
+    (fun i r ->
+      if i <> row then begin
+        let factor = r.(col) in
+        for j = 0 to t.width - 1 do
+          r.(j) <- exact_div (B.sub (B.mul piv r.(j)) (B.mul factor prow.(j))) t.den
+        done
+      end)
+    t.rows;
+  (* Rational update of the reduced-cost row: subtract
+     obj[col] · (pivot row / piv). *)
+  let factor = t.obj.(col) in
+  if not (R.is_zero factor) then begin
+    let scale = R.div factor (R.make piv B.one) in
+    for j = 0 to t.width - 1 do
+      t.obj.(j) <- R.sub t.obj.(j) (R.mul scale (R.make prow.(j) B.one))
+    done
+  end;
+  t.den <- piv;
+  t.basis.(row) <- col
+
+let set_costs t (cost : R.t array) =
+  Array.fill t.obj 0 t.width R.zero;
+  Array.blit cost 0 t.obj 0 (t.width - 1);
+  Array.iteri
+    (fun i b ->
+      let cb = cost.(b) in
+      if not (R.is_zero cb) then
+        for j = 0 to t.width - 1 do
+          t.obj.(j) <- R.sub t.obj.(j) (R.mul cb (real_entry t i j))
+        done)
+    t.basis
+
+exception Iteration_limit
+
+let optimize t ~allowed_up_to ~max_iters =
+  let dantzig_budget = 50 + (4 * (Array.length t.rows + t.width)) in
+  let iters = ref 0 in
+  let rec loop () =
+    incr iters;
+    if !iters > max_iters then raise Iteration_limit;
+    let enter =
+      if !iters <= dantzig_budget then entering_dantzig t ~allowed_up_to
+      else entering_bland t ~allowed_up_to
+    in
+    match enter with
+    | None -> `Optimal
+    | Some j -> (
+      match leaving t j with
+      | None -> `Unbounded
+      | Some i ->
+        pivot t ~row:i ~col:j;
+        loop ())
+  in
+  loop ()
+
+let solve (p : R.t Problem.t) : Sx.outcome =
+  let n = p.Problem.num_vars in
+  let constrs = Array.of_list p.Problem.constraints in
+  let m = Array.length constrs in
+  let normalized =
+    Array.map
+      (fun (c : R.t Problem.constr) ->
+        if R.sign c.rhs < 0 then
+          let flip = function Problem.Le -> Problem.Ge | Ge -> Le | Eq -> Eq in
+          (List.map (fun (v, k) -> (v, R.neg k)) c.terms, flip c.rel, R.neg c.rhs)
+        else (c.terms, c.rel, c.rhs))
+      constrs
+  in
+  let num_slack =
+    Array.fold_left
+      (fun acc (_, rel, _) -> match rel with Problem.Le | Ge -> acc + 1 | Eq -> acc)
+      0 normalized
+  in
+  let num_art =
+    Array.fold_left
+      (fun acc (_, rel, _) -> match rel with Problem.Ge | Eq -> acc + 1 | Le -> acc)
+      0 normalized
+  in
+  let art_start = n + num_slack in
+  let total = n + num_slack + num_art in
+  let width = total + 1 in
+  let rows = Array.init m (fun _ -> Array.make width B.zero) in
+  let basis = Array.make m (-1) in
+  (* Dual bookkeeping: the unit column of each row (slack for Le,
+     artificial for Ge/Eq), the row's integer scaling factor, and whether
+     its rhs sign was flipped during normalization. *)
+  let dual_col = Array.make m (-1) in
+  let row_scale = Array.make m B.one in
+  let flipped =
+    Array.map (fun (c : R.t Problem.constr) -> R.sign c.rhs < 0) constrs
+  in
+  let next_slack = ref n and next_art = ref art_start in
+  Array.iteri
+    (fun i (terms, rel, rhs) ->
+      (* Scale the row to integers: multiply by the lcm of denominators.
+         Scaling by a positive constant does not change the constraint. *)
+      let scale =
+        List.fold_left (fun acc (_, k) -> lcm acc (R.den k)) (R.den rhs) terms
+      in
+      let int_of k = B.div (B.mul (R.num k) scale) (R.den k) in
+      row_scale.(i) <- scale;
+      let row = rows.(i) in
+      List.iter (fun (v, k) -> row.(v) <- B.add row.(v) (int_of k)) terms;
+      row.(total) <- int_of rhs;
+      (* Slack/surplus/artificial coefficients stay ±1 (they just measure
+         slack in the row's scaled units), so the initial basic columns are
+         exact unit columns — the invariant pivoting maintains. *)
+      (match rel with
+       | Problem.Le ->
+         row.(!next_slack) <- B.one;
+         basis.(i) <- !next_slack;
+         dual_col.(i) <- !next_slack;
+         incr next_slack
+       | Problem.Ge ->
+         row.(!next_slack) <- B.minus_one;
+         incr next_slack;
+         row.(!next_art) <- B.one;
+         basis.(i) <- !next_art;
+         dual_col.(i) <- !next_art;
+         incr next_art
+       | Problem.Eq ->
+         row.(!next_art) <- B.one;
+         basis.(i) <- !next_art;
+         dual_col.(i) <- !next_art;
+         incr next_art))
+    normalized;
+  let t = { rows; basis; obj = Array.make width R.zero; den = B.one; width; art_start } in
+  let max_iters = 1000 + (100 * (m + total)) in
+  let outcome =
+    if num_art = 0 then `Optimal
+    else begin
+      (* Phase 1: minimize the sum of artificials. *)
+      let cost = Array.make total R.zero in
+      for j = art_start to total - 1 do
+        cost.(j) <- R.one
+      done;
+      set_costs t cost;
+      match optimize t ~allowed_up_to:total ~max_iters with
+      | `Unbounded -> assert false
+      | `Optimal ->
+        if not (R.is_zero t.obj.(total)) then `Infeasible
+        else begin
+          (* Drive basic artificials out wherever the row has a nonzero
+             real-column entry.  This must not be skipped when only
+             negative entries exist: a zero-valued basic artificial whose
+             row has a negative coefficient in a later entering column
+             would silently grow positive again during phase 2.  The pivot
+             entry must be positive to preserve den > 0, so negate the row
+             first when needed (the row is an equation with rhs 0, so
+             negation is an equivalent rewrite).  Rows that are entirely
+             zero on real columns are redundant and harmless to keep. *)
+          Array.iteri
+            (fun i b ->
+              if b >= art_start then begin
+                let rec find_nonzero j =
+                  if j >= art_start then None
+                  else if not (B.is_zero t.rows.(i).(j)) then Some j
+                  else find_nonzero (j + 1)
+                in
+                match find_nonzero 0 with
+                | Some j ->
+                  if B.sign t.rows.(i).(j) < 0 then begin
+                    assert (B.is_zero t.rows.(i).(t.width - 1));
+                    for k = 0 to t.width - 1 do
+                      t.rows.(i).(k) <- B.neg t.rows.(i).(k)
+                    done
+                  end;
+                  pivot t ~row:i ~col:j
+                | None -> ()
+              end)
+            t.basis;
+          `Feasible
+        end
+    end
+  in
+  match outcome with
+  | `Infeasible -> Sx.Infeasible
+  | `Optimal | `Feasible -> (
+    let cost = Array.make total R.zero in
+    let negate = p.Problem.direction = Problem.Maximize in
+    List.iter
+      (fun (v, k) ->
+        let k = if negate then R.neg k else k in
+        cost.(v) <- R.add cost.(v) k)
+      p.Problem.objective;
+    set_costs t cost;
+    match optimize t ~allowed_up_to:art_start ~max_iters with
+    | `Unbounded -> Sx.Unbounded
+    | `Optimal ->
+      let values = Array.make n R.zero in
+      Array.iteri
+        (fun i b -> if b < n then values.(b) <- real_entry t i (t.width - 1))
+        t.basis;
+      let objective =
+        List.fold_left
+          (fun acc (v, k) -> R.add acc (R.mul k values.(v)))
+          R.zero p.Problem.objective
+      in
+      (* Dual of scaled row i is −c̄ on its unit column; the original row
+         was multiplied by [row_scale], so its dual gets the same factor;
+         undo the rhs flip and the Maximize negation. *)
+      let duals =
+        Array.init m (fun i ->
+            let y =
+              R.mul (R.neg t.obj.(dual_col.(i))) (R.make row_scale.(i) B.one)
+            in
+            let y = if flipped.(i) then R.neg y else y in
+            if negate then R.neg y else y)
+      in
+      Sx.Optimal { values; objective; duals })

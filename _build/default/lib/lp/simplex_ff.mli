@@ -1,0 +1,18 @@
+(** Fraction-free exact simplex (Edmonds-style integer pivoting).
+
+    Drop-in alternative to {!Simplex.Exact} with identical outcomes.  The
+    naive rational tableau normalizes every entry with a gcd after every
+    pivot; entries' numerators and denominators still grow quickly on dense
+    problems (the [lp] bench measures the blow-up).  This implementation
+    keeps the constraint tableau as arbitrary-precision *integers* with one
+    common denominator — after a pivot on element [p], every entry is
+    updated as [(p·a − b·c) / d_prev], an exact division by the previous
+    pivot (Bareiss/Edmonds: all entries are minors of the original matrix,
+    so their bit size stays polynomially bounded without any gcd).
+
+    Pivot selection matches {!Simplex}: Dantzig's rule with a Bland
+    fallback, smallest-ratio leaving row with ties broken by basic variable
+    index — so the two solvers traverse the same vertices and return the
+    same optima, which the differential tests rely on. *)
+
+val solve : Numeric.Rat.t Problem.t -> Simplex.Exact.outcome

@@ -1,0 +1,1 @@
+lib/numeric/affine.ml: Format Rat

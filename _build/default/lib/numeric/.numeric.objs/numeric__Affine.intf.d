@@ -1,0 +1,1 @@
+lib/numeric/affine.mli: Format Rat

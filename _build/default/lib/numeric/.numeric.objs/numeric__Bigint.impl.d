@@ -1,0 +1,1 @@
+lib/numeric/bigint.ml: Array Buffer Char Float Format Hashtbl Int64 List Printf Stdlib String

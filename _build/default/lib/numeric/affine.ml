@@ -1,0 +1,27 @@
+type t = { const : Rat.t; slope : Rat.t }
+
+let make ~const ~slope = { const; slope }
+let const c = { const = c; slope = Rat.zero }
+let var = { const = Rat.zero; slope = Rat.one }
+let zero = const Rat.zero
+
+let eval f x = Rat.add f.const (Rat.mul f.slope x)
+
+let add f g = { const = Rat.add f.const g.const; slope = Rat.add f.slope g.slope }
+let sub f g = { const = Rat.sub f.const g.const; slope = Rat.sub f.slope g.slope }
+let neg f = { const = Rat.neg f.const; slope = Rat.neg f.slope }
+let scale k f = { const = Rat.mul k f.const; slope = Rat.mul k f.slope }
+
+let is_const f = Rat.is_zero f.slope
+let equal f g = Rat.equal f.const g.const && Rat.equal f.slope g.slope
+
+let compare_at x f g = Rat.compare (eval f x) (eval g x)
+
+let intersection f g =
+  let dslope = Rat.sub f.slope g.slope in
+  if Rat.is_zero dslope then None
+  else Some (Rat.div (Rat.sub g.const f.const) dslope)
+
+let pp fmt f =
+  if is_const f then Rat.pp fmt f.const
+  else Format.fprintf fmt "%a + %a*F" Rat.pp f.const Rat.pp f.slope

@@ -1,0 +1,39 @@
+(** Exact affine functions [a + b·F] of a single parameter.
+
+    Section 4.3.2 of the paper makes epochal times affine functions of the
+    objective value [F]: a release date is the constant function [r_j] and a
+    deadline is [r_j + F/w_j].  Interval bounds and interval durations on a
+    milestone-free range are therefore affine in [F]; this module carries
+    them exactly. *)
+
+type t = { const : Rat.t; slope : Rat.t }
+
+val make : const:Rat.t -> slope:Rat.t -> t
+
+val const : Rat.t -> t
+(** The constant function. *)
+
+val var : t
+(** The identity function [F ↦ F]. *)
+
+val zero : t
+
+val eval : t -> Rat.t -> Rat.t
+(** [eval f x] is [f.const + f.slope · x]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Rat.t -> t -> t
+
+val is_const : t -> bool
+val equal : t -> t -> bool
+
+val compare_at : Rat.t -> t -> t -> int
+(** [compare_at x f g] compares [eval f x] with [eval g x]. *)
+
+val intersection : t -> t -> Rat.t option
+(** The parameter value at which the two functions meet, if they are not
+    parallel ([None] when slopes are equal). *)
+
+val pp : Format.formatter -> t -> unit

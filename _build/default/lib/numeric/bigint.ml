@@ -1,0 +1,480 @@
+(* Sign-magnitude arbitrary-precision integers, limbs in base 2^30.
+
+   Invariants:
+   - [sign] is -1, 0 or 1;
+   - [mag] is little-endian, each limb in [0, 2^30), no trailing zero limb;
+   - [sign = 0] iff [mag] is empty.
+
+   Base 2^30 is chosen so that a limb product plus carries stays below
+   2^62, within OCaml's 63-bit native [int]. *)
+
+type t = { sign : int; mag : int array }
+
+let limb_bits = 30
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude primitives (arrays of limbs, no sign)                    *)
+(* ------------------------------------------------------------------ *)
+
+let mag_zero = [||]
+
+let mag_is_zero m = Array.length m = 0
+
+(* Strip trailing zero limbs; returns a fresh or shared array. *)
+let mag_normalize m =
+  let n = ref (Array.length m) in
+  while !n > 0 && m.(!n - 1) = 0 do decr n done;
+  if !n = Array.length m then m else Array.sub m 0 !n
+
+let mag_compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let l = Stdlib.max la lb in
+  let r = Array.make (l + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  r.(l) <- !carry;
+  mag_normalize r
+
+(* Requires a >= b. *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
+  done;
+  assert (!borrow = 0);
+  mag_normalize r
+
+let mag_mul_schoolbook a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then mag_zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          (* ai * b.(j) < 2^60; adding r and carry stays below 2^62. *)
+          let p = ai * b.(j) + r.(i + j) + !carry in
+          r.(i + j) <- p land mask;
+          carry := p lsr limb_bits
+        done;
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let p = r.(!k) + !carry in
+          r.(!k) <- p land mask;
+          carry := p lsr limb_bits;
+          incr k
+        done
+      end
+    done;
+    mag_normalize r
+  end
+
+(* Prepend [k] zero limbs (multiply by base^k). *)
+let mag_shift_limbs m k =
+  if mag_is_zero m || k = 0 then m else Array.append (Array.make k 0) m
+
+(* Karatsuba threshold, in limbs: below this, the O(n^2) inner loop wins. *)
+let karatsuba_threshold = 24
+
+(* Karatsuba multiplication: split at half the longer operand,
+   a = a0 + a1*B^h, b = b0 + b1*B^h, and combine three recursive products.
+   The exact rational LP solvers routinely produce thousand-bit
+   numerators, where this is a substantial win over schoolbook. *)
+let rec mag_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if Stdlib.min la lb <= karatsuba_threshold then mag_mul_schoolbook a b
+  else begin
+    let h = Stdlib.max la lb / 2 in
+    let split m =
+      let l = Array.length m in
+      if l <= h then (m, mag_zero)
+      else (mag_normalize (Array.sub m 0 h), Array.sub m h (l - h))
+    in
+    let a0, a1 = split a and b0, b1 = split b in
+    let z0 = mag_mul a0 b0 in
+    let z2 = mag_mul a1 b1 in
+    let z1 =
+      (* (a0+a1)(b0+b1) - z0 - z2; the subtrahend never exceeds the
+         product, so [mag_sub]'s precondition holds. *)
+      mag_sub (mag_sub (mag_mul (mag_add a0 a1) (mag_add b0 b1)) z0) z2
+    in
+    mag_add (mag_add z0 (mag_shift_limbs z1 h)) (mag_shift_limbs z2 (2 * h))
+  end
+
+(* Multiply magnitude by a small (< base) nonnegative int. *)
+let mag_mul_small a s =
+  if s = 0 || mag_is_zero a then mag_zero
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let p = a.(i) * s + !carry in
+      r.(i) <- p land mask;
+      carry := p lsr limb_bits
+    done;
+    r.(la) <- !carry;
+    mag_normalize r
+  end
+
+(* Add a small (< base) nonnegative int to a magnitude. *)
+let mag_add_small a s =
+  if s = 0 then a else mag_add a [| s |]
+
+(* Divide magnitude by a small positive int; returns (quotient, remainder). *)
+let mag_divmod_small a d =
+  assert (d > 0 && d < base);
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (mag_normalize q, !rem)
+
+(* Shift left by s bits, 0 <= s < limb_bits. *)
+let mag_shift_left_small a s =
+  if s = 0 || mag_is_zero a then a
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let v = (a.(i) lsl s) lor !carry in
+      r.(i) <- v land mask;
+      carry := v lsr limb_bits
+    done;
+    r.(la) <- !carry;
+    mag_normalize r
+  end
+
+(* Shift right by s bits, 0 <= s < limb_bits. *)
+let mag_shift_right_small a s =
+  if s = 0 || mag_is_zero a then a
+  else begin
+    let la = Array.length a in
+    let r = Array.make la 0 in
+    let carry = ref 0 in
+    for i = la - 1 downto 0 do
+      r.(i) <- (a.(i) lsr s) lor (!carry lsl (limb_bits - s));
+      carry := a.(i) land ((1 lsl s) - 1)
+    done;
+    mag_normalize r
+  end
+
+(* Knuth's algorithm D (TAOCP vol. 2, 4.3.1) on magnitudes.
+   Requires v nonzero.  Returns (quotient, remainder). *)
+let mag_divmod u v =
+  let lv = Array.length v in
+  if lv = 0 then raise Division_by_zero;
+  if mag_compare u v < 0 then (mag_zero, u)
+  else if lv = 1 then begin
+    let q, r = mag_divmod_small u v.(0) in
+    (q, if r = 0 then mag_zero else [| r |])
+  end else begin
+    (* Normalize so that the top limb of v is >= base/2. *)
+    let s =
+      let top = v.(lv - 1) in
+      let rec go s = if top lsl s >= base / 2 then s else go (s + 1) in
+      go 0
+    in
+    let vn = mag_shift_left_small v s in
+    let un0 = mag_shift_left_small u s in
+    let lu = Array.length un0 in
+    let n = Array.length vn in
+    let m = lu - n in
+    (* Working copy of u with one extra high limb. *)
+    let w = Array.make (lu + 1) 0 in
+    Array.blit un0 0 w 0 lu;
+    let q = Array.make (m + 1) 0 in
+    let vtop = vn.(n - 1) and vsnd = if n >= 2 then vn.(n - 2) else 0 in
+    for j = m downto 0 do
+      let num = (w.(j + n) lsl limb_bits) lor w.(j + n - 1) in
+      let qhat = ref (num / vtop) and rhat = ref (num mod vtop) in
+      let continue = ref true in
+      while !continue do
+        if !qhat >= base
+           || !qhat * vsnd > (!rhat lsl limb_bits) lor (if j + n - 2 >= 0 then w.(j + n - 2) else 0)
+        then begin
+          decr qhat;
+          rhat := !rhat + vtop;
+          if !rhat >= base then continue := false
+        end
+        else continue := false
+      done;
+      (* Multiply and subtract: w[j .. j+n] -= qhat * vn. *)
+      let borrow = ref 0 in
+      for i = 0 to n - 1 do
+        let p = !qhat * vn.(i) + !borrow in
+        let d = w.(j + i) - (p land mask) in
+        if d < 0 then begin w.(j + i) <- d + base; borrow := (p lsr limb_bits) + 1 end
+        else begin w.(j + i) <- d; borrow := p lsr limb_bits end
+      done;
+      let d = w.(j + n) - !borrow in
+      if d < 0 then begin
+        (* qhat was one too large: add back. *)
+        w.(j + n) <- d + base;
+        decr qhat;
+        let carry = ref 0 in
+        for i = 0 to n - 1 do
+          let sum = w.(j + i) + vn.(i) + !carry in
+          w.(j + i) <- sum land mask;
+          carry := sum lsr limb_bits
+        done;
+        w.(j + n) <- (w.(j + n) + !carry) land mask
+      end
+      else w.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    let r = mag_shift_right_small (mag_normalize (Array.sub w 0 n)) s in
+    (mag_normalize q, r)
+  end
+
+let mag_num_bits m =
+  let l = Array.length m in
+  if l = 0 then 0
+  else begin
+    let top = m.(l - 1) in
+    let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+    (l - 1) * limb_bits + bits top 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Signed layer                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make sign mag =
+  let mag = mag_normalize mag in
+  if mag_is_zero mag then { sign = 0; mag = mag_zero } else { sign; mag }
+
+let zero = { sign = 0; mag = mag_zero }
+let one = { sign = 1; mag = [| 1 |] }
+let two = { sign = 1; mag = [| 2 |] }
+let minus_one = { sign = -1; mag = [| 1 |] }
+
+let sign x = x.sign
+let is_zero x = x.sign = 0
+
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then { x with sign = 1 } else x
+
+let of_int n =
+  if n = 0 then zero
+  else if n = min_int then
+    (* |min_int| = 2^62 does not fit positively in an int; hard-code it. *)
+    { sign = -1; mag = [| 0; 0; 4 |] }
+  else begin
+    let s = if n < 0 then -1 else 1 in
+    let n = Stdlib.abs n in
+    let rec limbs n = if n = 0 then [] else (n land mask) :: limbs (n lsr limb_bits) in
+    { sign = s; mag = Array.of_list (limbs n) }
+  end
+
+let to_int_opt x =
+  (* A native int holds 62 magnitude bits, plus min_int = -2^62 exactly. *)
+  if mag_num_bits x.mag > 63 then None
+  else begin
+    let v = Array.fold_right (fun limb acc -> (acc lsl limb_bits) lor limb) x.mag 0 in
+    if v >= 0 then Some (if x.sign < 0 then -v else v)
+    else if x.sign < 0 && v = min_int then Some min_int
+    else None (* magnitude overflowed the native range *)
+  end
+
+let to_int_exn x =
+  match to_int_opt x with
+  | Some n -> n
+  | None -> failwith "Bigint.to_int_exn: value out of native int range"
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then mag_compare a.mag b.mag
+  else mag_compare b.mag a.mag
+
+let equal a b = a.sign = b.sign && a.mag = b.mag
+
+let hash x = Hashtbl.hash (x.sign, x.mag)
+
+let num_bits x = mag_num_bits x.mag
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (mag_add a.mag b.mag)
+  else begin
+    let c = mag_compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (mag_sub a.mag b.mag)
+    else make b.sign (mag_sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (mag_mul a.mag b.mag)
+
+let succ x = add x one
+let pred x = sub x one
+
+let mul_int a n = mul a (of_int n)
+let add_int a n = add a (of_int n)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  if a.sign = 0 then (zero, zero)
+  else begin
+    let q, r = mag_divmod a.mag b.mag in
+    (make (a.sign * b.sign) q, make a.sign r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a
+  else if is_zero a then b
+  else gcd b (rem a b)
+
+let pow x k =
+  if k < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else begin
+      let acc = if k land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (k lsr 1)
+    end
+  in
+  go one x k
+
+let shift_left x s =
+  if s < 0 then invalid_arg "Bigint.shift_left: negative shift";
+  if x.sign = 0 || s = 0 then x
+  else begin
+    let limbs = s / limb_bits and bits = s mod limb_bits in
+    let shifted = mag_shift_left_small x.mag bits in
+    let mag =
+      if limbs = 0 then shifted
+      else Array.append (Array.make limbs 0) shifted
+    in
+    make x.sign mag
+  end
+
+let shift_right x s =
+  if s < 0 then invalid_arg "Bigint.shift_right: negative shift";
+  if x.sign = 0 || s = 0 then x
+  else begin
+    let limbs = s / limb_bits and bits = s mod limb_bits in
+    let l = Array.length x.mag in
+    if limbs >= l then zero
+    else begin
+      let dropped = Array.sub x.mag limbs (l - limbs) in
+      make x.sign (mag_shift_right_small dropped bits)
+    end
+  end
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+(* ------------------------------------------------------------------ *)
+(* Decimal conversions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let chunk_pow = 9
+let chunk_base = 1_000_000_000 (* 10^9 < 2^30 *)
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec chunks m acc =
+      if mag_is_zero m then acc
+      else begin
+        let q, r = mag_divmod_small m chunk_base in
+        chunks q (r :: acc)
+      end
+    in
+    (match chunks x.mag [] with
+     | [] -> assert false
+     | first :: rest ->
+       if x.sign < 0 then Buffer.add_char buf '-';
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let s = String.concat "" (String.split_on_char '_' s) in
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty string";
+  let sign, start =
+    match s.[0] with
+    | '-' -> (-1, 1)
+    | '+' -> (1, 1)
+    | _ -> (1, 0)
+  in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  let mag = ref mag_zero in
+  let i = ref start in
+  while !i < len do
+    let upto = Stdlib.min len (!i + chunk_pow) in
+    let chunk_len = upto - !i in
+    let chunk = ref 0 in
+    for j = !i to upto - 1 do
+      match s.[j] with
+      | '0' .. '9' as c -> chunk := (!chunk * 10) + (Char.code c - Char.code '0')
+      | _ -> invalid_arg "Bigint.of_string: invalid digit"
+    done;
+    let scale =
+      let rec p k acc = if k = 0 then acc else p (k - 1) (acc * 10) in
+      p chunk_len 1
+    in
+    mag := mag_add_small (mag_mul_small !mag scale) !chunk;
+    i := upto
+  done;
+  make sign !mag
+
+let to_float x =
+  let f = Array.fold_right (fun limb acc -> (acc *. float_of_int base) +. float_of_int limb) x.mag 0.0 in
+  if x.sign < 0 then -.f else f
+
+let of_float f =
+  if Float.is_nan f || Float.abs f = Float.infinity then
+    invalid_arg "Bigint.of_float: not finite";
+  let f = Float.trunc f in
+  if Float.abs f < 1.0 then zero
+  else begin
+    let m, e = Float.frexp f in
+    (* f = m * 2^e with 0.5 <= |m| < 1; scale the 53-bit mantissa out. *)
+    let mantissa = Int64.of_float (Float.ldexp m 53) in
+    let mag_int = Int64.abs mantissa in
+    let hi = Int64.to_int (Int64.shift_right_logical mag_int limb_bits) in
+    let lo = Int64.to_int (Int64.logand mag_int (Int64.of_int mask)) in
+    let base_val = make (if f < 0.0 then -1 else 1) [| lo; hi |] in
+    let shift = e - 53 in
+    if shift >= 0 then shift_left base_val shift else shift_right base_val (-shift)
+  end
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

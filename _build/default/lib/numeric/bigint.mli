@@ -1,0 +1,93 @@
+(** Arbitrary-precision signed integers.
+
+    This module is the arithmetic substrate of the exact simplex solver: the
+    optimal maximum weighted flow of the paper is a rational number whose
+    numerator and denominator can exceed native integers, and the milestone
+    binary search requires exact comparisons.  The sealed build environment
+    provides neither [zarith] nor [num], so we implement the classical
+    sign–magnitude representation with little-endian limbs in base 2{^30}
+    (products of two limbs fit in OCaml's 63-bit native [int]).
+
+    All functions are pure; values are immutable. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+(** {1 Conversions} *)
+
+val of_int : int -> t
+
+val to_int_opt : t -> int option
+(** [to_int_opt x] is [Some n] iff [x] fits in a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Failure if the value does not fit in a native [int]. *)
+
+val of_string : string -> t
+(** Parses an optionally signed decimal literal.  Underscores are allowed as
+    digit separators.  @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val of_float : float -> t
+(** Truncates toward zero.  @raise Invalid_argument on NaN or infinity. *)
+
+val to_float : t -> float
+(** Nearest-double approximation (may overflow to [infinity]). *)
+
+(** {1 Inspection} *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val num_bits : t -> int
+(** Number of bits of the magnitude; [num_bits zero = 0]. *)
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [q] truncated toward zero
+    and [sign r = sign a] (or [r = zero]); this matches OCaml's [(/)] and
+    [(mod)] on native integers.  @raise Division_by_zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val mul_int : t -> int -> t
+val add_int : t -> int -> t
+
+val gcd : t -> t -> t
+(** Greatest common divisor of the magnitudes; [gcd zero x = abs x]. *)
+
+val pow : t -> int -> t
+(** [pow x k] for [k >= 0].  @raise Invalid_argument on negative exponent. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+(** Arithmetic shift of the magnitude (truncates toward zero for negatives). *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,168 @@
+(* Normalized rationals over Bigint: den > 0, gcd (num, den) = 1. *)
+
+module B = Bigint
+
+type t = { num : B.t; den : B.t }
+
+let make num den =
+  if B.is_zero den then raise Division_by_zero;
+  if B.is_zero num then { num = B.zero; den = B.one }
+  else begin
+    let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+    let g = B.gcd num den in
+    if B.equal g B.one then { num; den }
+    else { num = B.div num g; den = B.div den g }
+  end
+
+let zero = { num = B.zero; den = B.one }
+let one = { num = B.one; den = B.one }
+let two = { num = B.two; den = B.one }
+let minus_one = { num = B.minus_one; den = B.one }
+
+let of_bigint n = { num = n; den = B.one }
+let of_int n = of_bigint (B.of_int n)
+let of_ints a b = make (B.of_int a) (B.of_int b)
+
+let num x = x.num
+let den x = x.den
+let sign x = B.sign x.num
+let is_zero x = B.is_zero x.num
+let is_integer x = B.equal x.den B.one
+
+let equal a b = B.equal a.num b.num && B.equal a.den b.den
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den (dens > 0) *)
+  B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+
+let hash x = Hashtbl.hash (B.hash x.num, B.hash x.den)
+
+let neg x = { x with num = B.neg x.num }
+let abs x = { x with num = B.abs x.num }
+
+let add a b =
+  if is_zero a then b
+  else if is_zero b then a
+  else make (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if is_zero a || is_zero b then zero
+  else make (B.mul a.num b.num) (B.mul a.den b.den)
+
+let inv x =
+  if is_zero x then raise Division_by_zero;
+  if B.sign x.num < 0 then { num = B.neg x.den; den = B.neg x.num }
+  else { num = x.den; den = x.num }
+
+let div a b = mul a (inv b)
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let mul_int x n = mul x (of_int n)
+let div_int x n = div x (of_int n)
+
+let to_float x = B.to_float x.num /. B.to_float x.den
+
+let of_float f =
+  if Float.is_nan f || Float.abs f = Float.infinity then
+    invalid_arg "Rat.of_float: not finite";
+  if Float.is_integer f then of_bigint (B.of_float f)
+  else begin
+    let m, e = Float.frexp f in
+    let mantissa = B.of_float (Float.ldexp m 53) in
+    let shift = e - 53 in
+    if shift >= 0 then of_bigint (B.shift_left mantissa shift)
+    else make mantissa (B.shift_left B.one (-shift))
+  end
+
+let floor x =
+  let q, r = B.divmod x.num x.den in
+  if B.sign r < 0 then B.pred q else q
+
+let ceil x =
+  let q, r = B.divmod x.num x.den in
+  if B.sign r > 0 then B.succ q else q
+
+(* Best approximation with bounded denominator, by the Stern–Brocot walk:
+   continued-fraction convergents interleaved with the last admissible
+   semiconvergent.  The result q/d with d ≤ max_den minimizes |x − q/d|. *)
+let approx ~max_den x =
+  if max_den < 1 then invalid_arg "Rat.approx: max_den must be at least 1";
+  let bound = B.of_int max_den in
+  if B.compare x.den bound <= 0 then x
+  else begin
+    let target = abs x in
+    (* Convergents p/q of the continued fraction of |x|. *)
+    let rec walk num den p0 q0 p1 q1 =
+      (* invariant: p1/q1 is the latest convergent, q1 <= bound *)
+      if B.is_zero den then (p1, q1)
+      else begin
+        let a, r = B.divmod num den in
+        let p2 = B.add (B.mul a p1) p0 and q2 = B.add (B.mul a q1) q0 in
+        if B.compare q2 bound > 0 then begin
+          (* The full step overshoots: take the best semiconvergent
+             p1*k + p0 / q1*k + q0 with the largest k keeping q <= bound,
+             then pick the closer of it and the last convergent. *)
+          let k = B.div (B.sub bound q0) q1 in
+          if B.is_zero k then (p1, q1)
+          else begin
+            let ps = B.add (B.mul k p1) p0 and qs = B.add (B.mul k q1) q0 in
+            let conv = make p1 q1 and semi = make ps qs in
+            (* Semiconvergents closer than the previous convergent require
+               k > a/2; comparing distances directly is simplest. *)
+            if compare (abs (sub semi target)) (abs (sub conv target)) < 0 then (ps, qs)
+            else (p1, q1)
+          end
+        end
+        else walk den r p1 q1 p2 q2
+      end
+    in
+    (* Seeds: p_{-2}/q_{-2} = 0/1 and p_{-1}/q_{-1} = 1/0, so the first
+       step yields the convergent a0/1 (and 1 ≤ max_den, so the walk never
+       returns the formal 1/0). *)
+    let p, q = walk (B.abs x.num) x.den B.zero B.one B.one B.zero in
+    let r = make p q in
+    if sign x < 0 then neg r else r
+  end
+
+let to_string x =
+  if is_integer x then B.to_string x.num
+  else B.to_string x.num ^ "/" ^ B.to_string x.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    let n = B.of_string (String.sub s 0 i) in
+    let d = B.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make n d
+  | None ->
+    (match String.index_opt s '.' with
+     | None -> of_bigint (B.of_string s)
+     | Some i ->
+       let int_part = String.sub s 0 i in
+       let frac_part = String.sub s (i + 1) (String.length s - i - 1) in
+       if frac_part = "" then of_bigint (B.of_string int_part)
+       else begin
+         let digits = String.length frac_part in
+         let whole = B.of_string (int_part ^ frac_part) in
+         make whole (B.pow (B.of_int 10) digits)
+       end)
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( <> ) a b = not (equal a b)
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

@@ -1,0 +1,1 @@
+lib/online/adversarial.ml: Array Numeric Sched_core

@@ -1,0 +1,1 @@
+lib/online/adversarial.mli: Numeric Sched_core

@@ -1,0 +1,1 @@
+lib/online/compare.ml: Format List Numeric Online_opt Policies Printf Sched_core Sim

@@ -1,0 +1,1 @@
+lib/online/compare.mli: Format Numeric Sched_core Sim

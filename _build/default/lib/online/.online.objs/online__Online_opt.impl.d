@@ -1,0 +1,1 @@
+lib/online/online_opt.ml: Array List Numeric Option Sched_core Sim

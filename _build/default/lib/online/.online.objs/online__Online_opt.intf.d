@@ -1,0 +1,1 @@
+lib/online/online_opt.mli: Sim

@@ -1,0 +1,1 @@
+lib/online/policies.ml: Array List Numeric Queue Sched_core Sim

@@ -1,0 +1,1 @@
+lib/online/policies.mli: Sim

@@ -1,0 +1,1 @@
+lib/online/sim.ml: Array List Numeric Printf Sched_core

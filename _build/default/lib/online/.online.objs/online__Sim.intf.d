@@ -1,0 +1,1 @@
+lib/online/sim.mli: Numeric Sched_core

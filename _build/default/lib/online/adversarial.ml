@@ -1,0 +1,31 @@
+module Rat = Numeric.Rat
+module I = Sched_core.Instance
+
+let ri = Rat.of_int
+
+let mct_trap ~scale =
+  if scale < 2 then invalid_arg "Adversarial.mct_trap: scale must be at least 2";
+  let k = scale in
+  (* Job 0: the long job; jobs 1..k: unit jobs, one released per time unit.
+     Costs on the slow machine are k+2 per unit of fast-machine work so
+     MCT's completion-time estimates strictly prefer the fast machine and
+     it deterministically queues everything there. *)
+  let n = k + 1 in
+  let releases = Array.init n (fun j -> if j = 0 then Rat.zero else ri j) in
+  let weights = Array.make n Rat.one in
+  let cost =
+    [| Array.init n (fun j -> Some (if j = 0 then ri k else Rat.one));
+       Array.init n (fun j -> Some (if j = 0 then ri (k * (k + 2)) else ri (k + 2)))
+    |]
+  in
+  I.make ~releases ~weights cost
+
+let srpt_starvation ~jobs =
+  if jobs < 1 then invalid_arg "Adversarial.srpt_starvation: need at least one job";
+  let n = jobs + 1 in
+  (* Job 0 (cost 3) is repeatedly preempted by the unit jobs arriving back
+     to back from time 1 on: SRPT finishes it last, flow Θ(jobs). *)
+  let releases = Array.init n (fun j -> if j = 0 then Rat.zero else ri j) in
+  let weights = Array.make n Rat.one in
+  let cost = [| Array.init n (fun j -> Some (if j = 0 then ri 3 else Rat.one)) |] in
+  I.make ~releases ~weights cost

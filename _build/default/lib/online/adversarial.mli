@@ -1,0 +1,25 @@
+(** Adversarial instance families for the online heuristics.
+
+    The paper's conclusion observes that MCT loses to the online adaptation
+    of the offline algorithm; these parameterized families make the loss
+    unbounded, which is the standard way to show a greedy list scheduler is
+    not competitive for max-flow objectives. *)
+
+module Rat = Numeric.Rat
+
+val mct_trap : scale:int -> Sched_core.Instance.t
+(** Two machines: a fast one and one [scale]× slower.  A long job (cost
+    [scale] on the fast machine) arrives at time 0 and MCT greedily commits
+    it to the fast machine; [scale] unit jobs then arrive one per time unit
+    and are stuck — the fast machine is busy for [scale] seconds and the
+    slow machine needs [scale] seconds per unit job.  Their flow grows like
+    [scale] while the optimum stays O(1)-ish by preempting/sharing the long
+    job, so MCT's max-flow ratio grows without bound as [scale] does.
+    @raise Invalid_argument if [scale < 2]. *)
+
+val srpt_starvation : jobs:int -> Sched_core.Instance.t
+(** Single machine: a unit job arrives at time 0, then [jobs] short jobs
+    arrive back to back; SRPT keeps preempting the first job, starving it.
+    Exhibits the starvation that makes sum-flow-optimal policies bad for
+    max flow (the paper's Section 3 discussion of objective functions).
+    @raise Invalid_argument if [jobs < 1]. *)

@@ -1,0 +1,56 @@
+module Rat = Numeric.Rat
+module S = Sched_core.Schedule
+
+type entry = {
+  policy : string;
+  max_stretch : Rat.t;
+  max_weighted_flow : Rat.t;
+  sum_flow : Rat.t;
+  makespan : Rat.t;
+  decisions : int;
+  vs_offline : float;
+}
+
+type report = { offline_objective : Rat.t; entries : entry list }
+
+let default_policies : (module Sim.POLICY) list =
+  [ (module Policies.Mct); (module Policies.Fcfs); (module Policies.Srpt);
+    (module Policies.Evd); (module Policies.Fair); (module Online_opt.Divisible) ]
+
+let run ?(policies = default_policies) inst =
+  let offline = (Sched_core.Max_flow.solve inst).Sched_core.Max_flow.objective in
+  let entries =
+    List.map
+      (fun (module P : Sim.POLICY) ->
+        let r = Sim.run (module P) inst in
+        (match S.validate_divisible r.Sim.schedule with
+         | Ok () -> ()
+         | Error e -> failwith (Printf.sprintf "Compare.run: %s produced an invalid schedule: %s" P.name e));
+        let achieved = S.max_weighted_flow r.Sim.schedule in
+        {
+          policy = P.name;
+          max_stretch = S.max_stretch r.Sim.schedule;
+          max_weighted_flow = achieved;
+          sum_flow = S.sum_flow r.Sim.schedule;
+          makespan = S.makespan r.Sim.schedule;
+          decisions = r.Sim.decisions;
+          vs_offline = Rat.to_float achieved /. Rat.to_float offline;
+        })
+      policies
+  in
+  { offline_objective = offline; entries }
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>offline optimal max weighted flow: %a@,%-12s %12s %12s %12s %10s %6s@,"
+    Rat.pp r.offline_objective "policy" "max w-flow" "vs offline" "max stretch" "sum flow"
+    "calls";
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "%-12s %12.3f %11.2fx %12.3f %10.1f %6d@," e.policy
+        (Rat.to_float e.max_weighted_flow)
+        e.vs_offline
+        (Rat.to_float e.max_stretch)
+        (Rat.to_float e.sum_flow)
+        e.decisions)
+    r.entries;
+  Format.fprintf fmt "@]"

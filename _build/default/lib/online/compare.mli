@@ -1,0 +1,36 @@
+(** Policy comparison harness.
+
+    Runs a set of online policies on one instance, validates every produced
+    schedule, and reports the metrics next to the offline optimum of
+    Theorem 2 — the experimental protocol behind the paper's concluding
+    claim.  Used by the [online] bench, the examples and the CLI. *)
+
+module Rat = Numeric.Rat
+
+type entry = {
+  policy : string;
+  max_stretch : Rat.t;
+  max_weighted_flow : Rat.t;
+  sum_flow : Rat.t;
+  makespan : Rat.t;
+  decisions : int;
+  vs_offline : float;
+      (** achieved max weighted flow relative to the offline optimum
+          (1.0 = optimal) *)
+}
+
+type report = {
+  offline_objective : Rat.t;  (** optimal max weighted flow of the instance *)
+  entries : entry list;  (** one per policy, in input order *)
+}
+
+val default_policies : (module Sim.POLICY) list
+(** MCT, FCFS, SRPT and the online adaptation of the offline algorithm. *)
+
+val run : ?policies:(module Sim.POLICY) list -> Sched_core.Instance.t -> report
+(** @raise Failure if a policy produces an invalid schedule (this is a
+    harness for experiments; an invalid schedule is a bug, not a data
+    point). *)
+
+val pp : Format.formatter -> report -> unit
+(** A compact comparison table. *)

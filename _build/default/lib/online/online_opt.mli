@@ -1,0 +1,23 @@
+(** Online adaptation of the offline optimal algorithm (the strategy the
+    paper's conclusion reports as beating MCT in preliminary simulations).
+
+    At every event the policy re-solves the offline maximum-weighted-flow
+    problem of Theorem 2 on the jobs currently in the system: each active
+    job contributes its *remaining* fraction, is re-released "now" (work
+    already done cannot be undone, work to come cannot start in the past)
+    and keeps its original arrival as flow origin, so the objective still
+    measures true flow [w_j (C_j − r_j)].  The resulting divisible schedule
+    is followed until its first epochal boundary or the next event,
+    whichever comes first — a "simple preemption scheme" in the paper's
+    words, since each re-solve freely preempts and re-allocates everything.
+
+    This policy is clairvoyance-free (it never looks at future arrivals)
+    but knows job sizes on arrival, as does the paper's model. *)
+
+module Divisible : Sim.POLICY
+
+(** Like {!Divisible} but re-optimizing only on arrivals (and when the
+    cached plan window expires): completions just retire the finished job's
+    shares, leaving the freed capacity idle until the next re-solve.  The
+    [reopt] bench measures what the extra re-solves of {!Divisible} buy. *)
+module Lazy_divisible : Sim.POLICY

@@ -1,0 +1,195 @@
+module Rat = Numeric.Rat
+module I = Sched_core.Instance
+
+let full_share machine job = { Sim.machine; job; share = Rat.one }
+
+module Mct = struct
+  type state = {
+    inst : I.t;
+    avail : Rat.t array;  (* estimated drain time of each machine's queue *)
+    queues : int Queue.t array;
+    machine_of : int array;  (* -1 when unassigned *)
+  }
+
+  let name = "mct"
+
+  let init inst =
+    let m = I.num_machines inst in
+    {
+      inst;
+      avail = Array.make m Rat.zero;
+      queues = Array.init m (fun _ -> Queue.create ());
+      machine_of = Array.make (I.num_jobs inst) (-1);
+    }
+
+  let on_arrival st ~now ~job =
+    (* Pick the machine minimizing estimated completion time. *)
+    let best = ref None in
+    for i = 0 to Array.length st.avail - 1 do
+      match I.cost st.inst ~machine:i ~job with
+      | Some c ->
+        let finish = Rat.add (Rat.max st.avail.(i) now) c in
+        (match !best with
+         | None -> best := Some (finish, i)
+         | Some (f, _) -> if Rat.compare finish f < 0 then best := Some (finish, i))
+      | None -> ()
+    done;
+    (match !best with
+     | Some (finish, i) ->
+       st.avail.(i) <- finish;
+       st.machine_of.(job) <- i;
+       Queue.push job st.queues.(i)
+     | None -> assert false (* every job can run somewhere *))
+
+  let on_completion st ~now:_ ~job =
+    let i = st.machine_of.(job) in
+    (* FIFO completion order within a machine. *)
+    let head = Queue.pop st.queues.(i) in
+    assert (head = job)
+
+  let decide st ~now:_ ~active =
+    ignore active;
+    let shares = ref [] in
+    Array.iteri
+      (fun i q ->
+        match Queue.peek_opt q with
+        | Some job -> shares := full_share i job :: !shares
+        | None -> ())
+      st.queues;
+    { Sim.shares = !shares; review_at = None }
+end
+
+module Fcfs = struct
+  type state = {
+    inst : I.t;
+    mutable waiting : int list;  (* arrival order, not yet started *)
+    machine_of : int array;  (* -1 until started *)
+    running : int array;  (* job per machine, -1 when idle *)
+  }
+
+  let name = "fcfs"
+
+  let init inst =
+    {
+      inst;
+      waiting = [];
+      machine_of = Array.make (I.num_jobs inst) (-1);
+      running = Array.make (I.num_machines inst) (-1);
+    }
+
+  let on_arrival st ~now:_ ~job = st.waiting <- st.waiting @ [ job ]
+
+  let on_completion st ~now:_ ~job =
+    let i = st.machine_of.(job) in
+    if i >= 0 && st.running.(i) = job then st.running.(i) <- -1
+
+  let decide st ~now:_ ~active =
+    ignore active;
+    (* Give idle machines the oldest compatible waiting jobs. *)
+    let claim job =
+      let rec try_machines i =
+        if i >= Array.length st.running then false
+        else if st.running.(i) = -1 && I.cost st.inst ~machine:i ~job <> None then begin
+          st.running.(i) <- job;
+          st.machine_of.(job) <- i;
+          true
+        end
+        else try_machines (i + 1)
+      in
+      try_machines 0
+    in
+    st.waiting <- List.filter (fun job -> not (claim job)) st.waiting;
+    let shares = ref [] in
+    Array.iteri (fun i job -> if job >= 0 then shares := full_share i job :: !shares) st.running;
+    { Sim.shares = !shares; review_at = None }
+end
+
+(* Rank active jobs with [rank], then greedily hand each its fastest idle
+   compatible machine — the shared skeleton of SRPT and EVD. *)
+let greedy_by_rank inst ~rank active =
+  let ranked =
+    List.sort
+      (fun (a : Sim.job_view) b ->
+        let c = Rat.compare (rank a) (rank b) in
+        if c <> 0 then c else compare a.id b.id)
+      active
+  in
+  let m = I.num_machines inst in
+  let busy = Array.make m false in
+  let shares = ref [] in
+  List.iter
+    (fun (v : Sim.job_view) ->
+      let best = ref None in
+      for i = 0 to m - 1 do
+        if not busy.(i) then
+          match I.cost inst ~machine:i ~job:v.id with
+          | Some c -> (
+            match !best with
+            | None -> best := Some (c, i)
+            | Some (c', _) -> if Rat.compare c c' < 0 then best := Some (c, i))
+          | None -> ()
+      done;
+      match !best with
+      | Some (_, i) ->
+        busy.(i) <- true;
+        shares := full_share i v.id :: !shares
+      | None -> ())
+    ranked;
+  { Sim.shares = !shares; review_at = None }
+
+module Srpt = struct
+  type state = I.t
+
+  let name = "srpt"
+  let init inst = inst
+  let on_arrival _ ~now:_ ~job:_ = ()
+  let on_completion _ ~now:_ ~job:_ = ()
+
+  let decide inst ~now:_ ~active =
+    (* Rank by remaining processing time on the job's fastest machine. *)
+    greedy_by_rank inst active ~rank:(fun (v : Sim.job_view) ->
+        Rat.mul v.remaining (I.fastest_cost inst ~job:v.id))
+end
+
+module Evd = struct
+  type state = I.t
+
+  let name = "evd"
+  let init inst = inst
+  let on_arrival _ ~now:_ ~job:_ = ()
+  let on_completion _ ~now:_ ~job:_ = ()
+
+  let decide inst ~now:_ ~active =
+    (* Virtual deadline for a unit objective: o_j + 1/w_j. *)
+    greedy_by_rank inst active ~rank:(fun (v : Sim.job_view) ->
+        Rat.add (I.flow_origin inst v.id) (Rat.inv v.weight))
+end
+
+module Fair = struct
+  type state = I.t
+
+  let name = "fair"
+  let init inst = inst
+  let on_arrival _ ~now:_ ~job:_ = ()
+  let on_completion _ ~now:_ ~job:_ = ()
+
+  let decide inst ~now:_ ~active =
+    (* Each machine splits its time equally among the active jobs it can
+       run. *)
+    let m = I.num_machines inst in
+    let shares = ref [] in
+    for i = 0 to m - 1 do
+      let runnable =
+        List.filter (fun (v : Sim.job_view) -> I.can_run inst ~machine:i ~job:v.id) active
+      in
+      let k = List.length runnable in
+      if k > 0 then begin
+        let share = Rat.of_ints 1 k in
+        List.iter
+          (fun (v : Sim.job_view) ->
+            shares := { Sim.machine = i; job = v.id; share } :: !shares)
+          runnable
+      end
+    done;
+    { Sim.shares = !shares; review_at = None }
+end

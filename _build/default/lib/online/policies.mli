@@ -1,0 +1,34 @@
+(** Classical online scheduling heuristics, the baselines of the paper's
+    concluding simulations.
+
+    All three are non-divisible: at any instant a machine runs a single job
+    at full share.  [Mct] and [Fcfs] are additionally non-preemptive. *)
+
+(** Minimum Completion Time — the baseline the paper names explicitly.  On
+    arrival a job is queued on the machine that minimizes its estimated
+    completion time (machine availability plus processing cost); queues are
+    FIFO and never revisited. *)
+module Mct : Sim.POLICY
+
+(** First come, first served with a single global queue: an idle machine
+    picks the oldest waiting job whose databank it holds; a started job
+    stays on its machine.  *)
+module Fcfs : Sim.POLICY
+
+(** Shortest Remaining Processing Time, preemptive with migration: at every
+    event, jobs are ranked by remaining work on their fastest machine and
+    greedily (re)assigned. *)
+module Srpt : Sim.POLICY
+
+(** Earliest Virtual Deadline first: jobs are ranked by
+    [flow_origin + 1/weight] (the deadline ordering a unit flow objective
+    would induce, cf. Section 4.3.1) and greedily assigned to their fastest
+    idle machines.  Preemptive, non-divisible — the natural list-scheduling
+    cousin of the optimal algorithm. *)
+module Evd : Sim.POLICY
+
+(** Divisible fair sharing: every active job gets an equal share of every
+    machine able to run it.  The simplest policy that actually exploits
+    divisibility; a useful baseline between the one-job-per-machine
+    heuristics and the re-optimizing {!Online_opt.Divisible}. *)
+module Fair : Sim.POLICY

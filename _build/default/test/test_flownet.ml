@@ -1,0 +1,282 @@
+(* Tests for the exact max-flow substrate and the uniform-machines
+   deadline-feasibility reduction (Section 3's special case).
+
+   The headline property is differential: on uniform instances, the
+   flow-based feasibility oracle must agree exactly with the LP-based one
+   of Lemma 1, for deadlines probing both sides of the boundary. *)
+
+module R = Numeric.Rat
+module D = Flownet.Dinic
+module U = Sched_core.Uniform
+module Dl = Sched_core.Deadline
+module S = Sched_core.Schedule
+
+let rat = Alcotest.testable R.pp R.equal
+let ri = R.of_int
+let q = R.of_ints
+
+(* ------------------------------------------------------------------ *)
+(* Dinic                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_single_edge () =
+  let net = D.create 2 in
+  D.add_edge net ~src:0 ~dst:1 ~capacity:(q 7 3);
+  Alcotest.(check rat) "single edge" (q 7 3) (D.max_flow net ~source:0 ~sink:1)
+
+let test_classic_diamond () =
+  (* 0→1 (3), 0→2 (2), 1→2 (5), 1→3 (2), 2→3 (3): max flow 5. *)
+  let net = D.create 4 in
+  D.add_edge net ~src:0 ~dst:1 ~capacity:(ri 3);
+  D.add_edge net ~src:0 ~dst:2 ~capacity:(ri 2);
+  D.add_edge net ~src:1 ~dst:2 ~capacity:(ri 5);
+  D.add_edge net ~src:1 ~dst:3 ~capacity:(ri 2);
+  D.add_edge net ~src:2 ~dst:3 ~capacity:(ri 3);
+  Alcotest.(check rat) "diamond" (ri 5) (D.max_flow net ~source:0 ~sink:3)
+
+let test_needs_residual_push () =
+  (* The textbook example where a naive greedy gets stuck and the residual
+     edge is required: two crossing paths. *)
+  let net = D.create 4 in
+  D.add_edge net ~src:0 ~dst:1 ~capacity:(ri 1);
+  D.add_edge net ~src:0 ~dst:2 ~capacity:(ri 1);
+  D.add_edge net ~src:1 ~dst:2 ~capacity:(ri 1);
+  D.add_edge net ~src:1 ~dst:3 ~capacity:(ri 1);
+  D.add_edge net ~src:2 ~dst:3 ~capacity:(ri 1);
+  Alcotest.(check rat) "cross" (ri 2) (D.max_flow net ~source:0 ~sink:3)
+
+let test_disconnected () =
+  let net = D.create 3 in
+  D.add_edge net ~src:0 ~dst:1 ~capacity:(ri 4);
+  Alcotest.(check rat) "no path" R.zero (D.max_flow net ~source:0 ~sink:2)
+
+let test_parallel_edges () =
+  let net = D.create 2 in
+  D.add_edge net ~src:0 ~dst:1 ~capacity:(q 1 2);
+  D.add_edge net ~src:0 ~dst:1 ~capacity:(q 1 3);
+  Alcotest.(check rat) "parallel sum" (q 5 6) (D.max_flow net ~source:0 ~sink:1)
+
+let test_idempotent () =
+  let net = D.create 2 in
+  D.add_edge net ~src:0 ~dst:1 ~capacity:(ri 4);
+  Alcotest.(check rat) "first" (ri 4) (D.max_flow net ~source:0 ~sink:1);
+  Alcotest.(check rat) "second call same value" (ri 4) (D.max_flow net ~source:0 ~sink:1)
+
+let test_rejects () =
+  let net = D.create 2 in
+  Alcotest.(check bool) "negative capacity" true
+    (try D.add_edge net ~src:0 ~dst:1 ~capacity:(ri (-1)); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad vertex" true
+    (try D.add_edge net ~src:0 ~dst:5 ~capacity:R.one; false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "source = sink" true
+    (try ignore (D.max_flow net ~source:0 ~sink:0); false
+     with Invalid_argument _ -> true)
+
+(* Random layered networks; check conservation, capacities, and agreement
+   with a simple Ford–Fulkerson reference. *)
+let random_net_gen =
+  let open QCheck.Gen in
+  let* n = int_range 2 7 in
+  let* edge_specs =
+    list_size (int_range 1 15)
+      (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (int_range 0 9))
+  in
+  return (n, edge_specs)
+
+(* Reference: BFS augmenting paths (Edmonds–Karp) on a capacity matrix. *)
+let reference_max_flow n edges ~source ~sink =
+  let cap = Array.make_matrix n n R.zero in
+  List.iter
+    (fun (s, d, c) -> if s <> d then cap.(s).(d) <- R.add cap.(s).(d) (ri c))
+    edges;
+  let total = ref R.zero in
+  let rec loop () =
+    (* BFS for an augmenting path. *)
+    let prev = Array.make n (-1) in
+    prev.(source) <- source;
+    let queue = Queue.create () in
+    Queue.push source queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      for v = 0 to n - 1 do
+        if prev.(v) < 0 && R.sign cap.(u).(v) > 0 then begin
+          prev.(v) <- u;
+          Queue.push v queue
+        end
+      done
+    done;
+    if prev.(sink) >= 0 then begin
+      let rec bottleneck v acc =
+        if v = source then acc
+        else bottleneck prev.(v) (R.min acc cap.(prev.(v)).(v))
+      in
+      let b = bottleneck sink (ri max_int) in
+      let rec apply v =
+        if v <> source then begin
+          cap.(prev.(v)).(v) <- R.sub cap.(prev.(v)).(v) b;
+          cap.(v).(prev.(v)) <- R.add cap.(v).(prev.(v)) b;
+          apply prev.(v)
+        end
+      in
+      apply sink;
+      total := R.add !total b;
+      loop ()
+    end
+  in
+  loop ();
+  !total
+
+let prop_dinic_matches_reference =
+  QCheck.Test.make ~name:"dinic agrees with Edmonds-Karp reference" ~count:300
+    (QCheck.make random_net_gen) (fun (n, edges) ->
+      let source = 0 and sink = n - 1 in
+      let net = D.create n in
+      List.iter
+        (fun (s, d, c) -> if s <> d then D.add_edge net ~src:s ~dst:d ~capacity:(ri c))
+        edges;
+      R.equal (D.max_flow net ~source ~sink) (reference_max_flow n edges ~source ~sink))
+
+let prop_dinic_flow_is_valid =
+  QCheck.Test.make ~name:"dinic edge flows conserve and respect capacity" ~count:300
+    (QCheck.make random_net_gen) (fun (n, edges) ->
+      let source = 0 and sink = n - 1 in
+      let net = D.create n in
+      let caps = Hashtbl.create 16 in
+      List.iter
+        (fun (s, d, c) ->
+          if s <> d then begin
+            D.add_edge net ~src:s ~dst:d ~capacity:(ri c);
+            let cur = try Hashtbl.find caps (s, d) with Not_found -> R.zero in
+            Hashtbl.replace caps (s, d) (R.add cur (ri c))
+          end)
+        edges;
+      let value = D.max_flow net ~source ~sink in
+      let balance = Array.make n R.zero in
+      let by_pair = Hashtbl.create 16 in
+      List.iter
+        (fun (s, d, f) ->
+          balance.(s) <- R.sub balance.(s) f;
+          balance.(d) <- R.add balance.(d) f;
+          let cur = try Hashtbl.find by_pair (s, d) with Not_found -> R.zero in
+          Hashtbl.replace by_pair (s, d) (R.add cur f))
+        (D.edge_flows net);
+      let caps_ok =
+        Hashtbl.fold
+          (fun pair f ok ->
+            ok && R.compare f (try Hashtbl.find caps pair with Not_found -> R.zero) <= 0)
+          by_pair true
+      in
+      let conservation_ok =
+        List.for_all
+          (fun v -> v = source || v = sink || R.is_zero balance.(v))
+          (List.init n (fun v -> v))
+      in
+      caps_ok && conservation_ok
+      && R.equal balance.(sink) value
+      && R.equal balance.(source) (R.neg value))
+
+(* ------------------------------------------------------------------ *)
+(* Uniform feasibility vs the LP of Lemma 1                            *)
+(* ------------------------------------------------------------------ *)
+
+let uniform_gen =
+  let open QCheck.Gen in
+  let* m = int_range 1 3 in
+  let* n = int_range 1 4 in
+  let* speeds = array_size (return m) (int_range 1 4) in
+  let* sizes = array_size (return n) (int_range 1 6) in
+  let* releases = array_size (return n) (int_range 0 8) in
+  let* avail = array_size (return m) (array_size (return n) bool) in
+  (* Ensure every job is available somewhere. *)
+  let avail =
+    Array.mapi
+      (fun i row ->
+        Array.mapi
+          (fun j a -> if i = 0 && Array.for_all (fun r -> not r.(j)) avail then true else a)
+          row)
+      avail
+  in
+  let* slack = array_size (return n) (int_range 0 40)
+  in
+  return
+    ( U.make
+        ~speeds:(Array.map R.of_int speeds)
+        ~sizes:(Array.map R.of_int sizes)
+        ~releases:(Array.map R.of_int releases)
+        ~weights:(Array.make n R.one)
+        ~available:avail,
+      slack )
+
+let prop_uniform_matches_lp =
+  QCheck.Test.make ~name:"flow feasibility agrees with LP feasibility (Lemma 1)"
+    ~count:150 (QCheck.make uniform_gen)
+    (fun (u, slack) ->
+      let n = Array.length u.U.sizes in
+      (* Deadlines of varying tightness: release + slack/4 (often
+         infeasible when slack is small, feasible when large). *)
+      let deadlines =
+        Array.init n (fun j -> R.add u.U.releases.(j) (q (1 + slack.(j)) 4))
+      in
+      let via_flow = U.is_feasible u ~deadlines in
+      let via_lp = Dl.is_feasible (U.to_instance u) ~deadlines in
+      via_flow = via_lp)
+
+let prop_uniform_witness_valid =
+  QCheck.Test.make ~name:"flow witness schedule valid and meets deadlines" ~count:150
+    (QCheck.make uniform_gen) (fun (u, slack) ->
+      let n = Array.length u.U.sizes in
+      let deadlines =
+        Array.init n (fun j -> R.add u.U.releases.(j) (q (1 + slack.(j)) 4))
+      in
+      match U.feasible u ~deadlines with
+      | None -> true
+      | Some sched ->
+        Result.is_ok (S.validate_divisible sched)
+        && List.for_all
+             (fun j -> R.compare (S.completion_time sched j) deadlines.(j) <= 0)
+             (List.init n (fun j -> j)))
+
+let test_uniform_hand_case () =
+  (* Two unit-speed machines, one job of size 4 available on both: the job
+     can finish at time 2 by splitting, not earlier. *)
+  let u =
+    U.make ~speeds:[| R.one; R.one |] ~sizes:[| ri 4 |] ~releases:[| R.zero |]
+      ~weights:[| R.one |]
+      ~available:[| [| true |]; [| true |] |]
+  in
+  Alcotest.(check bool) "t=2 feasible" true (U.is_feasible u ~deadlines:[| ri 2 |]);
+  Alcotest.(check bool) "t<2 infeasible" false (U.is_feasible u ~deadlines:[| q 19 10 |])
+
+let test_uniform_restricted () =
+  (* The databank restriction bites: the fast machine lacks the bank. *)
+  let u =
+    U.make ~speeds:[| R.one; ri 4 |] ~sizes:[| ri 2 |] ~releases:[| R.zero |]
+      ~weights:[| R.one |]
+      ~available:[| [| false |]; [| true |] |]
+  in
+  Alcotest.(check bool) "slow machine only: 8 needed" true
+    (U.is_feasible u ~deadlines:[| ri 8 |]);
+  Alcotest.(check bool) "7 is too tight" false (U.is_feasible u ~deadlines:[| ri 7 |])
+
+let () =
+  Alcotest.run "flownet"
+    [ ( "dinic",
+        [ Alcotest.test_case "single edge" `Quick test_single_edge;
+          Alcotest.test_case "diamond" `Quick test_classic_diamond;
+          Alcotest.test_case "residual push" `Quick test_needs_residual_push;
+          Alcotest.test_case "disconnected" `Quick test_disconnected;
+          Alcotest.test_case "parallel edges" `Quick test_parallel_edges;
+          Alcotest.test_case "idempotent" `Quick test_idempotent;
+          Alcotest.test_case "rejects bad input" `Quick test_rejects;
+          QCheck_alcotest.to_alcotest prop_dinic_matches_reference;
+          QCheck_alcotest.to_alcotest prop_dinic_flow_is_valid
+        ] );
+      ( "uniform",
+        [ Alcotest.test_case "split job" `Quick test_uniform_hand_case;
+          Alcotest.test_case "restricted availability" `Quick test_uniform_restricted;
+          QCheck_alcotest.to_alcotest prop_uniform_matches_lp;
+          QCheck_alcotest.to_alcotest prop_uniform_witness_valid
+        ] )
+    ]

@@ -1,0 +1,515 @@
+(* Tests for the two-phase simplex solver, on both the exact-rational and
+   the float instances.  Random LPs are generated feasible-by-construction
+   so that optimality and feasibility can be checked independently of the
+   solver under test. *)
+
+module R = Numeric.Rat
+module P = Lp.Problem
+module Sx = Lp.Simplex.Exact
+module Sf = Lp.Simplex.Approx
+
+let rat = Alcotest.testable R.pp R.equal
+
+let q = R.of_ints
+
+let solve_exact ?(dir = P.Minimize) ~vars ~obj constrs =
+  let st = P.Builder.create () in
+  for i = 0 to vars - 1 do
+    ignore (P.Builder.fresh_var st ~name:(Printf.sprintf "x%d" i))
+  done;
+  List.iter (fun (terms, rel, rhs) -> P.Builder.add_constr st terms rel rhs) constrs;
+  P.Builder.set_objective st dir obj;
+  let p = P.Builder.finish st in
+  (p, Sx.solve p)
+
+let expect_optimal = function
+  | Sx.Optimal s -> s
+  | Sx.Infeasible -> Alcotest.fail "expected optimal, got infeasible"
+  | Sx.Unbounded -> Alcotest.fail "expected optimal, got unbounded"
+
+(* ------------------------------------------------------------------ *)
+(* Hand-checked LPs                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* max 3x + 5y s.t. x <= 4; 2y <= 12; 3x + 2y <= 18  (classic Dantzig
+   example; optimum 36 at (2,6)). *)
+let test_dantzig () =
+  let _, out =
+    solve_exact ~dir:P.Maximize ~vars:2
+      ~obj:[ (0, R.of_int 3); (1, R.of_int 5) ]
+      [ ([ (0, R.one) ], P.Le, R.of_int 4);
+        ([ (1, R.of_int 2) ], P.Le, R.of_int 12);
+        ([ (0, R.of_int 3); (1, R.of_int 2) ], P.Le, R.of_int 18)
+      ]
+  in
+  let s = expect_optimal out in
+  Alcotest.(check rat) "objective" (R.of_int 36) s.objective;
+  Alcotest.(check rat) "x" (R.of_int 2) s.values.(0);
+  Alcotest.(check rat) "y" (R.of_int 6) s.values.(1)
+
+(* min x + y s.t. x + 2y >= 4; 3x + y >= 6 → optimum at intersection
+   (8/5, 6/5), value 14/5. *)
+let test_ge_constraints () =
+  let _, out =
+    solve_exact ~vars:2
+      ~obj:[ (0, R.one); (1, R.one) ]
+      [ ([ (0, R.one); (1, R.of_int 2) ], P.Ge, R.of_int 4);
+        ([ (0, R.of_int 3); (1, R.one) ], P.Ge, R.of_int 6)
+      ]
+  in
+  let s = expect_optimal out in
+  Alcotest.(check rat) "objective" (q 14 5) s.objective;
+  Alcotest.(check rat) "x" (q 8 5) s.values.(0);
+  Alcotest.(check rat) "y" (q 6 5) s.values.(1)
+
+(* Equality constraints: min 2x + 3y s.t. x + y = 10; x - y <= 2. *)
+let test_eq_constraints () =
+  let _, out =
+    solve_exact ~vars:2
+      ~obj:[ (0, R.of_int 2); (1, R.of_int 3) ]
+      [ ([ (0, R.one); (1, R.one) ], P.Eq, R.of_int 10);
+        ([ (0, R.one); (1, R.minus_one) ], P.Le, R.of_int 2)
+      ]
+  in
+  let s = expect_optimal out in
+  (* Cheapest is to put as much as possible on x: x - y <= 2 and x + y = 10
+     give x = 6, y = 4, objective 24. *)
+  Alcotest.(check rat) "objective" (R.of_int 24) s.objective;
+  Alcotest.(check rat) "x" (R.of_int 6) s.values.(0);
+  Alcotest.(check rat) "y" (R.of_int 4) s.values.(1)
+
+let test_infeasible () =
+  let _, out =
+    solve_exact ~vars:1
+      ~obj:[ (0, R.one) ]
+      [ ([ (0, R.one) ], P.Ge, R.of_int 5); ([ (0, R.one) ], P.Le, R.of_int 3) ]
+  in
+  (match out with
+   | Sx.Infeasible -> ()
+   | _ -> Alcotest.fail "expected infeasible")
+
+let test_infeasible_eq () =
+  let _, out =
+    solve_exact ~vars:2
+      ~obj:[ (0, R.one) ]
+      [ ([ (0, R.one); (1, R.one) ], P.Eq, R.of_int 1);
+        ([ (0, R.of_int 2); (1, R.of_int 2) ], P.Eq, R.of_int 3)
+      ]
+  in
+  (match out with
+   | Sx.Infeasible -> ()
+   | _ -> Alcotest.fail "expected infeasible")
+
+let test_unbounded () =
+  let _, out =
+    solve_exact ~dir:P.Maximize ~vars:2
+      ~obj:[ (0, R.one); (1, R.one) ]
+      [ ([ (0, R.one); (1, R.minus_one) ], P.Le, R.of_int 1) ]
+  in
+  (match out with
+   | Sx.Unbounded -> ()
+   | _ -> Alcotest.fail "expected unbounded")
+
+(* Negative right-hand side must be normalized, not rejected. *)
+let test_negative_rhs () =
+  let _, out =
+    solve_exact ~vars:2
+      ~obj:[ (0, R.one); (1, R.one) ]
+      [ ([ (0, R.minus_one); (1, R.minus_one) ], P.Le, R.of_int (-4)) ]
+  in
+  let s = expect_optimal out in
+  Alcotest.(check rat) "objective" (R.of_int 4) s.objective
+
+(* Degenerate LP (redundant constraint through the optimum). *)
+let test_degenerate () =
+  let _, out =
+    solve_exact ~dir:P.Maximize ~vars:2
+      ~obj:[ (0, R.one); (1, R.one) ]
+      [ ([ (0, R.one) ], P.Le, R.of_int 2);
+        ([ (1, R.one) ], P.Le, R.of_int 2);
+        ([ (0, R.one); (1, R.one) ], P.Le, R.of_int 4);
+        ([ (0, R.of_int 2); (1, R.of_int 2) ], P.Le, R.of_int 8)
+      ]
+  in
+  let s = expect_optimal out in
+  Alcotest.(check rat) "objective" (R.of_int 4) s.objective
+
+(* Redundant equality rows (phase 1 ends with a basic artificial on an
+   all-zero row). *)
+let test_redundant_equalities () =
+  let _, out =
+    solve_exact ~vars:2
+      ~obj:[ (0, R.one); (1, R.of_int 2) ]
+      [ ([ (0, R.one); (1, R.one) ], P.Eq, R.of_int 3);
+        ([ (0, R.of_int 2); (1, R.of_int 2) ], P.Eq, R.of_int 6);
+        ([ (0, R.one) ], P.Le, R.of_int 3)
+      ]
+  in
+  let s = expect_optimal out in
+  Alcotest.(check rat) "objective" (R.of_int 3) s.objective;
+  Alcotest.(check rat) "x" (R.of_int 3) s.values.(0)
+
+(* Zero-width constraint 0 <= c and empty objective still work. *)
+let test_trivial () =
+  let _, out = solve_exact ~vars:1 ~obj:[] [ ([], P.Le, R.of_int 1) ] in
+  let s = expect_optimal out in
+  Alcotest.(check rat) "objective" R.zero s.objective;
+  let _, out = solve_exact ~vars:1 ~obj:[ (0, R.one) ] [ ([], P.Le, R.of_int 1) ] in
+  let s = expect_optimal out in
+  Alcotest.(check rat) "min x = 0" R.zero s.objective
+
+(* Duplicate terms on the same variable must be accumulated. *)
+let test_duplicate_terms () =
+  let _, out =
+    solve_exact ~dir:P.Maximize ~vars:1
+      ~obj:[ (0, R.one); (0, R.one) ] (* objective is really 2x *)
+      [ ([ (0, R.one); (0, R.one) ], P.Le, R.of_int 6) (* really 2x <= 6 *) ]
+  in
+  let s = expect_optimal out in
+  Alcotest.(check rat) "x" (R.of_int 3) s.values.(0);
+  Alcotest.(check rat) "objective" (R.of_int 6) s.objective
+
+(* An LP with a fractional optimum exercises exactness: max x s.t. 3x <= 1
+   must give exactly 1/3, not 0.33333. *)
+let test_exactness () =
+  let _, out =
+    solve_exact ~dir:P.Maximize ~vars:1
+      ~obj:[ (0, R.one) ]
+      [ ([ (0, R.of_int 3) ], P.Le, R.one) ]
+  in
+  let s = expect_optimal out in
+  Alcotest.(check rat) "exactly 1/3" (q 1 3) s.values.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Random feasible-by-construction minimization problems: draw a random
+   nonnegative point x0 and random rows a, then add constraints
+   a·x >= a·x0 when a·x0 >= 0 favours boundedness below. *)
+let random_lp_gen =
+  let open QCheck.Gen in
+  let* nvars = int_range 1 5 in
+  let* ncons = int_range 1 6 in
+  let* x0 = array_size (return nvars) (int_range 0 10) in
+  let* rows = array_size (return ncons) (array_size (return nvars) (int_range 0 5)) in
+  let* obj = array_size (return nvars) (int_range 1 5) in
+  return (nvars, x0, rows, obj)
+
+let build_random_min (nvars, x0, rows, obj) =
+  let st = P.Builder.create () in
+  for i = 0 to nvars - 1 do
+    ignore (P.Builder.fresh_var st ~name:(Printf.sprintf "x%d" i))
+  done;
+  Array.iter
+    (fun row ->
+      let terms = Array.to_list (Array.mapi (fun v k -> (v, R.of_int k)) row) in
+      let rhs =
+        Array.fold_left ( + ) 0 (Array.mapi (fun v k -> k * x0.(v)) row)
+      in
+      P.Builder.add_constr st terms P.Ge (R.of_int rhs))
+    rows;
+  P.Builder.set_objective st P.Minimize
+    (Array.to_list (Array.mapi (fun v k -> (v, R.of_int k)) obj));
+  P.Builder.finish st
+
+let prop_optimal_is_feasible =
+  QCheck.Test.make ~name:"optimal solution satisfies all constraints" ~count:100
+    (QCheck.make random_lp_gen) (fun spec ->
+      let p = build_random_min spec in
+      match Sx.solve p with
+      | Sx.Optimal s -> Result.is_ok (Sx.check_feasible p s.values)
+      | Sx.Infeasible -> false (* feasible by construction *)
+      | Sx.Unbounded -> false (* min with nonnegative costs is bounded by 0 *))
+
+let prop_optimal_beats_witness =
+  QCheck.Test.make ~name:"optimal objective <= witness objective" ~count:100
+    (QCheck.make random_lp_gen) (fun ((_, x0, _, obj) as spec) ->
+      let p = build_random_min spec in
+      match Sx.solve p with
+      | Sx.Optimal s ->
+        let witness =
+          Array.fold_left ( + ) 0 (Array.mapi (fun v k -> k * x0.(v)) obj)
+        in
+        R.compare s.objective (R.of_int witness) <= 0
+      | _ -> false)
+
+let prop_exact_and_float_agree =
+  QCheck.Test.make ~name:"exact and float solvers agree" ~count:100
+    (QCheck.make random_lp_gen) (fun spec ->
+      let p = build_random_min spec in
+      let pf : float P.t =
+        {
+          P.num_vars = p.P.num_vars;
+          direction = p.P.direction;
+          objective = List.map (fun (v, k) -> (v, R.to_float k)) p.P.objective;
+          constraints =
+            List.map
+              (fun (c : R.t P.constr) ->
+                {
+                  P.cname = c.P.cname;
+                  terms = List.map (fun (v, k) -> (v, R.to_float k)) c.P.terms;
+                  rel = c.P.rel;
+                  rhs = R.to_float c.P.rhs;
+                })
+              p.P.constraints;
+          var_names = p.P.var_names;
+        }
+      in
+      match (Sx.solve p, Sf.solve pf) with
+      | Sx.Optimal a, Sf.Optimal b -> Float.abs (R.to_float a.objective -. b.objective) < 1e-6
+      | Sx.Infeasible, Sf.Infeasible | Sx.Unbounded, Sf.Unbounded -> true
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* LP duality                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Strong duality and dual feasibility of the reported duals, checked on
+   both exact solvers.  For a minimization with x ≥ 0:
+   - Σ_i y_i·b_i = optimal objective;
+   - reduced costs c_j − Σ_i y_i·a_ij ≥ 0 for every variable;
+   - y_i ≤ 0 on Le rows, y_i ≥ 0 on Ge rows, free on Eq rows. *)
+let dual_certificate_holds (p : R.t P.t) (s : Sx.solution) =
+  let constrs = Array.of_list p.P.constraints in
+  let strong =
+    let yb =
+      Array.to_list (Array.mapi (fun i (c : R.t P.constr) -> R.mul s.duals.(i) c.rhs) constrs)
+      |> List.fold_left R.add R.zero
+    in
+    R.equal yb s.objective
+  in
+  let signs_ok =
+    let expected_sign (c : R.t P.constr) =
+      match (p.P.direction, c.rel) with
+      | P.Minimize, P.Le | P.Maximize, P.Ge -> `NonPositive
+      | P.Minimize, P.Ge | P.Maximize, P.Le -> `NonNegative
+      | _, P.Eq -> `Free
+    in
+    Array.for_all2
+      (fun (c : R.t P.constr) y ->
+        match expected_sign c with
+        | `NonPositive -> R.sign y <= 0
+        | `NonNegative -> R.sign y >= 0
+        | `Free -> true)
+      constrs s.duals
+  in
+  let reduced_costs_ok =
+    let reduced = Array.make p.P.num_vars R.zero in
+    List.iter (fun (v, k) -> reduced.(v) <- R.add reduced.(v) k) p.P.objective;
+    Array.iteri
+      (fun i (c : R.t P.constr) ->
+        List.iter
+          (fun (v, k) -> reduced.(v) <- R.sub reduced.(v) (R.mul s.duals.(i) k))
+          c.terms)
+      constrs;
+    match p.P.direction with
+    | P.Minimize -> Array.for_all (fun r -> R.sign r >= 0) reduced
+    | P.Maximize -> Array.for_all (fun r -> R.sign r <= 0) reduced
+  in
+  strong && signs_ok && reduced_costs_ok
+
+let test_duality_hand_case () =
+  (* Dantzig's example again: the known dual optimum is y = (0, 3/2, 1). *)
+  let p, out =
+    solve_exact ~dir:P.Maximize ~vars:2
+      ~obj:[ (0, R.of_int 3); (1, R.of_int 5) ]
+      [ ([ (0, R.one) ], P.Le, R.of_int 4);
+        ([ (1, R.of_int 2) ], P.Le, R.of_int 12);
+        ([ (0, R.of_int 3); (1, R.of_int 2) ], P.Le, R.of_int 18)
+      ]
+  in
+  let s = expect_optimal out in
+  Alcotest.(check rat) "y1" R.zero s.duals.(0);
+  Alcotest.(check rat) "y2" (q 3 2) s.duals.(1);
+  Alcotest.(check rat) "y3" R.one s.duals.(2);
+  Alcotest.(check bool) "certificate" true (dual_certificate_holds p s)
+
+(* Feasible-by-construction problems with MIXED relations (Le/Ge/Eq) and
+   fractional coefficients — the shape of the scheduling formulations.
+   This generator exists because a drive-out bug in the fraction-free
+   solver survived the Ge-only generator above. *)
+let mixed_lp_gen =
+  let open QCheck.Gen in
+  let* nvars = int_range 1 5 in
+  let* ncons = int_range 1 7 in
+  let* x0 = array_size (return nvars) (int_range 0 8) in
+  let* rows =
+    array_size (return ncons)
+      (pair
+         (array_size (return nvars) (pair (int_range (-4) 4) (int_range 1 3)))
+         (pair (int_range 0 2) (int_range 0 5)))
+  in
+  let* obj = array_size (return nvars) (int_range 0 5) in
+  return (nvars, x0, rows, obj)
+
+let build_mixed_min (nvars, x0, rows, obj) =
+  let st = P.Builder.create () in
+  for i = 0 to nvars - 1 do
+    ignore (P.Builder.fresh_var st ~name:(Printf.sprintf "x%d" i))
+  done;
+  Array.iter
+    (fun (coeffs, (rel_pick, slack)) ->
+      let terms =
+        Array.to_list (Array.mapi (fun v (num, den) -> (v, q num den)) coeffs)
+      in
+      let at_x0 =
+        Array.fold_left
+          (fun acc (v, c) -> R.add acc (R.mul_int c x0.(v)))
+          R.zero
+          (Array.mapi (fun v (num, den) -> (v, q num den)) coeffs)
+      in
+      match rel_pick with
+      | 0 -> P.Builder.add_constr st terms P.Le (R.add at_x0 (R.of_int slack))
+      | 1 -> P.Builder.add_constr st terms P.Ge (R.sub at_x0 (R.of_int slack))
+      | _ -> P.Builder.add_constr st terms P.Eq at_x0)
+    rows;
+  P.Builder.set_objective st P.Minimize
+    (Array.to_list (Array.mapi (fun v k -> (v, R.of_int k)) obj));
+  P.Builder.finish st
+
+let prop_duality_rational =
+  QCheck.Test.make ~name:"strong duality certificate (rational solver)" ~count:200
+    (QCheck.make mixed_lp_gen) (fun spec ->
+      let p = build_mixed_min spec in
+      match Sx.solve p with
+      | Sx.Optimal s -> dual_certificate_holds p s
+      | Sx.Infeasible | Sx.Unbounded -> true)
+
+let prop_duality_fraction_free =
+  QCheck.Test.make ~name:"strong duality certificate (fraction-free solver)" ~count:200
+    (QCheck.make mixed_lp_gen) (fun spec ->
+      let p = build_mixed_min spec in
+      match Lp.Simplex_ff.solve p with
+      | Sx.Optimal s -> dual_certificate_holds p s
+      | Sx.Infeasible | Sx.Unbounded -> true)
+
+let prop_mixed_relations_agree =
+  QCheck.Test.make ~name:"fraction-free ≡ rational on mixed Le/Ge/Eq problems"
+    ~count:300 (QCheck.make mixed_lp_gen) (fun spec ->
+      let p = build_mixed_min spec in
+      match (Sx.solve p, Lp.Simplex_ff.solve p) with
+      | Sx.Optimal a, Sx.Optimal b ->
+        R.equal a.objective b.objective && Result.is_ok (Sx.check_feasible p b.values)
+      | Sx.Infeasible, Sx.Infeasible | Sx.Unbounded, Sx.Unbounded -> true
+      | _ -> false)
+
+(* Differential: the fraction-free integer-pivot solver must agree exactly
+   with the rational-tableau solver, outcome for outcome. *)
+let prop_fraction_free_agrees =
+  QCheck.Test.make ~name:"fraction-free solver ≡ rational solver" ~count:150
+    (QCheck.make random_lp_gen) (fun spec ->
+      let p = build_random_min spec in
+      match (Sx.solve p, Lp.Simplex_ff.solve p) with
+      | Sx.Optimal a, Sx.Optimal b ->
+        R.equal a.objective b.objective && Result.is_ok (Sx.check_feasible p b.values)
+      | Sx.Infeasible, Sx.Infeasible | Sx.Unbounded, Sx.Unbounded -> true
+      | _ -> false)
+
+(* The fraction-free solver on LPs with fractional data (scaling path). *)
+let prop_fraction_free_fractional_data =
+  QCheck.Test.make ~name:"fraction-free handles fractional coefficients" ~count:100
+    (QCheck.make random_lp_gen) (fun spec ->
+      let p = build_random_min spec in
+      (* Divide everything by 7 and by 3: optimum scales by 1/7 relative to
+         the divided-by-7-only objective... simpler: just check against the
+         rational solver on the scaled problem. *)
+      let scale k = List.map (fun (v, c) -> (v, R.div_int c k)) in
+      let p' : R.t P.t =
+        {
+          p with
+          P.objective = scale 7 p.P.objective;
+          constraints =
+            List.map
+              (fun (c : R.t P.constr) ->
+                { c with P.terms = scale 3 c.P.terms; rhs = R.div_int c.P.rhs 3 })
+              p.P.constraints;
+        }
+      in
+      match (Sx.solve p', Lp.Simplex_ff.solve p') with
+      | Sx.Optimal a, Sx.Optimal b -> R.equal a.objective b.objective
+      | Sx.Infeasible, Sx.Infeasible | Sx.Unbounded, Sx.Unbounded -> true
+      | _ -> false)
+
+let test_fraction_free_hand_cases () =
+  (* Re-run the Dantzig example through the fraction-free solver. *)
+  let st = P.Builder.create () in
+  let x = P.Builder.fresh_var st ~name:"x" and y = P.Builder.fresh_var st ~name:"y" in
+  P.Builder.add_constr st [ (x, R.one) ] P.Le (R.of_int 4);
+  P.Builder.add_constr st [ (y, R.of_int 2) ] P.Le (R.of_int 12);
+  P.Builder.add_constr st [ (x, R.of_int 3); (y, R.of_int 2) ] P.Le (R.of_int 18);
+  P.Builder.set_objective st P.Maximize [ (x, R.of_int 3); (y, R.of_int 5) ];
+  (match Lp.Simplex_ff.solve (P.Builder.finish st) with
+   | Sx.Optimal s ->
+     Alcotest.(check rat) "objective" (R.of_int 36) s.objective;
+     Alcotest.(check rat) "x" (R.of_int 2) s.values.(0);
+     Alcotest.(check rat) "y" (R.of_int 6) s.values.(1)
+   | _ -> Alcotest.fail "expected optimal");
+  (* Fractional optimum stays exact. *)
+  let st = P.Builder.create () in
+  let x = P.Builder.fresh_var st ~name:"x" in
+  P.Builder.add_constr st [ (x, R.of_int 3) ] P.Le R.one;
+  P.Builder.set_objective st P.Maximize [ (x, R.one) ];
+  (match Lp.Simplex_ff.solve (P.Builder.finish st) with
+   | Sx.Optimal s -> Alcotest.(check rat) "1/3 exact" (q 1 3) s.values.(0)
+   | _ -> Alcotest.fail "expected optimal");
+  (* Infeasible and unbounded detection. *)
+  let st = P.Builder.create () in
+  let x = P.Builder.fresh_var st ~name:"x" in
+  P.Builder.add_constr st [ (x, R.one) ] P.Ge (R.of_int 5);
+  P.Builder.add_constr st [ (x, R.one) ] P.Le (R.of_int 3);
+  P.Builder.set_objective st P.Minimize [ (x, R.one) ];
+  (match Lp.Simplex_ff.solve (P.Builder.finish st) with
+   | Sx.Infeasible -> ()
+   | _ -> Alcotest.fail "expected infeasible");
+  let st = P.Builder.create () in
+  let x = P.Builder.fresh_var st ~name:"x" in
+  P.Builder.set_objective st P.Maximize [ (x, R.one) ];
+  P.Builder.add_constr st [] P.Le R.one;
+  (match Lp.Simplex_ff.solve (P.Builder.finish st) with
+   | Sx.Unbounded -> ()
+   | _ -> Alcotest.fail "expected unbounded")
+
+(* Scaling all constraints and the objective by a positive constant scales
+   the optimum by the same constant. *)
+let prop_scaling =
+  QCheck.Test.make ~name:"objective scales linearly" ~count:50
+    (QCheck.pair (QCheck.make random_lp_gen) (QCheck.int_range 2 7))
+    (fun (spec, k) ->
+      let p = build_random_min spec in
+      let scaled : R.t P.t =
+        { p with
+          P.objective = List.map (fun (v, c) -> (v, R.mul_int c k)) p.P.objective }
+      in
+      match (Sx.solve p, Sx.solve scaled) with
+      | Sx.Optimal a, Sx.Optimal b -> R.equal (R.mul_int a.objective k) b.objective
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "lp"
+    [ ( "simplex-unit",
+        [ Alcotest.test_case "dantzig example" `Quick test_dantzig;
+          Alcotest.test_case ">= constraints" `Quick test_ge_constraints;
+          Alcotest.test_case "equality constraints" `Quick test_eq_constraints;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "infeasible equalities" `Quick test_infeasible_eq;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "negative rhs" `Quick test_negative_rhs;
+          Alcotest.test_case "degenerate" `Quick test_degenerate;
+          Alcotest.test_case "redundant equalities" `Quick test_redundant_equalities;
+          Alcotest.test_case "trivial" `Quick test_trivial;
+          Alcotest.test_case "duplicate terms" `Quick test_duplicate_terms;
+          Alcotest.test_case "exact fractional optimum" `Quick test_exactness;
+          Alcotest.test_case "fraction-free hand cases" `Quick test_fraction_free_hand_cases;
+          Alcotest.test_case "duality hand case" `Quick test_duality_hand_case
+        ] );
+      ( "simplex-props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_optimal_is_feasible; prop_optimal_beats_witness;
+            prop_exact_and_float_agree; prop_fraction_free_agrees;
+            prop_fraction_free_fractional_data; prop_mixed_relations_agree;
+            prop_duality_rational; prop_duality_fraction_free; prop_scaling
+          ] )
+    ]
