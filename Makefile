@@ -1,0 +1,28 @@
+# Convenience targets; everything real lives in dune.
+
+.PHONY: all build test bench check fmt clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# What CI would run: full build + every test, plus formatting when the
+# formatter is installed (ocamlformat is optional in the dev image).
+check: build test fmt
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping @fmt"; \
+	fi
+
+clean:
+	dune clean

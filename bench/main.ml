@@ -13,6 +13,7 @@
      online     -- Conclusion: online heuristics vs offline optimum
      lp         -- ablation: exact-rational vs float simplex
      search     -- ablation: accelerated vs pure-exact milestone search
+     serve      -- serving engine replay throughput vs trace size
      micro      -- Bechamel micro-benchmarks of the core operations
 
    Absolute numbers are machine- and substrate-dependent; EXPERIMENTS.md
@@ -415,6 +416,39 @@ let run_uniform () =
     [ (4, 2); (8, 3); (12, 4); (16, 5); (24, 6); (32, 8) ]
 
 (* ------------------------------------------------------------------ *)
+(* Serving engine: replay throughput vs trace size                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_serve () =
+  section "Serving engine: virtual-clock replay throughput vs trace size";
+  Printf.printf
+    "Diurnal GriPPS traces (4 machines, 3 banks); engine + incremental\n\
+     validation end to end, batch window 0.\n";
+  Printf.printf "%6s %-10s %10s %10s %12s %12s %10s\n" "reqs" "policy" "decisions"
+    "slices" "req/s" "decisions/s" "time (ms)";
+  List.iter
+    (fun count ->
+      let trace =
+        Serve.Trace.diurnal ~seed:(1000 + count) ~peak_rate:0.2 ~count ()
+      in
+      List.iter
+        (fun (module P : Online.Sim.POLICY) ->
+          let engine, elapsed =
+            time_it (fun () -> Serve.Engine.replay ~policy:(module P) trace)
+          in
+          let m = Serve.Engine.metrics engine in
+          let decisions = Serve.Metrics.count (Serve.Metrics.counter m "decisions") in
+          let slices = Serve.Metrics.count (Serve.Metrics.counter m "slices") in
+          Printf.printf "%6d %-10s %10d %10d %12.0f %12.0f %10.1f\n" count P.name
+            decisions slices
+            (float_of_int count /. Float.max 1e-9 elapsed)
+            (float_of_int decisions /. Float.max 1e-9 elapsed)
+            (elapsed *. 1000.0))
+        [ (module Online.Policies.Mct); (module Online.Policies.Fair);
+          (module Online.Policies.Srpt) ])
+    [ 50; 100; 200; 400 ]
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -473,6 +507,7 @@ let experiments =
     ("lp", run_lp);
     ("search", run_search);
     ("uniform", run_uniform);
+    ("serve", run_serve);
     ("micro", run_micro)
   ]
 

@@ -7,14 +7,30 @@
      dlsched compare INSTANCE [--stretch]
      dlsched generate --jobs N --machines M [--seed S] [-o FILE]
      dlsched gripps [--machines M] [--banks B] [--replication R] [--requests N]
+     dlsched trace [--profile poisson|diurnal] [--requests N] [-o FILE]
+     dlsched replay TRACE [--policy P] [--batch S] [--report FILE] [--json]
+     dlsched serve [--socket PATH] [--clock wall|virtual] [--policy P]
 
    Instances use the textual format of Sched_core.Instance_io (see
-   `dlsched generate` for examples). *)
+   `dlsched generate` for examples); traces use Serve.Trace's format (see
+   `dlsched trace`). *)
 
 module R = Numeric.Rat
 module I = Sched_core.Instance
 module S = Sched_core.Schedule
 open Cmdliner
+
+(* Data-loading errors (missing file, syntax error, bad semantics) are user
+   errors: one line on stderr and a nonzero exit, not a backtrace. *)
+let or_die f x =
+  match f x with
+  | v -> v
+  | exception (Invalid_argument msg | Sys_error msg | Failure msg) ->
+    Format.eprintf "dlsched: %s@." msg;
+    exit 2
+
+let load_instance path = or_die Sched_core.Instance_io.load path
+let load_trace path = or_die Serve.Trace.load path
 
 let print_schedule ~header sched =
   Format.printf "%s@." header;
@@ -54,7 +70,7 @@ let solve_cmd =
          & info [ "objective"; "O" ] ~doc)
   in
   let run file objective svg =
-    let inst = Sched_core.Instance_io.load file in
+    let inst = load_instance file in
     let schedule =
       match objective with
       | `Makespan ->
@@ -97,7 +113,7 @@ let feasible_cmd =
     Arg.(required & opt (some string) None & info [ "deadlines"; "d" ] ~doc)
   in
   let run file deadlines =
-    let inst = Sched_core.Instance_io.load file in
+    let inst = load_instance file in
     let ds =
       String.split_on_char ',' deadlines |> List.map R.of_string |> Array.of_list
     in
@@ -120,7 +136,7 @@ let feasible_cmd =
 
 let milestones_cmd =
   let run file =
-    let inst = Sched_core.Instance_io.load file in
+    let inst = load_instance file in
     let ms = Sched_core.Milestones.compute inst in
     Format.printf "%d milestones (bound n^2 - n = %d):@." (List.length ms)
       (Sched_core.Milestones.count_bound inst);
@@ -144,7 +160,7 @@ let simulate_cmd =
     Arg.(value & flag & info [ "stretch" ] ~doc)
   in
   let run file policy stretch =
-    let inst = Sched_core.Instance_io.load file in
+    let inst = load_instance file in
     let inst = if stretch then I.stretch_weights inst else inst in
     let m : (module Online.Sim.POLICY) =
       match policy with
@@ -172,7 +188,7 @@ let compare_cmd =
     Arg.(value & flag & info [ "stretch" ] ~doc)
   in
   let run file stretch =
-    let inst = Sched_core.Instance_io.load file in
+    let inst = load_instance file in
     let inst = if stretch then I.stretch_weights inst else inst in
     let report = Online.Compare.run inst in
     Format.printf "%a@." Online.Compare.pp report
@@ -251,9 +267,175 @@ let gripps_cmd =
   Cmd.v (Cmd.info "gripps" ~doc)
     Term.(const run $ machines $ banks $ replication $ requests $ rate $ seed $ output)
 
+(* --- trace --------------------------------------------------------- *)
+
+let trace_machines =
+  Arg.(value & opt int 4 & info [ "machines"; "m" ] ~doc:"Number of servers.")
+let trace_banks =
+  Arg.(value & opt int 3 & info [ "banks"; "b" ] ~doc:"Number of databanks.")
+let trace_replication =
+  Arg.(value & opt int 2 & info [ "replication"; "r" ] ~doc:"Replicas per databank.")
+let trace_seed = Arg.(value & opt int 1 & info [ "seed"; "s" ] ~doc:"PRNG seed.")
+
+let trace_cmd =
+  let profile =
+    let doc = "Arrival profile: poisson (homogeneous) or diurnal (sin^2 day shape)." in
+    Arg.(value & opt (enum [ ("poisson", `Poisson); ("diurnal", `Diurnal) ]) `Diurnal
+         & info [ "profile" ] ~doc)
+  in
+  let requests =
+    Arg.(value & opt int 200 & info [ "requests"; "n" ] ~doc:"Number of requests.")
+  in
+  let rate =
+    let doc = "Arrival rate in requests per second (the peak rate for diurnal)." in
+    Arg.(value & opt float 0.2 & info [ "rate" ] ~doc)
+  in
+  let day =
+    let doc = "Length of the diurnal \"day\" in seconds." in
+    Arg.(value & opt float 3600. & info [ "day" ] ~doc)
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"Output file.")
+  in
+  let run profile machines banks replication requests rate day seed output =
+    let trace =
+      match profile with
+      | `Poisson ->
+        Serve.Trace.poisson ~seed ~machines ~banks ~replication ~rate ~count:requests ()
+      | `Diurnal ->
+        Serve.Trace.diurnal ~seed ~machines ~banks ~replication ~day ~peak_rate:rate
+          ~count:requests ()
+    in
+    let text = Serve.Trace.to_string trace in
+    match output with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc -> output_string oc text);
+      Format.printf "wrote %s (%d requests)@." path (List.length trace.Serve.Trace.entries)
+    | None -> print_string text
+  in
+  let doc = "Generate a synthetic workload trace for `dlsched replay`." in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ profile $ trace_machines $ trace_banks $ trace_replication
+          $ requests $ rate $ day $ trace_seed $ output)
+
+(* --- replay / serve ------------------------------------------------- *)
+
+let policy_arg =
+  let doc = "Scheduling policy: mct, fcfs, srpt, evd, fair, online-opt or \
+             online-opt-lazy." in
+  Arg.(value
+       & opt (enum [ ("mct", (module Online.Policies.Mct : Online.Sim.POLICY));
+                     ("fcfs", (module Online.Policies.Fcfs : Online.Sim.POLICY));
+                     ("srpt", (module Online.Policies.Srpt : Online.Sim.POLICY));
+                     ("evd", (module Online.Policies.Evd : Online.Sim.POLICY));
+                     ("fair", (module Online.Policies.Fair : Online.Sim.POLICY));
+                     ("online-opt",
+                      (module Online.Online_opt.Divisible : Online.Sim.POLICY));
+                     ("online-opt-lazy",
+                      (module Online.Online_opt.Lazy_divisible : Online.Sim.POLICY)) ])
+           (module Online.Policies.Mct : Online.Sim.POLICY)
+       & info [ "policy"; "p" ] ~doc)
+
+let batch_arg =
+  let doc = "Batch window in seconds: coalesce arrivals within this window after a \
+             decision instead of re-consulting the policy on each one." in
+  Arg.(value & opt float 0. & info [ "batch" ] ~doc)
+
+let replay_cmd =
+  let trace_arg =
+    let doc = "Trace file (see `dlsched trace`)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let report =
+    let doc = "Also write the metrics report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Report metrics as JSON.") in
+  let run file policy batch report json =
+    let trace = load_trace file in
+    let wall0 = Unix.gettimeofday () in
+    let engine =
+      Serve.Engine.replay ~batch_window:(Gripps.Workload.quantize batch) ~policy trace
+    in
+    let wall = Unix.gettimeofday () -. wall0 in
+    let m = Serve.Engine.metrics engine in
+    let body = if json then Serve.Metrics.to_json m else Serve.Metrics.to_text m in
+    (match report with
+     | Some path ->
+       Out_channel.with_open_text path (fun oc -> output_string oc (body ^ "\n"));
+       Format.printf "wrote %s@." path
+     | None -> print_string body; if json then print_newline ());
+    if Serve.Engine.submitted engine = 0 then begin
+      Format.eprintf "dlsched: %s: trace has no requests@." file;
+      exit 2
+    end;
+    let sched = Serve.Engine.schedule engine in
+    (match S.validate_divisible sched with
+     | Ok () ->
+       Format.printf "schedule valid (%d slices)@." (List.length sched.S.slices)
+     | Error msg ->
+       Format.eprintf "dlsched: invalid schedule: %s@." msg;
+       exit 1);
+    let n = Serve.Engine.completed engine in
+    if wall > 0. then
+      Format.printf "replayed %d requests in %.3fs wall (%.0f requests/s, %.0f decisions/s)@."
+        n wall
+        (float_of_int n /. wall)
+        (float_of_int (Serve.Metrics.count (Serve.Metrics.counter m "decisions")) /. wall)
+  in
+  let doc = "Replay a workload trace through the serving engine under a virtual              clock and report per-request flow/stretch metrics." in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const run $ trace_arg $ policy_arg $ batch_arg $ report $ json)
+
+let serve_cmd =
+  let socket =
+    let doc = "Listen on a Unix-domain socket at $(docv) instead of stdin/stdout." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let clock =
+    let doc = "Clock: wall (real time) or virtual (advanced by `tick`)." in
+    Arg.(value & opt (enum [ ("wall", `Wall); ("virtual", `Virtual) ]) `Wall
+         & info [ "clock" ] ~doc)
+  in
+  let platform_from =
+    let doc = "Take the platform (machines, banks, replication) from this trace \
+               file instead of generating a random one." in
+    Arg.(value & opt (some file) None & info [ "platform" ] ~docv:"TRACE" ~doc)
+  in
+  let run socket clock platform_from machines banks replication seed policy batch =
+    let platform =
+      match platform_from with
+      | Some file -> (load_trace file).Serve.Trace.platform
+      | None ->
+        Gripps.Workload.random_platform (Gripps.Prng.create seed) ~machines ~banks
+          ~replication
+    in
+    let clock =
+      match clock with `Wall -> Serve.Clock.wall () | `Virtual -> Serve.Clock.virtual_ ()
+    in
+    let engine =
+      Serve.Engine.create ~batch_window:(Gripps.Workload.quantize batch) ~clock ~policy
+        platform
+    in
+    let server = Serve.Server.create engine in
+    Format.eprintf "dlsched serve: %d machines, %d banks; commands: \
+                    submit/status/metrics/tick/drain/quit@."
+      (Array.length platform.Gripps.Workload.speeds)
+      (Array.length platform.Gripps.Workload.bank_sizes);
+    match socket with
+    | Some path ->
+      Format.eprintf "listening on %s@." path;
+      Serve.Server.run_socket server ~path
+    | None -> Serve.Server.run server stdin stdout
+  in
+  let doc = "Run the scheduler as a daemon speaking a newline-delimited command              protocol on stdin/stdout or a Unix socket." in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ socket $ clock $ platform_from $ trace_machines $ trace_banks
+          $ trace_replication $ trace_seed $ policy_arg $ batch_arg)
+
 let () =
   let doc = "exact schedulers for divisible requests on heterogeneous databanks" in
   let info = Cmd.info "dlsched" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
           [ solve_cmd; feasible_cmd; milestones_cmd; simulate_cmd; compare_cmd;
-            generate_cmd; gripps_cmd ]))
+            generate_cmd; gripps_cmd; trace_cmd; replay_cmd; serve_cmd ]))

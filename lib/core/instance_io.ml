@@ -34,6 +34,7 @@ let of_string text =
       with
       | [] -> ()
       | [ "machines"; m ] -> (
+        if !machines <> None then fail line "duplicate 'machines' line";
         match int_of_string_opt m with
         | Some m when m > 0 -> machines := Some m
         | _ -> fail line "bad machine count %S" m)

@@ -58,6 +58,17 @@ let request_cost platform ~machine req =
     Some (Rat.max quantized (Rat.of_ints 1 100))
   end
 
+let cost_column platform req =
+  let column =
+    Array.init (Array.length platform.speeds) (fun i -> request_cost platform ~machine:i req)
+  in
+  if Array.for_all (fun c -> c = None) column then
+    invalid_arg
+      (Printf.sprintf "Workload.cost_column: bank %d is held by no machine" req.bank);
+  column
+
+let quantize = centi
+
 let to_instance platform requests =
   let requests = Array.of_list requests in
   let n = Array.length requests in

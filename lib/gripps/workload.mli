@@ -41,6 +41,19 @@ val request_cost : platform -> machine:int -> request -> Rat.t option
     absent), from {!Cost_model.default} scaled by the machine speed,
     quantized to centiseconds. *)
 
+val cost_column : platform -> request -> Rat.t option array
+(** [request_cost] on every machine of the platform, in machine order — the
+    instance column one request contributes.  This is the trace-to-cost
+    bridge the serving layer uses to grow an instance one admitted request
+    at a time.
+    @raise Invalid_argument if the request's bank is held by no machine
+    (the request could never be served). *)
+
+val quantize : float -> Rat.t
+(** Seconds, quantized to exact centiseconds — the time grain of every
+    generated arrival and cost (rational arithmetic downstream stays
+    cheap). *)
+
 val to_instance : platform -> request list -> Sched_core.Instance.t
 (** Offline instance with unit weights (maximum flow).  Use
     {!Sched_core.Instance.stretch_weights} on the result for max-stretch

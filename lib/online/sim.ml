@@ -20,11 +20,57 @@ end
 
 type result = { policy : string; schedule : S.t; decisions : int }
 
-let bad name fmt =
-  Printf.ksprintf (fun s -> invalid_arg (Printf.sprintf "Sim.run(%s): %s" name s)) fmt
+let bad ?(where = "Sim.run") name fmt =
+  Printf.ksprintf (fun s -> invalid_arg (Printf.sprintf "%s(%s): %s" where name s)) fmt
+
+let check_decision ?where ~name inst ~eligible ~now d =
+  let n = I.num_jobs inst and m = I.num_machines inst in
+  let per_machine = Array.make m Rat.zero in
+  List.iter
+    (fun s ->
+      if s.machine < 0 || s.machine >= m then bad ?where name "bad machine %d" s.machine;
+      if s.job < 0 || s.job >= n || not (eligible s.job) then
+        bad ?where name "share on inactive job %d" s.job;
+      if Rat.sign s.share <= 0 then bad ?where name "non-positive share";
+      if I.cost inst ~machine:s.machine ~job:s.job = None then
+        bad ?where name "share on unavailable machine %d for job %d" s.machine s.job;
+      per_machine.(s.machine) <- Rat.add per_machine.(s.machine) s.share)
+    d.shares;
+  Array.iteri
+    (fun i total ->
+      if Rat.compare total Rat.one > 0 then bad ?where name "machine %d over capacity" i)
+    per_machine;
+  match d.review_at with
+  | Some r when Rat.compare r now <= 0 -> bad ?where name "review_at not in the future"
+  | _ -> ()
+
+let progress_rates inst d =
+  let rate = Array.make (I.num_jobs inst) Rat.zero in
+  List.iter
+    (fun s ->
+      match I.cost inst ~machine:s.machine ~job:s.job with
+      | Some c -> rate.(s.job) <- Rat.add rate.(s.job) (Rat.div s.share c)
+      | None -> assert false)
+    d.shares;
+  rate
+
+let materialize inst ~now ~horizon d ~remaining =
+  let dt = Rat.sub horizon now in
+  let cursor = Array.make (I.num_machines inst) now in
+  List.map
+    (fun s ->
+      let duration = Rat.mul s.share dt in
+      let start = cursor.(s.machine) in
+      let stop = Rat.add start duration in
+      cursor.(s.machine) <- stop;
+      (match I.cost inst ~machine:s.machine ~job:s.job with
+       | Some c -> remaining.(s.job) <- Rat.sub remaining.(s.job) (Rat.div duration c)
+       | None -> assert false);
+      { S.machine = s.machine; job = s.job; start; stop })
+    d.shares
 
 let run (module P : POLICY) inst =
-  let n = I.num_jobs inst and m = I.num_machines inst in
+  let n = I.num_jobs inst in
   let state = P.init inst in
   let remaining = Array.make n Rat.one in
   let completed = Array.make n false in
@@ -63,24 +109,9 @@ let run (module P : POLICY) inst =
     go ()
   in
   let validate_decision now d =
-    let per_machine = Array.make m Rat.zero in
-    List.iter
-      (fun s ->
-        if s.machine < 0 || s.machine >= m then bad P.name "bad machine %d" s.machine;
-        if s.job < 0 || s.job >= n || (not arrived.(s.job)) || completed.(s.job) then
-          bad P.name "share on inactive job %d" s.job;
-        if Rat.sign s.share <= 0 then bad P.name "non-positive share";
-        if I.cost inst ~machine:s.machine ~job:s.job = None then
-          bad P.name "share on unavailable machine %d for job %d" s.machine s.job;
-        per_machine.(s.machine) <- Rat.add per_machine.(s.machine) s.share)
-      d.shares;
-    Array.iteri
-      (fun i total ->
-        if Rat.compare total Rat.one > 0 then bad P.name "machine %d over capacity" i)
-      per_machine;
-    match d.review_at with
-    | Some r when Rat.compare r now <= 0 -> bad P.name "review_at not in the future"
-    | _ -> ()
+    check_decision ~name:P.name inst
+      ~eligible:(fun j -> arrived.(j) && not completed.(j))
+      ~now d
   in
   let rec loop now guard =
     if guard <= 0 then bad P.name "no progress (possible livelock)";
@@ -97,14 +128,7 @@ let run (module P : POLICY) inst =
       incr decisions;
       let d = P.decide state ~now ~active in
       validate_decision now d;
-      (* Job progress rates under this decision. *)
-      let rate = Array.make n Rat.zero in
-      List.iter
-        (fun s ->
-          match I.cost inst ~machine:s.machine ~job:s.job with
-          | Some c -> rate.(s.job) <- Rat.add rate.(s.job) (Rat.div s.share c)
-          | None -> assert false)
-        d.shares;
+      let rate = progress_rates inst d in
       (* Earliest of: job completion, next arrival, requested review. *)
       let completion_candidate =
         List.fold_left
@@ -135,21 +159,8 @@ let run (module P : POLICY) inst =
       | None -> bad P.name "active jobs but no progress and no future event"
       | Some te ->
         if Rat.compare te now <= 0 then bad P.name "time did not advance";
-        let dt = Rat.sub te now in
         (* Materialize shares sequentially per machine and update progress. *)
-        let cursor = Array.make m now in
-        List.iter
-          (fun s ->
-            let duration = Rat.mul s.share dt in
-            let start = cursor.(s.machine) in
-            let stop = Rat.add start duration in
-            cursor.(s.machine) <- stop;
-            slices := { S.machine = s.machine; job = s.job; start; stop } :: !slices;
-            match I.cost inst ~machine:s.machine ~job:s.job with
-            | Some c ->
-              remaining.(s.job) <- Rat.sub remaining.(s.job) (Rat.div duration c)
-            | None -> assert false)
-          d.shares;
+        slices := List.rev_append (materialize inst ~now ~horizon:te d ~remaining) !slices;
         for j = 0 to n - 1 do
           if (not completed.(j)) && arrived.(j) then begin
             if Rat.sign remaining.(j) < 0 then

@@ -63,3 +63,41 @@ val run : (module POLICY) -> Sched_core.Instance.t -> result
     @raise Invalid_argument if the policy emits an inconsistent decision
     (share on an inactive job or unavailable machine, machine over
     capacity) or starves active jobs forever. *)
+
+(** {1 Engine hooks}
+
+    The building blocks of {!run}, exposed so other event loops — notably
+    the wall-clock serving engine of [Serve.Engine] — can drive the same
+    policies with identical validation and slice-materialization semantics. *)
+
+val check_decision :
+  ?where:string ->
+  name:string ->
+  Sched_core.Instance.t ->
+  eligible:(int -> bool) ->
+  now:Rat.t ->
+  decision ->
+  unit
+(** Validate a policy decision: machine/job indices in range, shares only on
+    [eligible] jobs and available machines, positive shares, per-machine
+    capacity at most 1, and [review_at] strictly in the future.
+    @raise Invalid_argument with a ["where(name): ..."] message ([where]
+    defaults to ["Sim.run"]). *)
+
+val progress_rates : Sched_core.Instance.t -> decision -> Rat.t array
+(** Per-job progress rate [Σ_i s_{i,j}/c_{i,j}] implied by the decision;
+    length [num_jobs]. *)
+
+val materialize :
+  Sched_core.Instance.t ->
+  now:Rat.t ->
+  horizon:Rat.t ->
+  decision ->
+  remaining:Rat.t array ->
+  Sched_core.Schedule.slice list
+(** Lay the decision's shares out sequentially per machine over
+    [\[now, horizon)] (share [s] becomes a slice of duration
+    [s·(horizon−now)] starting at the machine's cursor), debiting each
+    job's entry of [remaining] by the fraction processed.  The result is
+    machine-disjoint within the segment; slices are returned in decision
+    order. *)

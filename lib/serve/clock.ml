@@ -1,0 +1,23 @@
+type t = Virtual of float ref | Wall
+
+let virtual_ ?(start = 0.) () = Virtual (ref start)
+let wall () = Wall
+
+let now = function
+  | Virtual r -> !r
+  | Wall -> Unix.gettimeofday ()
+
+let advance_to t target =
+  match t with
+  | Virtual r -> if target > !r then r := target
+  | Wall ->
+    let rec sleep () =
+      let dt = target -. Unix.gettimeofday () in
+      if dt > 0. then begin
+        (try Unix.sleepf dt with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        sleep ()
+      end
+    in
+    sleep ()
+
+let is_virtual = function Virtual _ -> true | Wall -> false

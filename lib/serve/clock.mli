@@ -1,0 +1,34 @@
+(** Pluggable time source for the serving engine.
+
+    The engine never reads time directly: it asks a clock.  A {!virtual_}
+    clock only moves when the engine advances it — replay of a recorded
+    trace and the test-suite both finish in microseconds of wall time
+    regardless of the simulated span.  A {!wall} clock is backed by
+    [Unix.gettimeofday] and {e sleeps} through advances, which is what a
+    live daemon wants.
+
+    Times are float seconds since the clock's epoch (0 for a virtual
+    clock, the Unix epoch for a wall clock).  The engine quantizes them to
+    exact centisecond rationals at the admission boundary
+    ({!Gripps.Workload.quantize}); inside the engine all arithmetic is
+    exact. *)
+
+type t
+
+val virtual_ : ?start:float -> unit -> t
+(** A clock that moves only through {!advance_to}.  [start] defaults
+    to [0.]. *)
+
+val wall : unit -> t
+(** The system clock.  {!advance_to} sleeps until the target date
+    (interruption-tolerant); advancing to a past date is a no-op. *)
+
+val now : t -> float
+
+val advance_to : t -> float -> unit
+(** Move the clock forward to the given date.  Monotonic: a target earlier
+    than {!now} leaves the clock where it is (never moves backwards). *)
+
+val is_virtual : t -> bool
+(** True for {!virtual_} clocks — replay mode; lets front-ends refuse
+    commands that only make sense on one kind of clock. *)

@@ -1,0 +1,437 @@
+module Rat = Numeric.Rat
+module I = Sched_core.Instance
+module S = Sched_core.Schedule
+module Sim = Online.Sim
+module W = Gripps.Workload
+
+type objective = [ `Flow | `Stretch ]
+
+type job = {
+  id : string;
+  arrival : Rat.t;
+  column : Rat.t option array;  (* cost per machine *)
+  weight : Rat.t;
+  fastest : Rat.t;  (* min finite cost, for stretch accounting *)
+  mutable arrived : bool;  (* announced to the policy *)
+  mutable completed_at : Rat.t option;
+}
+
+(* The policy's abstract state, packed with its module. *)
+type runner = Runner : (module Sim.POLICY with type state = 's) * 's -> runner
+
+type t = {
+  platform : W.platform;
+  policy : (module Sim.POLICY);
+  clock : Clock.t;
+  origin : float;  (* clock date of engine time 0 *)
+  batch_window : Rat.t;
+  objective : objective;
+  (* Growable job store; index = policy job index. *)
+  mutable jobs : job array;
+  mutable n : int;
+  mutable remaining : Rat.t array;  (* parallel to [jobs], fraction left *)
+  mutable inst : I.t option;  (* cache over jobs.(0..n-1) *)
+  mutable runner : runner option;
+  mutable now : Rat.t;
+  (* Current validated decision and its batching state. *)
+  mutable decision : Sim.decision option;
+  mutable decided_at : Rat.t;
+  mutable dirty : bool;
+  mutable batch_deadline : Rat.t option;
+  (* Output. *)
+  mutable slices : S.slice list;  (* reverse order *)
+  last_stop : Rat.t array;  (* per machine, incremental validation *)
+  mutable num_completed : int;
+  (* Metrics. *)
+  metrics : Metrics.t;
+  c_submitted : Metrics.counter;
+  c_completed : Metrics.counter;
+  c_decisions : Metrics.counter;
+  c_segments : Metrics.counter;
+  c_slices : Metrics.counter;
+  c_coalesced : Metrics.counter;
+  c_rebuilds : Metrics.counter;
+  g_queue : Metrics.gauge;
+  h_flow : Metrics.histogram;
+  h_weighted : Metrics.histogram;
+  h_stretch : Metrics.histogram;
+}
+
+let bug fmt = Printf.ksprintf (fun s -> failwith ("Serve.Engine: " ^ s)) fmt
+
+let policy_name t =
+  let (module P : Sim.POLICY) = t.policy in
+  P.name
+
+let create ?(batch_window = Rat.zero) ?(objective = `Stretch) ~clock ~policy platform =
+  if Rat.sign batch_window < 0 then invalid_arg "Engine.create: negative batch window";
+  let m = Array.length platform.W.speeds in
+  let metrics = Metrics.create () in
+  {
+    platform;
+    policy;
+    clock;
+    origin = Clock.now clock;
+    batch_window;
+    objective;
+    jobs = [||];
+    n = 0;
+    remaining = [||];
+    inst = None;
+    runner = None;
+    now = Rat.zero;
+    decision = None;
+    decided_at = Rat.zero;
+    dirty = true;
+    batch_deadline = None;
+    slices = [];
+    last_stop = Array.make m Rat.zero;
+    num_completed = 0;
+    metrics;
+    c_submitted = Metrics.counter metrics "requests_submitted";
+    c_completed = Metrics.counter metrics "requests_completed";
+    c_decisions = Metrics.counter metrics "decisions";
+    c_segments = Metrics.counter metrics "segments";
+    c_slices = Metrics.counter metrics "slices";
+    c_coalesced = Metrics.counter metrics "arrivals_coalesced";
+    c_rebuilds = Metrics.counter metrics "policy_rebuilds";
+    g_queue = Metrics.gauge metrics "queue_depth";
+    h_flow = Metrics.histogram metrics "flow_seconds";
+    h_weighted = Metrics.histogram metrics "weighted_flow_seconds";
+    h_stretch = Metrics.histogram metrics "stretch";
+  }
+
+let submitted t = t.n
+let completed t = t.num_completed
+
+let active t =
+  let k = ref 0 in
+  for j = 0 to t.n - 1 do
+    if t.jobs.(j).arrived && t.jobs.(j).completed_at = None then incr k
+  done;
+  !k
+
+let now t = t.now
+let metrics t = t.metrics
+let clock t = t.clock
+
+let clock_date t = W.quantize (Clock.now t.clock -. t.origin)
+
+let instance t =
+  match t.inst with
+  | Some i -> i
+  | None ->
+    if t.n = 0 then bug "no jobs submitted";
+    let jobs = Array.sub t.jobs 0 t.n in
+    let releases = Array.map (fun j -> j.arrival) jobs in
+    let weights = Array.map (fun j -> j.weight) jobs in
+    let m = Array.length t.platform.W.speeds in
+    let cost = Array.init m (fun i -> Array.map (fun j -> j.column.(i)) jobs) in
+    let inst = I.make ~releases ~weights cost in
+    t.inst <- Some inst;
+    inst
+
+let push t job =
+  if t.n = Array.length t.jobs then begin
+    let cap = Stdlib.max 8 (2 * t.n) in
+    let jobs = Array.make cap job in
+    Array.blit t.jobs 0 jobs 0 t.n;
+    t.jobs <- jobs;
+    let remaining = Array.make cap Rat.one in
+    Array.blit t.remaining 0 remaining 0 t.n;
+    t.remaining <- remaining
+  end;
+  t.jobs.(t.n) <- job;
+  t.remaining.(t.n) <- Rat.one;
+  t.n <- t.n + 1;
+  t.n - 1
+
+let submit t ~id ?arrival ~bank ~num_motifs () =
+  if num_motifs <= 0 then invalid_arg "Engine.submit: motif count must be positive";
+  if bank < 0 || bank >= Array.length t.platform.W.bank_sizes then
+    invalid_arg (Printf.sprintf "Engine.submit: bank %d out of range" bank);
+  for j = 0 to t.n - 1 do
+    if t.jobs.(j).id = id then
+      invalid_arg (Printf.sprintf "Engine.submit: duplicate request id %S" id)
+  done;
+  let arrival = match arrival with Some a -> a | None -> clock_date t in
+  if Rat.compare arrival t.now < 0 then
+    invalid_arg
+      (Printf.sprintf "Engine.submit: arrival %s precedes engine time %s"
+         (Rat.to_string arrival) (Rat.to_string t.now));
+  let request = { W.arrival; bank; num_motifs } in
+  let column = W.cost_column t.platform request in
+  let fastest =
+    Array.fold_left
+      (fun acc c -> match (acc, c) with
+        | None, c -> c
+        | Some a, Some b -> Some (Rat.min a b)
+        | Some a, None -> Some a)
+      None column
+    |> Option.get
+  in
+  let weight = match t.objective with `Flow -> Rat.one | `Stretch -> Rat.inv fastest in
+  let idx =
+    push t { id; arrival; column; weight; fastest; arrived = false; completed_at = None }
+  in
+  (* The instance grew: caches over the old job set are stale.  A live
+     rebuild mid-run is counted; replay submits everything up front. *)
+  t.inst <- None;
+  if t.runner <> None then begin
+    t.runner <- None;
+    (* Any cached decision was made against the retired policy state; using
+       it after the rebuild could break queue-based policies' invariants. *)
+    t.dirty <- true;
+    Metrics.incr t.c_rebuilds
+  end;
+  Metrics.incr t.c_submitted;
+  idx
+
+(* --- policy plumbing ------------------------------------------------ *)
+
+let views t =
+  let rec go j acc =
+    if j < 0 then acc
+    else
+      go (j - 1)
+        (if t.jobs.(j).arrived && t.jobs.(j).completed_at = None then
+           { Sim.id = j; release = t.jobs.(j).arrival; weight = t.jobs.(j).weight;
+             remaining = t.remaining.(j) }
+           :: acc
+         else acc)
+  in
+  go (t.n - 1) []
+
+let runner t =
+  match t.runner with
+  | Some r -> r
+  | None ->
+    let (module P : Sim.POLICY) = t.policy in
+    let state = P.init (instance t) in
+    (* Re-announce the surviving active jobs, in arrival order. *)
+    let live =
+      List.filter (fun j -> t.jobs.(j).arrived && t.jobs.(j).completed_at = None)
+        (List.init t.n (fun j -> j))
+      |> List.sort (fun a b ->
+             let c = Rat.compare t.jobs.(a).arrival t.jobs.(b).arrival in
+             if c <> 0 then c else compare a b)
+    in
+    List.iter (fun j -> P.on_arrival state ~now:t.now ~job:j) live;
+    let r = Runner ((module P), state) in
+    t.runner <- Some r;
+    t.dirty <- true;
+    r
+
+let decide t =
+  let (Runner ((module P), state)) = runner t in
+  let d = P.decide state ~now:t.now ~active:(views t) in
+  Sim.check_decision ~where:"Serve.Engine" ~name:P.name (instance t)
+    ~eligible:(fun j -> j < t.n && t.jobs.(j).arrived && t.jobs.(j).completed_at = None)
+    ~now:t.now d;
+  t.decision <- Some d;
+  t.decided_at <- t.now;
+  t.dirty <- false;
+  t.batch_deadline <- None;
+  Metrics.incr t.c_decisions;
+  d
+
+let fire_arrival t j =
+  (* Build the runner before flipping [arrived], or a fresh rebuild would
+     announce the job a second time. *)
+  let (Runner ((module P), state)) = runner t in
+  t.jobs.(j).arrived <- true;
+  P.on_arrival state ~now:t.now ~job:j;
+  (* Batching: within one window of the last decision the current plan
+     keeps running and the newcomer waits for the coalesced re-decision. *)
+  if t.dirty || t.decision = None then t.dirty <- true
+  else if Rat.is_zero t.batch_window then t.dirty <- true
+  else begin
+    let deadline = Rat.add t.decided_at t.batch_window in
+    if Rat.compare deadline t.now <= 0 then t.dirty <- true
+    else begin
+      (match t.batch_deadline with
+       | None -> t.batch_deadline <- Some deadline
+       | Some _ -> ());
+      Metrics.incr t.c_coalesced
+    end
+  end;
+  Metrics.set t.g_queue (float_of_int (active t))
+
+let fire_due_arrivals t =
+  for j = 0 to t.n - 1 do
+    if (not t.jobs.(j).arrived) && Rat.compare t.jobs.(j).arrival t.now <= 0 then
+      fire_arrival t j
+  done
+
+let complete t j =
+  let job = t.jobs.(j) in
+  job.completed_at <- Some t.now;
+  t.num_completed <- t.num_completed + 1;
+  t.dirty <- true;
+  let (Runner ((module P), state)) = runner t in
+  P.on_completion state ~now:t.now ~job:j;
+  let flow = Rat.sub t.now job.arrival in
+  Metrics.incr t.c_completed;
+  Metrics.observe t.h_flow (Rat.to_float flow);
+  Metrics.observe t.h_weighted (Rat.to_float (Rat.mul job.weight flow));
+  Metrics.observe t.h_stretch (Rat.to_float (Rat.div flow job.fastest));
+  Metrics.set t.g_queue (float_of_int (active t))
+
+let next_arrival_after t date =
+  let best = ref None in
+  for j = 0 to t.n - 1 do
+    if not t.jobs.(j).arrived then begin
+      let a = t.jobs.(j).arrival in
+      if Rat.compare a date > 0 then
+        match !best with
+        | None -> best := Some a
+        | Some b -> if Rat.compare a b < 0 then best := Some a
+    end
+  done;
+  !best
+
+let advance_time t date =
+  Clock.advance_to t.clock (t.origin +. Rat.to_float date);
+  t.now <- date
+
+let append_slices t segment_slices =
+  List.iter
+    (fun (s : S.slice) ->
+      (* Defensive incremental validation: machine-disjoint, release-
+         respecting, no over-processing.  Violations are engine bugs. *)
+      if Rat.compare s.start t.last_stop.(s.machine) < 0 then
+        bug "slice overlaps on machine %d" s.machine;
+      if Rat.compare s.start t.jobs.(s.job).arrival < 0 then
+        bug "slice starts before release of job %d" s.job;
+      if Rat.sign (t.remaining.(s.job)) < 0 then bug "job %d over-processed" s.job;
+      t.last_stop.(s.machine) <- s.stop;
+      t.slices <- s :: t.slices;
+      Metrics.incr t.c_slices)
+    segment_slices
+
+(* One pass of the event loop: process everything up to [limit] (None =
+   until all jobs complete).  Mirrors Sim.run's loop, with the clock in
+   charge of real time and batching folded into the event set. *)
+let step t ~limit =
+  let guard = ref (100_000 + (1000 * t.n)) in
+  let live () = t.num_completed < t.n in
+  let within date = match limit with None -> true | Some l -> Rat.compare date l <= 0 in
+  let continue = ref true in
+  while !continue do
+    decr guard;
+    if !guard < 0 then
+      invalid_arg
+        (Printf.sprintf "Serve.Engine(%s): no progress (possible livelock)" (policy_name t));
+    fire_due_arrivals t;
+    if active t = 0 then begin
+      if not (live ()) then begin
+        (* Idle and empty: just let time pass to the limit. *)
+        (match limit with
+         | Some l when Rat.compare l t.now > 0 -> advance_time t l
+         | _ -> ());
+        continue := false
+      end
+      else begin
+        match next_arrival_after t t.now with
+        | Some a when within a -> advance_time t a
+        | Some _ | None ->
+          (match limit with
+           | Some l when Rat.compare l t.now > 0 -> advance_time t l
+           | _ -> ());
+          continue := false
+      end
+    end
+    else begin
+      let d =
+        match t.decision with
+        | Some d when not t.dirty -> d
+        | _ -> decide t
+      in
+      let inst = instance t in
+      let rate = Sim.progress_rates inst d in
+      let completion_candidate =
+        List.fold_left
+          (fun acc (v : Sim.job_view) ->
+            if Rat.sign rate.(v.id) > 0 then begin
+              let c = Rat.add t.now (Rat.div v.remaining rate.(v.id)) in
+              match acc with None -> Some c | Some b -> Some (Rat.min b c)
+            end
+            else acc)
+          None (views t)
+      in
+      let arrival_candidate = next_arrival_after t t.now in
+      let event =
+        List.fold_left
+          (fun acc c ->
+            match (acc, c) with
+            | None, c -> c
+            | Some a, Some b -> Some (Rat.min a b)
+            | Some a, None -> Some a)
+          None
+          [ completion_candidate; arrival_candidate; d.Sim.review_at; t.batch_deadline ]
+      in
+      match event with
+      | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Serve.Engine(%s): active jobs but no progress and no future event"
+             (policy_name t))
+      | Some event ->
+        if Rat.compare event t.now <= 0 then
+          invalid_arg
+            (Printf.sprintf "Serve.Engine(%s): time did not advance" (policy_name t));
+        let te, clipped =
+          match limit with
+          | Some l when Rat.compare l event < 0 -> (l, true)
+          | _ -> (event, false)
+        in
+        if Rat.compare te t.now > 0 then begin
+          let segment = Sim.materialize inst ~now:t.now ~horizon:te d ~remaining:t.remaining in
+          advance_time t te;
+          append_slices t segment;
+          Metrics.incr t.c_segments;
+          (* A partial segment consumed part of the plan's shares in time
+             but the share *rates* are unchanged, so the decision stays
+             valid for the rest of its window. *)
+          for j = 0 to t.n - 1 do
+            if t.jobs.(j).arrived && t.jobs.(j).completed_at = None then begin
+              if Rat.sign t.remaining.(j) < 0 then bug "job %d over-processed" j;
+              if Rat.is_zero t.remaining.(j) then complete t j
+            end
+          done
+        end;
+        if not clipped then begin
+          (match d.Sim.review_at with
+           | Some r when Rat.compare r t.now <= 0 -> t.dirty <- true
+           | _ -> ());
+          match t.batch_deadline with
+          | Some b when Rat.compare b t.now <= 0 ->
+            t.dirty <- true;
+            t.batch_deadline <- None
+          | _ -> ()
+        end
+        else continue := false
+    end
+  done
+
+let run_until t date = if Rat.compare date t.now > 0 then step t ~limit:(Some date)
+
+let catch_up t = if not (Clock.is_virtual t.clock) then run_until t (clock_date t)
+
+let drain t = if t.num_completed < t.n then step t ~limit:None
+
+let schedule t =
+  if t.n = 0 then invalid_arg "Engine.schedule: nothing submitted";
+  S.make (instance t) (List.rev t.slices)
+
+let replay ?batch_window ?objective ~policy (trace : Trace.t) =
+  let clock = Clock.virtual_ () in
+  let t = create ?batch_window ?objective ~clock ~policy trace.Trace.platform in
+  List.iter
+    (fun (e : Trace.entry) ->
+      ignore
+        (submit t ~id:e.Trace.id ~arrival:e.Trace.request.W.arrival
+           ~bank:e.Trace.request.W.bank ~num_motifs:e.Trace.request.W.num_motifs ()))
+    trace.Trace.entries;
+  drain t;
+  t

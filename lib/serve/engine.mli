@@ -1,0 +1,106 @@
+(** Wall-clock serving engine: the online simulator turned into a daemon.
+
+    {!Online.Sim.run} solves a closed problem — every job is known up
+    front and simulated time is free.  This engine serves an {e open}
+    stream: requests are admitted while it runs, time is owned by a
+    pluggable {!Clock} (virtual for replay and tests, the system clock for
+    a live daemon), and every decision, segment and completed request is
+    recorded in a {!Metrics} registry.  The scheduling semantics are
+    shared with the simulator through its exposed hooks
+    ({!Online.Sim.check_decision}, {!Online.Sim.progress_rates},
+    {!Online.Sim.materialize}): a virtual-clock replay of a trace with a
+    zero batch window produces {e exactly} the schedule [Sim.run] produces
+    on the equivalent offline instance.
+
+    {b Batching under load.}  Consulting the policy on every arrival is
+    wasteful when arrivals burst (the re-optimizing policies solve LPs).
+    With a positive [batch_window], an arrival less than one window after
+    the last decision does not trigger an immediate re-evaluation: the
+    engine keeps executing the current decision and re-consults the policy
+    at [last_decision + window], admitting every request that arrived in
+    between at once.  Completions and policy-requested reviews always
+    re-evaluate immediately.
+
+    {b Live submissions.}  Jobs submitted after the engine has started
+    (the [serve] front-end) extend the instance, so the policy state is
+    rebuilt from the surviving active jobs; queue-based policies lose
+    their queue estimates at that point (counted by the
+    [policy_rebuilds] metric).  Trace replay submits everything before the
+    first step and never rebuilds. *)
+
+module Rat = Numeric.Rat
+
+type objective =
+  [ `Flow  (** unit weights: the policy optimizes max flow *)
+  | `Stretch
+    (** weight [1/fastest_cost] per job: the policy optimizes max
+        stretch *) ]
+
+type t
+
+val create :
+  ?batch_window:Rat.t ->
+  ?objective:objective ->
+  clock:Clock.t ->
+  policy:(module Online.Sim.POLICY) ->
+  Gripps.Workload.platform ->
+  t
+(** [batch_window] defaults to zero (re-evaluate on every arrival);
+    [objective] defaults to [`Stretch].  Engine time starts at 0 at the
+    clock's current date. *)
+
+val submit :
+  t -> id:string -> ?arrival:Rat.t -> bank:int -> num_motifs:int -> unit -> int
+(** Admit a request; returns its job index.  [arrival] defaults to the
+    clock's current date (quantized to centiseconds) and must not precede
+    the engine's current time — the engine never rewrites history.
+    @raise Invalid_argument on a duplicate id, an out-of-range bank, a
+    bank held by no machine, a non-positive motif count, or an [arrival]
+    in the engine's past. *)
+
+val run_until : t -> Rat.t -> unit
+(** Process all events up to the given engine time and advance the clock
+    with them (a virtual clock jumps, a wall clock sleeps).  No-op if the
+    date is in the past.
+    @raise Invalid_argument if the policy misbehaves (see
+    {!Online.Sim.run}). *)
+
+val catch_up : t -> unit
+(** [run_until] the clock's current date — how a live server absorbs the
+    time that passed while it waited for input.  No-op on a virtual
+    clock. *)
+
+val drain : t -> unit
+(** Run until every submitted job has completed.  Under a virtual clock
+    this fast-forwards; under a wall clock it really waits. *)
+
+val now : t -> Rat.t
+(** Current engine time (seconds since the engine's epoch). *)
+
+val submitted : t -> int
+val active : t -> int
+val completed : t -> int
+
+val clock : t -> Clock.t
+
+val metrics : t -> Metrics.t
+(** Live registry: counters [requests_submitted], [requests_completed],
+    [decisions], [segments], [slices], [arrivals_coalesced],
+    [policy_rebuilds]; gauge [queue_depth]; histograms [flow_seconds],
+    [weighted_flow_seconds], [stretch] (one sample per completed
+    request). *)
+
+val schedule : t -> Sched_core.Schedule.t
+(** The slices materialized so far, over the instance of every submitted
+    job.  Passes {!Sched_core.Schedule.validate_divisible} once all jobs
+    have completed (e.g. after {!drain}).
+    @raise Invalid_argument if nothing was ever submitted. *)
+
+val replay :
+  ?batch_window:Rat.t ->
+  ?objective:objective ->
+  policy:(module Online.Sim.POLICY) ->
+  Trace.t ->
+  t
+(** Submit the whole trace to a fresh virtual-clock engine and {!drain}
+    it. *)

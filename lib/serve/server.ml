@@ -1,0 +1,99 @@
+module Rat = Numeric.Rat
+
+type t = { engine : Engine.t }
+
+let create engine = { engine }
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let okf fmt = Printf.ksprintf (fun s -> [ "ok " ^ s ]) fmt
+let errf fmt = Printf.ksprintf (fun s -> [ "err " ^ s ]) fmt
+
+let handle_line t line =
+  let e = t.engine in
+  Engine.catch_up e;
+  match tokens line with
+  | [] -> ([], `Continue)
+  | comment :: _ when String.length comment > 0 && comment.[0] = '#' -> ([], `Continue)
+  | [ "submit"; id; bank; motifs ] -> (
+    match (int_of_string_opt bank, int_of_string_opt motifs) with
+    | Some bank, Some motifs -> (
+      try
+        let k = Engine.submit e ~id ~bank ~num_motifs:motifs () in
+        (okf "submitted %s job=%d" id k, `Continue)
+      with Invalid_argument msg -> (errf "%s" msg, `Continue))
+    | _ -> (errf "usage: submit ID BANK MOTIFS", `Continue))
+  | [ "status" ] ->
+    ( okf "now=%s submitted=%d active=%d completed=%d"
+        (Rat.to_string (Engine.now e))
+        (Engine.submitted e) (Engine.active e) (Engine.completed e),
+      `Continue )
+  | [ "metrics" ] ->
+    let body = String.split_on_char '\n' (Metrics.to_text (Engine.metrics e)) in
+    (List.filter (fun l -> l <> "") body @ [ "ok" ], `Continue)
+  | [ "metrics"; "json" ] -> ([ Metrics.to_json (Engine.metrics e); "ok" ], `Continue)
+  | "tick" :: _ when not (Clock.is_virtual (Engine.clock e)) ->
+    (errf "tick only makes sense on a virtual clock (the wall clock ticks itself)",
+     `Continue)
+  | [ "tick"; seconds ] -> (
+    match float_of_string_opt seconds with
+    | Some s when s > 0. -> (
+      try
+        Engine.run_until e (Rat.add (Engine.now e) (Gripps.Workload.quantize s));
+        (okf "now=%s" (Rat.to_string (Engine.now e)), `Continue)
+      with Invalid_argument msg -> (errf "%s" msg, `Continue))
+    | _ -> (errf "usage: tick SECONDS (positive)", `Continue))
+  | [ "drain" ] -> (
+    try
+      Engine.drain e;
+      (okf "drained now=%s completed=%d" (Rat.to_string (Engine.now e)) (Engine.completed e),
+       `Continue)
+    with Invalid_argument msg -> (errf "%s" msg, `Continue))
+  | [ "quit" ] -> (okf "bye", `Quit)
+  | cmd :: _ ->
+    (errf "unknown command %S (try submit/status/metrics/tick/drain/quit)" cmd, `Continue)
+
+let run t ic oc =
+  let rec loop () =
+    match In_channel.input_line ic with
+    | None -> ()
+    | Some line ->
+      let replies, verdict = handle_line t line in
+      List.iter (fun r -> output_string oc (r ^ "\n")) replies;
+      flush oc;
+      (match verdict with `Continue -> loop () | `Quit -> ())
+  in
+  loop ()
+
+let run_socket t ~path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  let quit = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      while not !quit do
+        let client, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr client in
+        let oc = Unix.out_channel_of_descr client in
+        let rec session () =
+          match In_channel.input_line ic with
+          | None -> ()
+          | Some line ->
+            let replies, verdict = handle_line t line in
+            List.iter (fun r -> output_string oc (r ^ "\n")) replies;
+            flush oc;
+            (match verdict with
+             | `Continue -> session ()
+             | `Quit -> quit := true)
+        in
+        (try session () with Sys_error _ -> ());
+        try Unix.close client with Unix.Unix_error _ -> ()
+      done)

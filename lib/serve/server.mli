@@ -1,0 +1,35 @@
+(** Line-protocol front-end over an {!Engine}.
+
+    The protocol is newline-delimited, human-typable, and identical on
+    stdin/stdout and on a Unix-domain socket.  Every command produces zero
+    or more data lines followed by exactly one terminator line starting
+    with [ok] or [err]:
+
+    {v
+    submit ID BANK MOTIFS   admit a request now; ok submitted ID job=K
+    status                  ok now=T submitted=N active=A completed=C
+    metrics [json]          dump the metrics registry, then ok
+    tick SECONDS            advance a virtual clock; err on a wall clock
+    drain                   run until every admitted request completes
+    quit                    ok bye, then the connection/loop ends
+    v}
+
+    On a wall clock the server catches the engine up to the current date
+    before executing each command, so [status] and [metrics] reflect real
+    elapsed time.  [#]-prefixed lines and blank lines are ignored. *)
+
+type t
+
+val create : Engine.t -> t
+
+val handle_line : t -> string -> string list * [ `Continue | `Quit ]
+(** Execute one command; pure protocol logic, no I/O — the unit the
+    scripted tests drive. *)
+
+val run : t -> in_channel -> out_channel -> unit
+(** Serve until [quit] or end of input, one command per line. *)
+
+val run_socket : t -> path:string -> unit
+(** Bind a Unix-domain socket at [path] (replacing any stale file) and
+    serve connections sequentially until a client sends [quit].  The
+    socket file is removed on exit. *)

@@ -1,0 +1,210 @@
+module Rat = Numeric.Rat
+module W = Gripps.Workload
+
+type entry = { id : string; request : W.request }
+
+type t = { platform : W.platform; entries : entry list }
+
+let fail line fmt =
+  Printf.ksprintf (fun s -> invalid_arg (Printf.sprintf "Trace: line %d: %s" line s)) fmt
+
+let parse_rat line s =
+  match Rat.of_string s with
+  | r -> r
+  | exception _ -> fail line "bad rational %S" s
+
+let parse_int line what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "bad %s %S" what s
+
+let index line what bound s =
+  let v = parse_int line what s in
+  if v < 0 || v >= bound then fail line "%s %d out of range [0, %d)" what v bound;
+  v
+
+let sort_entries entries =
+  (* Stable: ties keep input order. *)
+  List.stable_sort
+    (fun a b -> Rat.compare a.request.W.arrival b.request.W.arrival)
+    entries
+
+let of_string text =
+  let machines = ref None and banks = ref None in
+  let speeds = ref [||] and bank_sizes = ref [||] and has_bank = ref [||] in
+  let entries = ref [] in
+  let seen_header = ref false in
+  let seen_ids = Hashtbl.create 64 in
+  let dims line =
+    match (!machines, !banks) with
+    | Some m, Some b -> (m, b)
+    | _ -> fail line "'machines' and 'banks' must come before this directive"
+  in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let content =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      match
+        String.split_on_char ' ' content
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun tok -> tok <> "")
+      with
+      | [] -> ()
+      | [ "trace"; "v1" ] -> seen_header := true
+      | "trace" :: v :: _ -> fail line "unsupported trace version %S" v
+      | [ "machines"; m ] -> (
+        match int_of_string_opt m with
+        | Some m when m > 0 ->
+          machines := Some m;
+          speeds := Array.make m Rat.one;
+          (match !banks with
+           | Some b -> has_bank := Array.make_matrix m b false
+           | None -> ())
+        | _ -> fail line "bad machine count %S" m)
+      | [ "banks"; b ] -> (
+        match int_of_string_opt b with
+        | Some b when b > 0 ->
+          banks := Some b;
+          bank_sizes := Array.make b 0;
+          (match !machines with
+           | Some m -> has_bank := Array.make_matrix m b false
+           | None -> ())
+        | _ -> fail line "bad bank count %S" b)
+      | [ "speed"; i; s ] ->
+        let m, _ = dims line in
+        let i = index line "machine" m i in
+        let s = parse_rat line s in
+        if Rat.sign s <= 0 then fail line "speed must be positive";
+        !speeds.(i) <- s
+      | [ "bank"; b; size ] ->
+        let _, nb = dims line in
+        let b = index line "bank" nb b in
+        let size = parse_int line "bank size" size in
+        if size <= 0 then fail line "bank size must be positive";
+        !bank_sizes.(b) <- size
+      | "holds" :: i :: bs ->
+        let m, nb = dims line in
+        let i = index line "machine" m i in
+        List.iter (fun b -> !has_bank.(i).(index line "bank" nb b) <- true) bs
+      | [ "req"; id; arrival; bank; motifs ] ->
+        let _, nb = dims line in
+        if Hashtbl.mem seen_ids id then fail line "duplicate request id %S" id;
+        Hashtbl.add seen_ids id ();
+        let arrival = parse_rat line arrival in
+        if Rat.sign arrival < 0 then fail line "negative arrival";
+        let bank = index line "bank" nb bank in
+        let num_motifs = parse_int line "motif count" motifs in
+        if num_motifs <= 0 then fail line "motif count must be positive";
+        entries := { id; request = { W.arrival; bank; num_motifs } } :: !entries
+      | tok :: _ -> fail line "unknown directive %S" tok)
+    (String.split_on_char '\n' text);
+  if not !seen_header then invalid_arg "Trace: missing 'trace v1' header";
+  match (!machines, !banks) with
+  | None, _ -> invalid_arg "Trace: missing 'machines' line"
+  | _, None -> invalid_arg "Trace: missing 'banks' line"
+  | Some _, Some _ ->
+    Array.iteri
+      (fun b size ->
+        if size = 0 then
+          invalid_arg (Printf.sprintf "Trace: bank %d has no 'bank %d SIZE' line" b b))
+      !bank_sizes;
+    let platform =
+      { W.speeds = !speeds; bank_sizes = !bank_sizes; has_bank = !has_bank }
+    in
+    let held b = Array.exists (fun row -> row.(b)) !has_bank in
+    List.iter
+      (fun e ->
+        if not (held e.request.W.bank) then
+          invalid_arg
+            (Printf.sprintf "Trace: request %S targets bank %d, held by no machine" e.id
+               e.request.W.bank))
+      !entries;
+    { platform; entries = sort_entries (List.rev !entries) }
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  let m = Array.length t.platform.W.speeds in
+  let b = Array.length t.platform.W.bank_sizes in
+  Buffer.add_string buf "trace v1\n";
+  Buffer.add_string buf (Printf.sprintf "machines %d\n" m);
+  Buffer.add_string buf (Printf.sprintf "banks %d\n" b);
+  Array.iteri
+    (fun i s -> Buffer.add_string buf (Printf.sprintf "speed %d %s\n" i (Rat.to_string s)))
+    t.platform.W.speeds;
+  Array.iteri
+    (fun k size -> Buffer.add_string buf (Printf.sprintf "bank %d %d\n" k size))
+    t.platform.W.bank_sizes;
+  Array.iteri
+    (fun i row ->
+      let held =
+        Array.to_list (Array.mapi (fun k h -> if h then Some (string_of_int k) else None) row)
+        |> List.filter_map Fun.id
+      in
+      if held <> [] then
+        Buffer.add_string buf (Printf.sprintf "holds %d %s\n" i (String.concat " " held)))
+    t.platform.W.has_bank;
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "req %s %s %d %d\n" e.id
+           (Rat.to_string e.request.W.arrival)
+           e.request.W.bank e.request.W.num_motifs))
+    t.entries;
+  Buffer.contents buf
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let to_instance t = W.to_instance t.platform (List.map (fun e -> e.request) t.entries)
+
+let ids t = Array.of_list (List.map (fun e -> e.id) t.entries)
+
+let named_entries requests =
+  List.mapi (fun k r -> { id = Printf.sprintf "r%04d" k; request = r }) requests
+
+let poisson ~seed ?(machines = 4) ?(banks = 3) ?(replication = 2) ?(max_motifs = 60) ~rate
+    ~count () =
+  let rng = Gripps.Prng.create seed in
+  let platform = W.random_platform rng ~machines ~banks ~replication in
+  let requests = W.poisson_requests rng ~rate ~count ~max_motifs ~banks in
+  { platform; entries = sort_entries (named_entries requests) }
+
+let diurnal ~seed ?(machines = 4) ?(banks = 3) ?(replication = 2) ?(max_motifs = 60)
+    ?(day = 3600.) ?(trough_fraction = 0.05) ~peak_rate ~count () =
+  if peak_rate <= 0. || day <= 0. then invalid_arg "Trace.diurnal: bad rate or day";
+  if trough_fraction < 0. || trough_fraction > 1. then
+    invalid_arg "Trace.diurnal: trough_fraction outside [0, 1]";
+  let rng = Gripps.Prng.create seed in
+  let platform = W.random_platform rng ~machines ~banks ~replication in
+  let profile t =
+    let s = sin (Float.pi *. Float.rem t day /. day) in
+    trough_fraction +. ((1. -. trough_fraction) *. s *. s)
+  in
+  (* Thinning (Lewis–Shedler): homogeneous candidates at [peak_rate],
+     accepted with probability [profile t]. *)
+  let now = ref 0.0 in
+  let rec next_arrival () =
+    now := !now +. Gripps.Prng.exponential rng ~mean:(1. /. peak_rate);
+    if Gripps.Prng.float rng <= profile !now then !now else next_arrival ()
+  in
+  let requests =
+    List.init count (fun _ ->
+        let t = next_arrival () in
+        {
+          W.arrival = W.quantize t;
+          bank = Gripps.Prng.int rng banks;
+          num_motifs = 1 + Gripps.Prng.int rng max_motifs;
+        })
+  in
+  { platform; entries = sort_entries (named_entries requests) }

@@ -1,0 +1,91 @@
+(** Timestamped workload traces for the serving engine.
+
+    A trace is a platform description plus a stream of identified,
+    timestamped GriPPS requests — what a production front-end would log,
+    and what {!Engine.replay} consumes.  The format is line-oriented;
+    blank lines and [#] comments are ignored:
+
+    {v
+    trace v1
+    machines 2
+    banks 2
+    speed 0 1            # relative slowdown of machine 0 (rational)
+    speed 1 3/2
+    bank 0 3800          # sequences in databank 0
+    bank 1 1900
+    holds 0 0 1          # machine 0 holds banks 0 and 1
+    holds 1 1
+    req r0001 27/100 0 12   # id, arrival (s, rational), bank, motif count
+    v}
+
+    [speed] lines default to 1; every bank needs a [bank] size line and at
+    least one holding machine reachable from every request.  Requests are
+    kept sorted by arrival (ties keep file order).  Request ids are
+    whitespace-free and unique. *)
+
+module Rat = Numeric.Rat
+
+type entry = { id : string; request : Gripps.Workload.request }
+
+type t = {
+  platform : Gripps.Workload.platform;
+  entries : entry list;  (** sorted by arrival *)
+}
+
+val of_string : string -> t
+(** @raise Invalid_argument with a line-numbered message on syntax or
+    semantic errors (bad index, duplicate id, request on an unheld bank,
+    negative arrival, non-positive motif count…). *)
+
+val to_string : t -> string
+(** Canonical form; round-trips through {!of_string}. *)
+
+val load : string -> t
+val save : string -> t -> unit
+
+val to_instance : t -> Sched_core.Instance.t
+(** Offline instance of the whole trace (unit weights), request [k] of
+    {!entries} becoming job [k] — the bridge to the offline solvers and to
+    {!Online.Sim}. *)
+
+val ids : t -> string array
+
+(** {1 Synthetic generators}
+
+    Both generators draw platform and requests from {!Gripps.Prng}, so a
+    seed pins the trace bit-for-bit. *)
+
+val poisson :
+  seed:int ->
+  ?machines:int ->
+  ?banks:int ->
+  ?replication:int ->
+  ?max_motifs:int ->
+  rate:float ->
+  count:int ->
+  unit ->
+  t
+(** Homogeneous Poisson arrivals at [rate] requests per second —
+    {!Gripps.Workload.poisson_requests} on a
+    {!Gripps.Workload.random_platform}.  Defaults: 4 machines, 3 banks,
+    replication 2, motif sets up to 60. *)
+
+val diurnal :
+  seed:int ->
+  ?machines:int ->
+  ?banks:int ->
+  ?replication:int ->
+  ?max_motifs:int ->
+  ?day:float ->
+  ?trough_fraction:float ->
+  peak_rate:float ->
+  count:int ->
+  unit ->
+  t
+(** A GriPPS working day: a non-homogeneous Poisson stream (thinning)
+    whose rate follows a diurnal profile
+    [rate(t) = peak_rate · (trough + (1 − trough) · sin²(π·t/day))] —
+    near-silent at the day boundaries, peaking mid-day.  [day] defaults to
+    [3600.] (a compressed one-hour "day" keeps exact solvers and replays
+    fast; pass [86400.] for real-time realism); [trough_fraction] defaults
+    to [0.05]. *)

@@ -1,0 +1,78 @@
+#!/bin/sh
+# End-to-end check of the serving subsystem through the dlsched binary:
+# generate a diurnal trace, replay it under a virtual clock, and drive the
+# serve command protocol over stdin/stdout.  Run by `dune runtest`.
+set -eu
+
+DLSCHED=$1
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "serve_e2e: FAIL: $*" >&2; exit 1; }
+
+# --- replay a generated 200-request diurnal trace -------------------------
+
+"$DLSCHED" trace --profile diurnal --requests 200 --seed 42 -o "$WORK/trace.txt" \
+  > /dev/null
+grep -q '^trace v1$' "$WORK/trace.txt" || fail "trace missing header"
+[ "$(grep -c '^req ' "$WORK/trace.txt")" -eq 200 ] || fail "trace not 200 requests"
+
+"$DLSCHED" replay "$WORK/trace.txt" --policy mct --report "$WORK/report.txt" \
+  > "$WORK/replay.out"
+grep -q 'p50=.*p95=.*p99=' "$WORK/report.txt" || fail "report missing quantiles"
+grep -q '^stretch ' "$WORK/report.txt" || fail "report missing stretch histogram"
+grep -q 'requests_completed  *200' "$WORK/report.txt" || fail "not all requests completed"
+grep -q '^schedule valid' "$WORK/replay.out" || fail "replay schedule invalid"
+
+"$DLSCHED" replay "$WORK/trace.txt" --policy fair --json > "$WORK/replay-json.out"
+grep -q '"stretch"' "$WORK/replay-json.out" || fail "json report missing stretch"
+grep -q '^schedule valid' "$WORK/replay-json.out" || fail "json replay schedule invalid"
+
+"$DLSCHED" replay "$WORK/trace.txt" --policy mct --batch 30 > "$WORK/replay-batch.out"
+grep -q '^schedule valid' "$WORK/replay-batch.out" || fail "batched replay invalid"
+
+# --- loading errors exit nonzero with one line, not a backtrace -----------
+
+if "$DLSCHED" solve "$WORK/nonexistent.txt" > /dev/null 2> "$WORK/err.txt"; then
+  fail "solve on a missing file should fail"
+fi
+printf 'trace v1\nmachines 0\n' > "$WORK/bad.txt"
+if "$DLSCHED" replay "$WORK/bad.txt" > /dev/null 2> "$WORK/err.txt"; then
+  fail "replay on a malformed trace should fail"
+fi
+grep -q 'line 2' "$WORK/err.txt" || fail "malformed-trace error not line-numbered"
+[ "$(wc -l < "$WORK/err.txt")" -eq 1 ] || fail "expected a one-line error"
+
+# --- serve: the line protocol over stdin/stdout ---------------------------
+
+"$DLSCHED" serve --clock virtual --seed 42 --policy mct > "$WORK/serve.out" \
+  2> /dev/null <<'EOF'
+# comments and blank lines are ignored
+
+submit a 0 40
+submit b 1 20
+submit a 0 10
+status
+tick 10
+metrics
+drain
+status
+metrics json
+bogus
+quit
+EOF
+
+expect() { grep -q "$1" "$WORK/serve.out" || fail "serve: no \"$1\""; }
+expect '^ok submitted a job=0'
+expect '^ok submitted b job=1'
+expect '^err .*duplicate'
+expect '^ok now=0 submitted=2 active=0 completed=0'
+expect '^ok now=10'
+expect '^stretch '
+expect '^ok drained .*completed=2'
+expect '^ok now=.* submitted=2 active=0 completed=2'
+expect '"requests_completed":2'
+expect '^err unknown command'
+expect '^ok bye'
+
+echo "serve_e2e: PASS"

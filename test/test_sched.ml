@@ -799,6 +799,68 @@ let prop_io_roundtrip =
                   (List.init (I.num_machines inst) (fun i -> i)))
            (List.init (I.num_jobs inst) (fun j -> j)))
 
+let same_instance inst inst' =
+  I.num_jobs inst = I.num_jobs inst'
+  && I.num_machines inst = I.num_machines inst'
+  && List.for_all
+       (fun j ->
+         R.equal (I.release inst j) (I.release inst' j)
+         && R.equal (I.weight inst j) (I.weight inst' j)
+         && List.for_all
+              (fun i ->
+                match (I.cost inst ~machine:i ~job:j, I.cost inst' ~machine:i ~job:j) with
+                | Some a, Some b -> R.equal a b
+                | None, None -> true
+                | _ -> false)
+              (List.init (I.num_machines inst) (fun i -> i)))
+       (List.init (I.num_jobs inst) (fun j -> j))
+
+(* The solver-oriented generator above only emits small integers; the
+   format also has to round-trip rational releases/weights/costs and
+   infinite ([inf]) cost entries. *)
+let messy_instance_gen =
+  let open QCheck.Gen in
+  let pos_rat = map2 (fun n d -> q n d) (int_range 1 60) (int_range 1 12) in
+  let rat = map2 (fun n d -> q n d) (int_range 0 60) (int_range 1 12) in
+  let* n = int_range 1 6 in
+  let* m = int_range 1 4 in
+  let* releases = array_size (return n) rat in
+  let* weights = array_size (return n) pos_rat in
+  let* costs =
+    array_size (return m)
+      (array_size (return n)
+         (map2 (fun finite c -> if finite then Some c else None) bool pos_rat))
+  in
+  let* fallback = array_size (return n) pos_rat in
+  for j = 0 to n - 1 do
+    if Array.for_all (fun row -> row.(j) = None) costs then
+      costs.(0).(j) <- Some fallback.(j)
+  done;
+  return (I.make ~releases ~weights costs)
+
+let prop_io_roundtrip_messy =
+  QCheck.Test.make ~name:"rational/inf instance text roundtrip" ~count:200
+    (QCheck.make messy_instance_gen ~print:(fun i -> Format.asprintf "%a" I.pp i))
+    (fun inst ->
+      same_instance inst
+        (Sched_core.Instance_io.of_string (Sched_core.Instance_io.to_string inst)))
+
+let test_io_errors_malformed () =
+  let bad s =
+    Alcotest.(check bool) ("rejects " ^ String.escaped s) true
+      (try ignore (Sched_core.Instance_io.of_string s); false
+       with Invalid_argument _ -> true)
+  in
+  bad "machines 2\nmachines 2\njob 0 1 1 1\n";      (* duplicate header *)
+  bad "machines two\njob 0 1 1\n";                  (* non-numeric count *)
+  bad "machines 1\njob 0 1 1 7\n";                  (* too many costs *)
+  bad "machines 2\njob -1 1 1 1\n";                 (* negative release *)
+  bad "machines 2\njob 0 0 1 1\n";                  (* zero weight *)
+  bad "machines 2\njob 0 1 -3 1\n";                 (* negative cost *)
+  bad "machines 2\njob 0 1 inf inf\n";              (* unrunnable job *)
+  bad "machines 2\njob 0 1 1/0 2\n";                (* zero denominator *)
+  bad "machines 1\njob 0 1 2 extra words\n"
+
 let () =
   Alcotest.run "sched_core"
     [ ( "instance",
@@ -875,7 +937,9 @@ let () =
       ( "instance-io",
         [ Alcotest.test_case "parse" `Quick test_io_parse;
           Alcotest.test_case "errors" `Quick test_io_errors;
-          QCheck_alcotest.to_alcotest prop_io_roundtrip
+          Alcotest.test_case "malformed inputs" `Quick test_io_errors_malformed;
+          QCheck_alcotest.to_alcotest prop_io_roundtrip;
+          QCheck_alcotest.to_alcotest prop_io_roundtrip_messy
         ] );
       ( "preemptive",
         [ Alcotest.test_case "no intra-job parallelism" `Quick

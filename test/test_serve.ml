@@ -1,0 +1,338 @@
+(* Tests for the serving subsystem: trace round-trips, metrics quantile
+   correctness, engine-vs-simulator equivalence, batching, live
+   submissions, and the server line protocol. *)
+
+module R = Numeric.Rat
+module I = Sched_core.Instance
+module S = Sched_core.Schedule
+module W = Gripps.Workload
+module T = Serve.Trace
+module M = Serve.Metrics
+module E = Serve.Engine
+
+let rat = Alcotest.testable R.pp R.equal
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let check_valid what sched =
+  match S.validate_divisible sched with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (what ^ ": invalid schedule: " ^ e)
+
+let trace_equal (a : T.t) (b : T.t) =
+  a.platform.W.speeds = b.platform.W.speeds
+  && a.platform.W.bank_sizes = b.platform.W.bank_sizes
+  && a.platform.W.has_bank = b.platform.W.has_bank
+  && List.length a.entries = List.length b.entries
+  && List.for_all2
+       (fun (x : T.entry) (y : T.entry) ->
+         x.id = y.id
+         && R.equal x.request.W.arrival y.request.W.arrival
+         && x.request.W.bank = y.request.W.bank
+         && x.request.W.num_motifs = y.request.W.num_motifs)
+       a.entries b.entries
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_parse () =
+  let t =
+    T.of_string
+      "trace v1\n\
+       machines 2\n\
+       banks 2\n\
+       # a comment\n\
+       speed 1 3/2\n\
+       bank 0 3800\n\
+       bank 1 1900\n\
+       holds 0 0 1\n\
+       holds 1 1\n\
+       req a 27/100 0 12\n\
+       req b 0 1 3\n"
+  in
+  Alcotest.(check int) "machines" 2 (Array.length t.platform.W.speeds);
+  Alcotest.(check rat) "default speed" R.one t.platform.W.speeds.(0);
+  Alcotest.(check rat) "parsed speed" (R.of_ints 3 2) t.platform.W.speeds.(1);
+  (* Entries come back sorted by arrival. *)
+  Alcotest.(check (list string)) "sorted ids" [ "b"; "a" ]
+    (List.map (fun (e : T.entry) -> e.id) t.entries)
+
+let test_trace_roundtrip_example () =
+  let t = T.poisson ~seed:42 ~rate:(1. /. 30.) ~count:12 () in
+  let t' = T.of_string (T.to_string t) in
+  Alcotest.(check bool) "roundtrip" true (trace_equal t t')
+
+let prop_trace_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_range 0 9999 in
+      let* machines = int_range 1 4 in
+      let* banks = int_range 1 3 in
+      let* replication = int_range 1 machines in
+      let* count = int_range 1 10 in
+      let* diurnal = bool in
+      return
+        (if diurnal then
+           T.diurnal ~seed ~machines ~banks ~replication ~peak_rate:0.1 ~count ()
+         else T.poisson ~seed ~machines ~banks ~replication ~rate:0.05 ~count ()))
+  in
+  QCheck.Test.make ~name:"trace text roundtrip" ~count:60
+    (QCheck.make gen ~print:T.to_string)
+    (fun t -> trace_equal t (T.of_string (T.to_string t)))
+
+let test_trace_errors () =
+  let bad s =
+    Alcotest.(check bool) ("rejects " ^ s) true
+      (try
+         ignore (T.of_string s);
+         false
+       with Invalid_argument _ -> true)
+  in
+  bad "";
+  bad "machines 1\nbanks 1\nbank 0 10\nholds 0 0\n" (* missing header *);
+  bad "trace v2\nmachines 1\nbanks 1\nbank 0 10\n";
+  bad "trace v1\nbanks 1\nbank 0 10\n" (* no machines *);
+  bad "trace v1\nmachines 1\nbanks 1\nholds 0 0\n" (* bank without size *);
+  bad "trace v1\nmachines 1\nbanks 1\nbank 0 10\nholds 0 1\n" (* bank index *);
+  bad "trace v1\nmachines 1\nbanks 1\nbank 0 10\nholds 2 0\n" (* machine index *);
+  bad "trace v1\nmachines 1\nbanks 1\nbank 0 10\nholds 0 0\nreq a -1 0 5\n";
+  bad "trace v1\nmachines 1\nbanks 1\nbank 0 10\nholds 0 0\nreq a 0 0 0\n";
+  bad "trace v1\nmachines 1\nbanks 1\nbank 0 10\nholds 0 0\nreq a 0 0 5\nreq a 1 0 5\n";
+  bad "trace v1\nmachines 2\nbanks 2\nbank 0 10\nbank 1 10\nholds 0 0\nreq a 0 1 5\n"
+  (* bank 1 held nowhere *);
+  bad "trace v1\nmachines 1\nbanks 1\nbank 0 10\nholds 0 0\nfrob\n";
+  bad "trace v1\nmachines 1\nbanks 1\nspeed 0 0\nbank 0 10\nholds 0 0\n"
+
+let test_trace_diurnal_shape () =
+  let count = 200 in
+  let t = T.diurnal ~seed:7 ~peak_rate:0.5 ~count () in
+  Alcotest.(check int) "count" count (List.length t.entries);
+  let arrivals = List.map (fun (e : T.entry) -> e.request.W.arrival) t.entries in
+  let sorted = ref true in
+  ignore
+    (List.fold_left
+       (fun prev a ->
+         if R.compare a prev < 0 then sorted := false;
+         a)
+       R.zero arrivals);
+  Alcotest.(check bool) "sorted" true !sorted;
+  let ids = List.map (fun (e : T.entry) -> e.id) t.entries in
+  Alcotest.(check int) "unique ids" count (List.length (List.sort_uniq compare ids))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_quantiles () =
+  let reg = M.create () in
+  let h = M.histogram reg "x" in
+  (* 1..100 observed in a scrambled order. *)
+  let values = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  let rng = Gripps.Prng.create 3 in
+  Gripps.Prng.shuffle rng values;
+  Array.iter (M.observe h) values;
+  Alcotest.(check int) "count" 100 (M.samples h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (M.hmin h);
+  Alcotest.(check (float 1e-9)) "max" 100.0 (M.hmax h);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (M.mean h);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (M.quantile h 0.);
+  Alcotest.(check (float 1e-9)) "p50" 50.5 (M.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p95" 95.05 (M.quantile h 0.95);
+  Alcotest.(check (float 1e-9)) "p99" 99.01 (M.quantile h 0.99);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (M.quantile h 1.);
+  (* Deciles of a uniform grid stay within a grid step of the ideal. *)
+  for d = 1 to 9 do
+    let q = float_of_int d /. 10. in
+    let got = M.quantile h q in
+    Alcotest.(check bool)
+      (Printf.sprintf "p%d near ideal" (10 * d))
+      true
+      (Float.abs (got -. (q *. 100.)) <= 1.0)
+  done
+
+let test_metrics_registry () =
+  let reg = M.create () in
+  let c = M.counter reg "reqs" in
+  M.incr c;
+  M.add c 4;
+  Alcotest.(check int) "counter" 5 (M.count c);
+  Alcotest.(check bool) "same instrument" true (M.counter reg "reqs" == c);
+  let g = M.gauge reg "depth" in
+  M.set g 3.;
+  M.set g 1.;
+  Alcotest.(check (float 1e-9)) "gauge value" 1. (M.value g);
+  Alcotest.(check (float 1e-9)) "gauge peak" 3. (M.peak g);
+  (let h = M.histogram reg "lat" in
+   M.observe h 1.5);
+  let text = M.to_text reg in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("text mentions " ^ needle) true
+        (contains text needle))
+    [ "reqs"; "depth"; "lat" ];
+  let json = M.to_json reg in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json mentions " ^ needle) true
+        (contains json needle))
+    [ "\"reqs\":5"; "\"depth\""; "\"lat\""; "\"p95\"" ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine vs. the plain simulator                                      *)
+(* ------------------------------------------------------------------ *)
+
+let policies : (module Online.Sim.POLICY) list =
+  [ (module Online.Policies.Mct); (module Online.Policies.Fair);
+    (module Online.Policies.Srpt); (module Online.Online_opt.Divisible) ]
+
+let test_engine_matches_sim () =
+  let trace = T.poisson ~seed:11 ~rate:(1. /. 40.) ~count:10 () in
+  let inst = I.stretch_weights (T.to_instance trace) in
+  List.iter
+    (fun (module P : Online.Sim.POLICY) ->
+      let sim = Online.Sim.run (module P) inst in
+      let eng = E.replay ~policy:(module P) trace in
+      let esched = E.schedule eng in
+      check_valid ("engine " ^ P.name) esched;
+      Alcotest.(check rat)
+        (P.name ^ " same max stretch")
+        (S.max_stretch sim.Online.Sim.schedule)
+        (S.max_stretch esched);
+      Alcotest.(check rat)
+        (P.name ^ " same makespan")
+        (S.makespan sim.Online.Sim.schedule)
+        (S.makespan esched);
+      let decisions = M.count (M.counter (E.metrics eng) "decisions") in
+      Alcotest.(check int) (P.name ^ " same decision count") sim.Online.Sim.decisions
+        decisions)
+    policies
+
+let test_engine_metrics_report () =
+  let trace = T.poisson ~seed:5 ~rate:(1. /. 30.) ~count:8 () in
+  let eng = E.replay ~policy:(module Online.Policies.Fair) trace in
+  Alcotest.(check int) "all completed" 8 (E.completed eng);
+  let reg = E.metrics eng in
+  Alcotest.(check int) "submitted" 8 (M.count (M.counter reg "requests_submitted"));
+  Alcotest.(check int) "completed" 8 (M.count (M.counter reg "requests_completed"));
+  let h = M.histogram reg "stretch" in
+  Alcotest.(check int) "stretch samples" 8 (M.samples h);
+  (* Max stretch of the schedule is the largest stretch observation. *)
+  let esched = E.schedule eng in
+  Alcotest.(check (float 1e-6))
+    "stretch max agrees with schedule"
+    (R.to_float (S.max_stretch esched))
+    (M.hmax h)
+
+let test_engine_batching () =
+  let trace = T.poisson ~seed:13 ~rate:(1. /. 5.) ~count:12 () in
+  let plain = E.replay ~policy:(module Online.Policies.Fair) trace in
+  let batched =
+    E.replay ~batch_window:(R.of_int 30) ~policy:(module Online.Policies.Fair) trace
+  in
+  check_valid "batched" (E.schedule batched);
+  Alcotest.(check int) "all completed" 12 (E.completed batched);
+  let d reg = M.count (M.counter (E.metrics reg) "decisions") in
+  Alcotest.(check bool) "fewer or equal decisions" true (d batched <= d plain);
+  Alcotest.(check bool) "coalesced something" true
+    (M.count (M.counter (E.metrics batched) "arrivals_coalesced") > 0)
+
+let mini_platform () =
+  (* Two unit-speed machines, each holding the single bank. *)
+  {
+    W.speeds = [| R.one; R.one |];
+    bank_sizes = [| 380 |];
+    has_bank = [| [| true |]; [| true |] |];
+  }
+
+let test_engine_live_submissions () =
+  let clock = Serve.Clock.virtual_ () in
+  let eng =
+    E.create ~clock ~policy:(module Online.Policies.Srpt) (mini_platform ())
+  in
+  ignore (E.submit eng ~id:"a" ~arrival:R.zero ~bank:0 ~num_motifs:300 ());
+  E.run_until eng R.one;
+  Alcotest.(check int) "one active" 1 (E.active eng);
+  (* Mid-flight submission: rebuilds the policy, extends the instance. *)
+  ignore (E.submit eng ~id:"b" ~arrival:(E.now eng) ~bank:0 ~num_motifs:200 ());
+  E.drain eng;
+  Alcotest.(check int) "both completed" 2 (E.completed eng);
+  check_valid "live" (E.schedule eng);
+  Alcotest.(check bool) "rebuild counted" true
+    (M.count (M.counter (E.metrics eng) "policy_rebuilds") >= 1);
+  (* Duplicate ids and time travel are rejected. *)
+  Alcotest.check_raises "duplicate id"
+    (Invalid_argument "Engine.submit: duplicate request id \"a\"")
+    (fun () -> ignore (E.submit eng ~id:"a" ~arrival:(E.now eng) ~bank:0 ~num_motifs:1 ()));
+  Alcotest.(check bool) "past arrival rejected" true
+    (try
+       ignore (E.submit eng ~id:"c" ~arrival:R.zero ~bank:0 ~num_motifs:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Server protocol                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_server_protocol () =
+  let clock = Serve.Clock.virtual_ () in
+  let eng = E.create ~clock ~policy:(module Online.Policies.Fair) (mini_platform ()) in
+  let srv = Serve.Server.create eng in
+  let expect_last ?(verdict = `Continue) cmd prefix =
+    let replies, v = Serve.Server.handle_line srv cmd in
+    Alcotest.(check bool) (cmd ^ " verdict") true (v = verdict);
+    match List.rev replies with
+    | [] -> Alcotest.fail (cmd ^ ": no reply")
+    | last :: _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s -> %s (got %s)" cmd prefix last)
+        true
+        (String.length last >= String.length prefix
+        && String.sub last 0 (String.length prefix) = prefix)
+  in
+  expect_last "status" "ok now=0 submitted=0";
+  expect_last "submit r1 0 10" "ok submitted r1 job=0";
+  expect_last "submit r2 0 5" "ok submitted r2 job=1";
+  expect_last "submit r2 0 5" "err";
+  expect_last "submit r3 9 5" "err";
+  expect_last "tick 1" "ok now=1";
+  expect_last "status" "ok now=1 submitted=2";
+  expect_last "metrics" "ok";
+  expect_last "drain" "ok drained";
+  expect_last "nonsense" "err unknown command";
+  (let replies, _ = Serve.Server.handle_line srv "metrics json" in
+   match replies with
+   | [ json; "ok" ] ->
+     Alcotest.(check bool) "json has completed counter" true
+       (contains json "\"requests_completed\":2")
+   | _ -> Alcotest.fail "metrics json shape");
+  expect_last ~verdict:`Quit "quit" "ok bye";
+  check_valid "server schedule" (E.schedule eng)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "serve"
+    [ ( "trace",
+        [ Alcotest.test_case "parse" `Quick test_trace_parse;
+          Alcotest.test_case "roundtrip example" `Quick test_trace_roundtrip_example;
+          Alcotest.test_case "errors" `Quick test_trace_errors;
+          Alcotest.test_case "diurnal shape" `Quick test_trace_diurnal_shape;
+          QCheck_alcotest.to_alcotest prop_trace_roundtrip
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "quantiles" `Quick test_metrics_quantiles;
+          Alcotest.test_case "registry" `Quick test_metrics_registry
+        ] );
+      ( "engine",
+        [ Alcotest.test_case "matches simulator" `Quick test_engine_matches_sim;
+          Alcotest.test_case "metrics report" `Quick test_engine_metrics_report;
+          Alcotest.test_case "batching" `Quick test_engine_batching;
+          Alcotest.test_case "live submissions" `Quick test_engine_live_submissions
+        ] );
+      ( "server",
+        [ Alcotest.test_case "protocol" `Quick test_server_protocol ] )
+    ]
