@@ -1,6 +1,6 @@
 # Convenience targets; everything real lives in dune.
 
-.PHONY: all build test bench check fmt clean
+.PHONY: all build test bench bench-smoke check fmt clean
 
 all: build
 
@@ -13,9 +13,14 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# What CI would run: full build + every test, plus formatting when the
-# formatter is installed (ocamlformat is optional in the dev image).
-check: build test fmt
+# Fails if LP solve/pivot counts regress past bench/solve_budget.txt.
+bench-smoke:
+	dune exec bench/main.exe -- smoke
+
+# What CI would run: full build + every test, the solve-count smoke
+# check, plus formatting when the formatter is installed (ocamlformat is
+# optional in the dev image).
+check: build test bench-smoke fmt
 
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \

@@ -1,0 +1,89 @@
+(* Machine-readable bench output.
+
+   Every experiment that calls [write] drops a `BENCH_<name>.json` file in
+   the current directory (repo root under `make bench`) when the harness
+   runs with `--json`.  Files carry a schema/version envelope plus the
+   solver configuration they were measured under, so downstream tooling
+   can refuse data from a mismatched harness or solver variant. *)
+
+type v =
+  | Str of string
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | List of v list
+  | Obj of (string * v) list
+
+let enabled = ref false
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec emit buf = function
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    else Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf "\":";
+        emit buf item)
+      fields;
+    Buffer.add_char buf '}'
+
+(* The schema version is bumped whenever the envelope or any experiment's
+   [data] layout changes incompatibly. *)
+let schema = "dlsched-bench"
+let version = 1
+
+let write ~experiment data =
+  if !enabled then begin
+    let doc =
+      Obj
+        [
+          ("schema", Str schema);
+          ("version", Int version);
+          ("experiment", Str experiment);
+          ("solver", Str (Lp.Solve.variant_name !Lp.Solve.variant));
+          ("warm", Bool !Lp.Solve.warm);
+          ("data", data);
+        ]
+    in
+    let buf = Buffer.create 1024 in
+    emit buf doc;
+    Buffer.add_char buf '\n';
+    let path = Printf.sprintf "BENCH_%s.json" experiment in
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "json: wrote %s\n" path
+  end

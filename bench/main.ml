@@ -352,6 +352,179 @@ let run_search () =
     [ (4, 2); (6, 3); (8, 3); (10, 4); (12, 4); (16, 5) ]
 
 (* ------------------------------------------------------------------ *)
+(* Warm-start ablation: basis reuse across the milestone search         *)
+(* ------------------------------------------------------------------ *)
+
+(* One milestone search, with per-solve records captured via the stats
+   hook.  The last exact solve is the final parametric LP — always cold
+   by design (see Max_flow.solve), so it is reported separately from the
+   search-phase feasibility probes that warm-starting targets. *)
+let measure_search ~warm inst =
+  let saved = !Lp.Solve.warm in
+  Lp.Solve.warm := warm;
+  Fun.protect
+    ~finally:(fun () -> Lp.Solve.warm := saved)
+    (fun () ->
+      let infos = ref [] in
+      let r =
+        Lp.Stats.with_hook
+          (fun i -> if i.Lp.Stats.exact then infos := i :: !infos)
+          (fun () -> Sched_core.Max_flow.solve inst)
+      in
+      match !infos with
+      | final :: probes_rev -> (r, List.rev probes_rev, final)
+      | [] -> assert false)
+
+let info_pivots (i : Lp.Stats.info) =
+  i.Lp.Stats.pivots_phase1 + i.Lp.Stats.pivots_phase2 + i.Lp.Stats.pivots_dual
+
+let run_warmstart () =
+  section "Warm-start ablation: exact probe pivots, cold vs basis reuse";
+  if !Lp.Solve.variant <> Lp.Solve.Sparse then
+    failwith "warmstart: requires --solver=sparse (hints are sparse-only)";
+  Printf.printf
+    "Milestone search feasibility probes (final parametric solve excluded;\n\
+     it is cold under both configurations and identical by construction).\n";
+  Printf.printf "%4s %4s %7s | %12s | %12s %6s | %7s\n" "n" "m" "probes"
+    "cold pivots" "warm pivots" "hits" "ratio";
+  let rng = Gripps.Prng.create 108 in
+  let rows =
+    List.map
+      (fun (n, m) ->
+        let inst = random_instance rng ~jobs:n ~machines:m in
+        let rc, probes_c, final_c = measure_search ~warm:false inst in
+        let rw, probes_w, final_w = measure_search ~warm:true inst in
+        if
+          not
+            (R.equal rc.Sched_core.Max_flow.objective
+               rw.Sched_core.Max_flow.objective)
+        then failwith "warmstart: objectives diverge between configurations";
+        if info_pivots final_c <> info_pivots final_w then
+          failwith "warmstart: final parametric solve was not cold-identical";
+        let sum l = List.fold_left (fun a i -> a + info_pivots i) 0 l in
+        let cold = sum probes_c and warmp = sum probes_w in
+        let hits =
+          List.length (List.filter (fun i -> i.Lp.Stats.warm) probes_w)
+        in
+        let ratio = float_of_int cold /. Float.max 1.0 (float_of_int warmp) in
+        Printf.printf "%4d %4d %7d | %12d | %12d %6d | %6.1fx\n" n m
+          (List.length probes_w) cold warmp hits ratio;
+        (n, m, List.length probes_w, cold, warmp, hits))
+      [ (4, 2); (6, 3); (8, 3); (10, 4); (12, 4); (16, 5) ]
+  in
+  let total f = List.fold_left (fun a r -> a + f r) 0 rows in
+  let cold = total (fun (_, _, _, c, _, _) -> c) in
+  let warmp = total (fun (_, _, _, _, w, _) -> w) in
+  let probes = total (fun (_, _, p, _, _, _) -> p) in
+  let hits = total (fun (_, _, _, _, _, h) -> h) in
+  let ratio = float_of_int cold /. Float.max 1.0 (float_of_int warmp) in
+  Printf.printf
+    "total: %d probes, %d warm hits; search pivots %d cold -> %d warm (%.1fx)\n"
+    probes hits cold warmp ratio;
+  Json_out.write ~experiment:"warmstart"
+    (Json_out.Obj
+       [
+         ( "instances",
+           Json_out.List
+             (List.map
+                (fun (n, m, p, c, w, h) ->
+                  Json_out.Obj
+                    [
+                      ("jobs", Json_out.Int n);
+                      ("machines", Json_out.Int m);
+                      ("probes", Json_out.Int p);
+                      ("cold_pivots", Json_out.Int c);
+                      ("warm_pivots", Json_out.Int w);
+                      ("warm_hits", Json_out.Int h);
+                    ])
+                rows) );
+         ("total_probes", Json_out.Int probes);
+         ("total_warm_hits", Json_out.Int hits);
+         ("total_cold_pivots", Json_out.Int cold);
+         ("total_warm_pivots", Json_out.Int warmp);
+         ("pivot_reduction", Json_out.Float ratio);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Solve-budget smoke check                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic fixed workload; counts exact/approx solves and pivots
+   and compares them to the checked-in ceilings in bench/solve_budget.txt.
+   A regression in warm-starting, probe caching or pivot rules that blows
+   a ceiling fails the run (and `make check` through `bench-smoke`). *)
+let budget_file = "bench/solve_budget.txt"
+
+let read_budget path =
+  if not (Sys.file_exists path) then
+    failwith
+      (Printf.sprintf
+         "smoke: missing %s; run `dune exec bench/main.exe -- smoke` from the \
+          repo root (or regenerate the budget from its output)"
+         path);
+  let ic = open_in path in
+  let tbl = Hashtbl.create 8 in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         Scanf.sscanf line "%s %d" (fun k v -> Hashtbl.replace tbl k v)
+     done
+   with End_of_file -> close_in ic);
+  tbl
+
+let run_smoke () =
+  section "Solve-budget smoke check (vs bench/solve_budget.txt)";
+  let rng = Gripps.Prng.create 109 in
+  let insts =
+    List.map
+      (fun (n, m) -> random_instance rng ~jobs:n ~machines:m)
+      [ (4, 2); (6, 3); (8, 3); (10, 4) ]
+  in
+  let b_ex = Lp.Stats.copy Lp.Stats.exact in
+  let b_ap = Lp.Stats.copy Lp.Stats.approx in
+  List.iter
+    (fun inst ->
+      ignore (Sched_core.Max_flow.solve inst);
+      ignore (Sched_core.Makespan.solve inst))
+    insts;
+  let d_ex = Lp.Stats.diff ~before:b_ex (Lp.Stats.copy Lp.Stats.exact) in
+  let d_ap = Lp.Stats.diff ~before:b_ap (Lp.Stats.copy Lp.Stats.approx) in
+  let measured =
+    [
+      ("exact_solves", d_ex.Lp.Stats.solves);
+      ("exact_pivots", Lp.Stats.total_pivots d_ex);
+      ("approx_solves", d_ap.Lp.Stats.solves);
+      ("approx_pivots", Lp.Stats.total_pivots d_ap);
+    ]
+  in
+  (* Warm solves are a floor, not a ceiling: losing them is the regression. *)
+  let floors = [ ("exact_warm_solves", d_ex.Lp.Stats.warm_solves) ] in
+  let budget = read_budget budget_file in
+  let ok = ref true in
+  Printf.printf "%-24s %10s %10s %8s\n" "metric" "measured" "budget" "ok";
+  let check ~ceiling (key, v) =
+    match Hashtbl.find_opt budget key with
+    | None ->
+      ok := false;
+      Printf.printf "%-24s %10d %10s %8s\n" key v "missing" "FAIL"
+    | Some b ->
+      let pass = if ceiling then v <= b else v >= b in
+      if not pass then ok := false;
+      Printf.printf "%-24s %10d %10s %8s\n" key v
+        ((if ceiling then "<= " else ">= ") ^ string_of_int b)
+        (if pass then "ok" else "FAIL")
+  in
+  List.iter (check ~ceiling:true) measured;
+  List.iter (check ~ceiling:false) floors;
+  Json_out.write ~experiment:"smoke"
+    (Json_out.Obj
+       (("passed", Json_out.Bool !ok)
+       :: List.map (fun (k, v) -> (k, Json_out.Int v)) (measured @ floors)));
+  if not !ok then failwith "smoke: solve budget exceeded (see table above)";
+  Printf.printf "solve budget respected.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Section 2, third experiment: communication overheads are negligible *)
 (* ------------------------------------------------------------------ *)
 
@@ -424,12 +597,21 @@ let run_serve () =
   Printf.printf
     "Diurnal GriPPS traces (4 machines, 3 banks); engine + incremental\n\
      validation end to end, batch window 0.\n";
-  Printf.printf "%6s %-10s %10s %10s %12s %12s %10s\n" "reqs" "policy" "decisions"
-    "slices" "req/s" "decisions/s" "time (ms)";
+  Printf.printf "%6s %-12s %10s %10s %8s %8s %12s %10s\n" "reqs" "policy" "decisions"
+    "slices" "lp" "lp warm" "req/s" "time (ms)";
+  let json_rows = ref [] in
   List.iter
     (fun count ->
       let trace =
         Serve.Trace.diurnal ~seed:(1000 + count) ~peak_rate:0.2 ~count ()
+      in
+      let policies =
+        ([ (module Online.Policies.Mct); (module Online.Policies.Fair);
+           (module Online.Policies.Srpt) ]
+          : (module Online.Sim.POLICY) list)
+        (* The LP-driven policy is quadratic-ish in queue depth; keep it to
+           the smaller traces so the bench stays interactive. *)
+        @ (if count <= 100 then [ (module Online.Online_opt.Divisible) ] else [])
       in
       List.iter
         (fun (module P : Online.Sim.POLICY) ->
@@ -437,16 +619,33 @@ let run_serve () =
             time_it (fun () -> Serve.Engine.replay ~policy:(module P) trace)
           in
           let m = Serve.Engine.metrics engine in
-          let decisions = Serve.Metrics.count (Serve.Metrics.counter m "decisions") in
-          let slices = Serve.Metrics.count (Serve.Metrics.counter m "slices") in
-          Printf.printf "%6d %-10s %10d %10d %12.0f %12.0f %10.1f\n" count P.name
-            decisions slices
+          let count_of name = Serve.Metrics.count (Serve.Metrics.counter m name) in
+          let decisions = count_of "decisions" in
+          let slices = count_of "slices" in
+          let lp_solves = count_of "lp_solves" in
+          let lp_warm = count_of "lp_solves_warm" in
+          Printf.printf "%6d %-12s %10d %10d %8d %8d %12.0f %10.1f\n" count P.name
+            decisions slices lp_solves lp_warm
             (float_of_int count /. Float.max 1e-9 elapsed)
-            (float_of_int decisions /. Float.max 1e-9 elapsed)
-            (elapsed *. 1000.0))
-        [ (module Online.Policies.Mct); (module Online.Policies.Fair);
-          (module Online.Policies.Srpt) ])
-    [ 50; 100; 200; 400 ]
+            (elapsed *. 1000.0);
+          json_rows :=
+            Json_out.Obj
+              [
+                ("requests", Json_out.Int count);
+                ("policy", Json_out.Str P.name);
+                ("decisions", Json_out.Int decisions);
+                ("slices", Json_out.Int slices);
+                ("lp_solves", Json_out.Int lp_solves);
+                ("lp_solves_warm", Json_out.Int lp_warm);
+                ("lp_pivots_phase1", Json_out.Int (count_of "lp_pivots_phase1"));
+                ("lp_pivots_phase2", Json_out.Int (count_of "lp_pivots_phase2"));
+                ("lp_pivots_dual", Json_out.Int (count_of "lp_pivots_dual"));
+                ("seconds", Json_out.Float elapsed);
+              ]
+            :: !json_rows)
+        policies)
+    [ 50; 100; 200; 400 ];
+  Json_out.write ~experiment:"serve" (Json_out.List (List.rev !json_rows))
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
@@ -506,17 +705,37 @@ let experiments =
     ("reopt", run_reopt);
     ("lp", run_lp);
     ("search", run_search);
+    ("warmstart", run_warmstart);
+    ("smoke", run_smoke);
     ("uniform", run_uniform);
     ("serve", run_serve);
     ("micro", run_micro)
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+  let args = List.tl (Array.to_list Sys.argv) in
+  (* Flags: --json enables BENCH_*.json emission; --solver=dense|sparse
+     selects the engine family for everything that follows. *)
+  let names =
+    List.filter
+      (fun a ->
+        if a = "--json" then begin
+          Json_out.enabled := true;
+          false
+        end
+        else if String.length a > 9 && String.sub a 0 9 = "--solver=" then begin
+          let v = String.sub a 9 (String.length a - 9) in
+          (match Lp.Solve.variant_of_string v with
+           | Some variant -> Lp.Solve.variant := variant
+           | None ->
+             Printf.eprintf "unknown solver %S (dense|sparse)\n" v;
+             exit 1);
+          false
+        end
+        else true)
+      args
   in
+  let requested = if names = [] then List.map fst experiments else names in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with

@@ -46,6 +46,21 @@ let instance_arg =
   let doc = "Instance file (see `dlsched generate` for the format)." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE" ~doc)
 
+(* Shared by every command that solves LPs.  Evaluates to (), setting the
+   process-wide engine family as a side effect before the command runs. *)
+let solver_arg =
+  let doc = "LP engine: $(b,sparse) (revised simplex on sparse columns, with \
+             warm-started re-solves; the default) or $(b,dense) (the original \
+             tableau solver, kept as a differential-testing oracle).  Exact \
+             results are identical under both." in
+  let solver =
+    Arg.(value
+         & opt (enum [ ("sparse", Lp.Solve.Sparse); ("dense", Lp.Solve.Dense) ])
+             Lp.Solve.Sparse
+         & info [ "solver" ] ~docv:"ENGINE" ~doc)
+  in
+  Term.(const (fun v -> Lp.Solve.variant := v) $ solver)
+
 (* --- solve ------------------------------------------------------- *)
 
 let svg_arg =
@@ -69,7 +84,7 @@ let solve_cmd =
            `Maxflow
          & info [ "objective"; "O" ] ~doc)
   in
-  let run file objective svg =
+  let run () file objective svg =
     let inst = load_instance file in
     let schedule =
       match objective with
@@ -103,7 +118,8 @@ let solve_cmd =
     maybe_svg svg schedule
   in
   let doc = "Solve an offline scheduling problem exactly (Theorems 1/2, Section 4.4)." in
-  Cmd.v (Cmd.info "solve" ~doc) Term.(const run $ instance_arg $ objective $ svg_arg)
+  Cmd.v (Cmd.info "solve" ~doc)
+    Term.(const run $ solver_arg $ instance_arg $ objective $ svg_arg)
 
 (* --- feasible ----------------------------------------------------- *)
 
@@ -112,7 +128,7 @@ let feasible_cmd =
     let doc = "Comma-separated deadlines, one rational per job (e.g. 8,15/2,6)." in
     Arg.(required & opt (some string) None & info [ "deadlines"; "d" ] ~doc)
   in
-  let run file deadlines =
+  let run () file deadlines =
     let inst = load_instance file in
     let ds =
       String.split_on_char ',' deadlines |> List.map R.of_string |> Array.of_list
@@ -130,7 +146,8 @@ let feasible_cmd =
       exit 1
   in
   let doc = "Decide deadline feasibility (Lemma 1) and print a witness schedule." in
-  Cmd.v (Cmd.info "feasible" ~doc) Term.(const run $ instance_arg $ deadlines)
+  Cmd.v (Cmd.info "feasible" ~doc)
+    Term.(const run $ solver_arg $ instance_arg $ deadlines)
 
 (* --- milestones ---------------------------------------------------- *)
 
@@ -159,7 +176,7 @@ let simulate_cmd =
     let doc = "Reweight the instance for max-stretch before simulating." in
     Arg.(value & flag & info [ "stretch" ] ~doc)
   in
-  let run file policy stretch =
+  let run () file policy stretch =
     let inst = load_instance file in
     let inst = if stretch then I.stretch_weights inst else inst in
     let m : (module Online.Sim.POLICY) =
@@ -178,7 +195,8 @@ let simulate_cmd =
       (R.to_string (S.max_weighted_flow r.Online.Sim.schedule))
   in
   let doc = "Run an online policy on the instance and compare to the offline optimum." in
-  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ instance_arg $ policy $ stretch)
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ solver_arg $ instance_arg $ policy $ stretch)
 
 (* --- compare ------------------------------------------------------- *)
 
@@ -187,14 +205,15 @@ let compare_cmd =
     let doc = "Reweight the instance for max-stretch before comparing." in
     Arg.(value & flag & info [ "stretch" ] ~doc)
   in
-  let run file stretch =
+  let run () file stretch =
     let inst = load_instance file in
     let inst = if stretch then I.stretch_weights inst else inst in
     let report = Online.Compare.run inst in
     Format.printf "%a@." Online.Compare.pp report
   in
   let doc = "Run every online policy on the instance and tabulate them              against the offline optimum." in
-  Cmd.v (Cmd.info "compare" ~doc) Term.(const run $ instance_arg $ stretch)
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ solver_arg $ instance_arg $ stretch)
 
 (* --- generate ------------------------------------------------------ *)
 
@@ -351,7 +370,7 @@ let replay_cmd =
     Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Report metrics as JSON.") in
-  let run file policy batch report json =
+  let run () file policy batch report json =
     let trace = load_trace file in
     let wall0 = Unix.gettimeofday () in
     let engine =
@@ -385,7 +404,7 @@ let replay_cmd =
   in
   let doc = "Replay a workload trace through the serving engine under a virtual              clock and report per-request flow/stretch metrics." in
   Cmd.v (Cmd.info "replay" ~doc)
-    Term.(const run $ trace_arg $ policy_arg $ batch_arg $ report $ json)
+    Term.(const run $ solver_arg $ trace_arg $ policy_arg $ batch_arg $ report $ json)
 
 let serve_cmd =
   let socket =
@@ -402,7 +421,7 @@ let serve_cmd =
                file instead of generating a random one." in
     Arg.(value & opt (some file) None & info [ "platform" ] ~docv:"TRACE" ~doc)
   in
-  let run socket clock platform_from machines banks replication seed policy batch =
+  let run () socket clock platform_from machines banks replication seed policy batch =
     let platform =
       match platform_from with
       | Some file -> (load_trace file).Serve.Trace.platform
@@ -430,8 +449,8 @@ let serve_cmd =
   in
   let doc = "Run the scheduler as a daemon speaking a newline-delimited command              protocol on stdin/stdout or a Unix socket." in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ socket $ clock $ platform_from $ trace_machines $ trace_banks
-          $ trace_replication $ trace_seed $ policy_arg $ batch_arg)
+    Term.(const run $ solver_arg $ socket $ clock $ platform_from $ trace_machines
+          $ trace_banks $ trace_replication $ trace_seed $ policy_arg $ batch_arg)
 
 let () =
   let doc = "exact schedulers for divisible requests on heterogeneous databanks" in

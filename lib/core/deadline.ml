@@ -1,8 +1,9 @@
 module Rat = Numeric.Rat
 module Sx = Lp.Simplex.Exact
+module Sf = Lp.Simplex.Approx
 
 let solve_form inst (form : Formulations.deadline_form) =
-  match Lp.Simplex_ff.solve form.dl_problem with
+  match Lp.Solve.exact form.dl_problem with
   | Sx.Optimal sol ->
     let fractions = form.dl_decode sol.values in
     Some (Schedule.pack inst ~intervals:form.dl_intervals ~fractions)
@@ -14,15 +15,14 @@ let feasible inst ~deadlines =
 
 let is_feasible ?divisible inst ~deadlines =
   let form = Formulations.deadline_system ?divisible inst ~deadlines in
-  match Lp.Simplex_ff.solve form.dl_problem with
+  match Lp.Solve.exact form.dl_problem with
   | Sx.Optimal _ -> true
   | Sx.Infeasible -> false
   | Sx.Unbounded -> assert false
 
 let is_feasible_approx ?divisible inst ~deadlines =
   let form = Formulations.deadline_system ?divisible inst ~deadlines in
-  let module Sf = Lp.Simplex.Approx in
-  match Sf.solve (Lp.Problem.map Rat.to_float form.dl_problem) with
+  match Lp.Solve.approx (Lp.Problem.map Rat.to_float form.dl_problem) with
   | Sf.Optimal _ -> true
   | Sf.Infeasible -> false
   | Sf.Unbounded -> assert false
@@ -31,3 +31,89 @@ let flow_deadlines inst ~objective =
   Array.init (Instance.num_jobs inst) (fun j ->
       Rat.add (Instance.flow_origin inst j)
         (Rat.div objective (Instance.weight inst j)))
+
+(* ------------------------------------------------------------------ *)
+(* Warm-started feasibility probes                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A prober amortizes a family of flow-deadline feasibility questions on
+   one instance (the milestone binary search, online re-solves):
+   - formulations are memoized per objective, so the approx pre-check and
+     the exact certification of the same F build the LP once;
+   - the float probe's final basis seeds the exact solve of the same
+     system (verified warm start — see [Lp.Revised]);
+   - exact bases are kept in a shape-keyed [Lp.Solve.cache], warm-starting
+     later probes whose interval structure coincides (pass [?cache] to
+     share it across probers, e.g. across online arrivals);
+   - feasible exact probes keep their LP solution, so the winning
+     objective's schedule is decoded without another solve
+     ([schedule_at]). *)
+type prober = {
+  p_inst : Instance.t;
+  p_divisible : bool;
+  p_cache : Lp.Solve.cache;
+  p_forms : (string, Formulations.deadline_form) Hashtbl.t;
+  p_bases : (string, int array) Hashtbl.t; (* float bases, keyed by objective *)
+  p_solutions : (string, Rat.t array) Hashtbl.t; (* feasible exact solutions *)
+}
+
+let prober ?(divisible = true) ?cache inst =
+  {
+    p_inst = inst;
+    p_divisible = divisible;
+    p_cache = (match cache with Some c -> c | None -> Lp.Solve.cache ());
+    p_forms = Hashtbl.create 16;
+    p_bases = Hashtbl.create 16;
+    p_solutions = Hashtbl.create 8;
+  }
+
+let obj_key f = Format.asprintf "%a" Rat.pp f
+
+let form_at pr ~objective =
+  let key = obj_key objective in
+  match Hashtbl.find_opt pr.p_forms key with
+  | Some form -> form
+  | None ->
+    let deadlines = flow_deadlines pr.p_inst ~objective in
+    let form =
+      Formulations.deadline_system ~divisible:pr.p_divisible pr.p_inst ~deadlines
+    in
+    Hashtbl.replace pr.p_forms key form;
+    form
+
+let probe_approx pr ~objective =
+  let form = form_at pr ~objective in
+  let outcome, basis =
+    Lp.Solve.approx_basis (Lp.Problem.map Rat.to_float form.dl_problem)
+  in
+  Option.iter (fun b -> Hashtbl.replace pr.p_bases (obj_key objective) b) basis;
+  match outcome with
+  | Sf.Optimal _ -> true
+  | Sf.Infeasible -> false
+  | Sf.Unbounded -> assert false
+
+let probe_exact pr ~objective =
+  let form = form_at pr ~objective in
+  let hint = Hashtbl.find_opt pr.p_bases (obj_key objective) in
+  match Lp.Solve.exact ~cache:pr.p_cache ?hint form.dl_problem with
+  | Sx.Optimal sol ->
+    Hashtbl.replace pr.p_solutions (obj_key objective) sol.values;
+    true
+  | Sx.Infeasible -> false
+  | Sx.Unbounded -> assert false
+
+let schedule_at pr ~objective =
+  let key = obj_key objective in
+  let values =
+    match Hashtbl.find_opt pr.p_solutions key with
+    | Some v -> Some v
+    | None ->
+      if probe_exact pr ~objective then Hashtbl.find_opt pr.p_solutions key
+      else None
+  in
+  match values with
+  | None -> None
+  | Some values ->
+    let form = form_at pr ~objective in
+    let fractions = form.dl_decode values in
+    Some (Schedule.pack pr.p_inst ~intervals:form.dl_intervals ~fractions)

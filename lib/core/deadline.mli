@@ -22,3 +22,33 @@ val is_feasible_approx : ?divisible:bool -> Instance.t -> deadlines:Rat.t array 
 val flow_deadlines : Instance.t -> objective:Rat.t -> Rat.t array
 (** The deadlines [d̄_j(F) = r_j + F/w_j] induced by a maximum weighted
     flow objective [F] (Section 4.3.1). *)
+
+(** {2 Warm-started feasibility probes}
+
+    A prober answers a family of "is objective [F] feasible?" questions on
+    one instance, reusing work across probes: memoized formulations, the
+    float probe's basis seeding the exact solve of the same system, a
+    shape-keyed basis cache across objectives, and cached solutions so the
+    winning probe's schedule needs no extra solve.  Every reuse is
+    verified by the solver (see {!Lp.Session}), so answers are identical
+    to cold solves — only cheaper. *)
+
+type prober
+
+val prober : ?divisible:bool -> ?cache:Lp.Solve.cache -> Instance.t -> prober
+(** [divisible] defaults to [true] (system (2)); [false] selects the
+    preemptive system (5) at fixed objective.  Pass [?cache] to share a
+    basis cache across probers (e.g. across online re-solves). *)
+
+val probe_approx : prober -> objective:Rat.t -> bool
+(** Float feasibility pre-check at [objective]; records the float basis
+    for {!probe_exact} to warm-start from. *)
+
+val probe_exact : prober -> objective:Rat.t -> bool
+(** Exact feasibility at [objective], warm-started when a float basis or
+    a shape-compatible cached basis is available. *)
+
+val schedule_at : prober -> objective:Rat.t -> Schedule.t option
+(** The schedule of the (divisible) deadline system at [objective],
+    decoded from the cached probe solution when [probe_exact] already ran
+    there — the winning milestone's LP is not solved twice. *)

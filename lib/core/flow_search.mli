@@ -7,16 +7,28 @@
     then certifies the answer with at most two exact tests — falling back
     to a fully exact binary search in the (rare) case the float search was
     fooled by a near-boundary instance.  The result is therefore exactly
-    the one a purely exact search would produce. *)
+    the one a purely exact search would produce.
+
+    Exact probes return a payload (typically the probe's LP solution or
+    schedule), and [first_feasible] returns the winning candidate's payload
+    along with its index — so the winner's LP is never solved twice. *)
 
 module Rat = Numeric.Rat
 
+val binary_search :
+  feasible:(Rat.t -> bool) -> Rat.t array -> int -> int -> int
+(** [binary_search ~feasible candidates lo hi] is the underlying monotone
+    search: smallest index in [\[lo, hi\]] that is feasible, assuming
+    [candidates.(hi)] is. *)
+
 val first_feasible :
-  exact:(Rat.t -> bool) ->
+  exact:(Rat.t -> 'a option) ->
   approx:(Rat.t -> bool) ->
   Rat.t array ->
-  int
+  int * 'a
 (** [first_feasible ~exact ~approx candidates] returns the smallest index
-    [i] with [exact candidates.(i)], given that feasibility is monotone
-    increasing and [exact candidates.(last)] holds.  [approx] must answer
-    the same question approximately. *)
+    [i] with [exact candidates.(i) <> None] together with that probe's
+    payload, given that feasibility is monotone increasing and the last
+    candidate is feasible.  [approx] must answer the same question
+    approximately.  Raises [Invalid_argument] if the last candidate turns
+    out infeasible (broken contract). *)

@@ -238,3 +238,28 @@ let parametric_system ~divisible inst ~f_lo ~f_hi =
     pf_bounds = bounds;
     pf_decode = (fun values -> (values.(f_var), decode_alloc vars values));
   }
+
+(* ------------------------------------------------------------------ *)
+(* Constraint-matrix sparsity                                          *)
+(* ------------------------------------------------------------------ *)
+
+type sparsity = {
+  sp_rows : int;
+  sp_cols : int; (* structural columns incl. slack/artificial *)
+  sp_nnz : int;
+  sp_density : float;
+}
+
+(* The formulations emit one variable per admissible machine×interval
+   triple, so rows touch few columns; this reports the CSC build of a
+   system's constraint matrix (what the revised simplex engine actually
+   iterates), for the bench reports and DESIGN numbers. *)
+let sparsity (p : Rat.t P.t) =
+  let prep = Lp.Revised.Exact.prepare p in
+  let m = Lp.Revised.Exact.matrix prep in
+  {
+    sp_rows = Linalg.Sparse.nrows m;
+    sp_cols = Linalg.Sparse.ncols m;
+    sp_nnz = Linalg.Sparse.nnz m;
+    sp_density = Linalg.Sparse.density m;
+  }

@@ -62,3 +62,17 @@ val parametric_system :
     Section 4.4 is added, making the solution reconstructible as a
     preemptive schedule without intra-job parallelism.
     @raise Invalid_argument if [f_lo >= f_hi] or either bound is negative. *)
+
+(** {1 Constraint-matrix sparsity} *)
+
+type sparsity = {
+  sp_rows : int;
+  sp_cols : int;  (** structural columns, incl. slack/artificial *)
+  sp_nnz : int;
+  sp_density : float;
+}
+
+val sparsity : Rat.t Lp.Problem.t -> sparsity
+(** Sparsity of the system's constraint matrix as the revised simplex
+    engine sees it (CSC over originals + slacks + artificials).  Used by
+    the bench reports; on realistic instances density is a few percent. *)

@@ -6,7 +6,7 @@ type result = { makespan : Rat.t; schedule : Schedule.t }
 let solve inst =
   if Instance.num_jobs inst = 0 then invalid_arg "Makespan.solve: empty instance";
   let form = Formulations.makespan_system inst in
-  match Lp.Simplex_ff.solve form.mk_problem with
+  match Lp.Solve.exact form.mk_problem with
   | Sx.Optimal sol ->
     let delta, fractions = form.mk_decode sol.values in
     let r_max = Instance.max_release inst in

@@ -31,37 +31,38 @@ let feasible_upper_bound inst =
     order;
   !worst
 
-let is_feasible_at inst f =
-  Deadline.is_feasible inst ~deadlines:(Deadline.flow_deadlines inst ~objective:f)
-
 (* Smallest index [i] in [candidates] (sorted increasing, last one known
    feasible) such that the objective [candidates.(i)] is feasible.
    Feasibility is monotone in F: larger F only loosens every deadline.
-   The search is float-driven and exactly certified (see {!Flow_search}). *)
-let first_feasible ~accelerate inst candidates =
-  let exact f = is_feasible_at inst f in
+   The search is float-driven and exactly certified (see {!Flow_search});
+   probes share a {!Deadline.prober} so exact certifications warm-start
+   from the float bases. *)
+let first_feasible ~accelerate ?cache inst candidates =
+  let pr = Deadline.prober ?cache inst in
+  let exact f = if Deadline.probe_exact pr ~objective:f then Some () else None in
   let approx =
-    if accelerate then fun f ->
-      Deadline.is_feasible_approx inst ~deadlines:(Deadline.flow_deadlines inst ~objective:f)
-    else exact
+    if accelerate then fun f -> Deadline.probe_approx pr ~objective:f
+    else fun f -> Deadline.probe_exact pr ~objective:f
   in
-  Flow_search.first_feasible ~exact ~approx candidates
+  fst (Flow_search.first_feasible ~exact ~approx candidates)
 
-let solve ?(accelerate = true) inst =
+let solve ?(accelerate = true) ?cache inst =
   if Instance.num_jobs inst = 0 then invalid_arg "Max_flow.solve: empty instance";
   let f_ub = feasible_upper_bound inst in
   let milestones = Milestones.compute inst in
   (* Only milestones at most [f_ub] matter: the optimum is ≤ f_ub, and
      [f_ub] itself is appended as a feasible sentinel so the binary search
      is always well-defined. *)
-  let below = List.filter (fun m -> Rat.compare m f_ub < 0) milestones in
-  let candidates = Array.of_list (below @ [ f_ub ]) in
-  let idx = first_feasible ~accelerate inst candidates in
+  let candidates = Milestones.candidates ~milestones inst ~upper:f_ub in
+  let idx = first_feasible ~accelerate ?cache inst candidates in
   let f_hi = candidates.(idx) in
   let f_lo = if idx = 0 then Rat.zero else candidates.(idx - 1) in
-  (* The open range (f_lo, f_hi) contains no milestone; minimize F there. *)
+  (* The open range (f_lo, f_hi) contains no milestone; minimize F there.
+     This final parametric solve intentionally takes no warm-start hint:
+     cold solves are bit-identical across solver variants, so the returned
+     schedule never depends on probe history. *)
   let form = Formulations.parametric_system ~divisible:true inst ~f_lo ~f_hi in
-  match Lp.Simplex_ff.solve form.pf_problem with
+  match Lp.Solve.exact form.pf_problem with
   | Sx.Optimal sol ->
     let f_star, fractions = form.pf_decode sol.values in
     let intervals =
@@ -84,14 +85,16 @@ let default_epsilon = Rat.of_ints 1 1048576 (* 2^-20 *)
 let solve_bisection ?(epsilon = default_epsilon) inst =
   if Instance.num_jobs inst = 0 then invalid_arg "Max_flow.solve_bisection: empty instance";
   if Rat.sign epsilon <= 0 then invalid_arg "Max_flow.solve_bisection: epsilon must be positive";
+  let pr = Deadline.prober inst in
   let lo = ref Rat.zero and hi = ref (feasible_upper_bound inst) in
   (* invariant: hi feasible, lo infeasible (or zero) *)
   while Rat.compare (Rat.sub !hi !lo) (Rat.mul epsilon !hi) > 0 do
     let mid = Rat.div_int (Rat.add !lo !hi) 2 in
-    if is_feasible_at inst mid then hi := mid else lo := mid
+    if Deadline.probe_exact pr ~objective:mid then hi := mid else lo := mid
   done;
-  let deadlines = Deadline.flow_deadlines inst ~objective:!hi in
-  match Deadline.feasible inst ~deadlines with
+  (* The probe at [hi] cached its LP solution, so the schedule is decoded
+     without solving the winning system a second time. *)
+  match Deadline.schedule_at pr ~objective:!hi with
   | Some schedule ->
     { objective = !hi; schedule; milestones = []; search_range = (!lo, !hi) }
   | None -> assert false (* hi is feasible by the loop invariant *)

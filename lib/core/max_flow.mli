@@ -19,10 +19,13 @@ type result = {
       (** the milestone-free range on which the parametric LP found [F*] *)
 }
 
-val solve : ?accelerate:bool -> Instance.t -> result
+val solve : ?accelerate:bool -> ?cache:Lp.Solve.cache -> Instance.t -> result
 (** [accelerate] (default [true]) drives the milestone binary search with
     the float LP, certified exactly ({!Flow_search}); [false] uses exact
-    feasibility tests throughout.  The result is identical either way.
+    feasibility tests throughout.  [cache] shares a warm-start basis cache
+    across calls (see {!Deadline.prober}); probes are warm-started either
+    way, but the final parametric solve is always cold.  The result is
+    identical in all configurations.
     @raise Invalid_argument on an empty instance. *)
 
 val solve_max_stretch : Instance.t -> result

@@ -25,3 +25,12 @@ let compute inst =
 let count_bound inst =
   let n = Instance.num_jobs inst in
   (n * n) - n
+
+(* Search candidates for an upper-bounded objective search: milestones
+   strictly below [upper], with [upper] appended as the feasible sentinel
+   that keeps the binary search well-defined.  [milestones] avoids
+   recomputing when the caller already has them. *)
+let candidates ?milestones inst ~upper =
+  let ms = match milestones with Some ms -> ms | None -> compute inst in
+  let below = List.filter (fun m -> Rat.compare m upper < 0) ms in
+  Array.of_list (below @ [ upper ])

@@ -14,3 +14,9 @@ val compute : Instance.t -> Rat.t list
 
 val count_bound : Instance.t -> int
 (** The paper's bound [n² − n] (used by tests and the bench report). *)
+
+val candidates : ?milestones:Rat.t list -> Instance.t -> upper:Rat.t -> Rat.t array
+(** Milestones strictly below [upper] (a known-feasible objective, e.g.
+    the serial schedule's), with [upper] appended as a feasible sentinel —
+    the candidate array fed to {!Flow_search.first_feasible}.  Pass
+    [?milestones] to reuse an already-computed {!compute} result. *)

@@ -10,18 +10,17 @@ type result = {
 }
 
 (* Feasibility of objective [f] in the preemptive model: system (5) at a
-   fixed F is the deadline system (2) plus the per-job constraint (5b). *)
-let is_feasible_at inst f =
-  Deadline.is_feasible ~divisible:false inst
-    ~deadlines:(Deadline.flow_deadlines inst ~objective:f)
-
+   fixed F is the deadline system (2) plus the per-job constraint (5b).
+   Probes share a non-divisible {!Deadline.prober}, so the exact
+   certifications warm-start from the float probes' bases. *)
 let first_feasible inst candidates =
-  Flow_search.first_feasible
-    ~exact:(fun f -> is_feasible_at inst f)
-    ~approx:(fun f ->
-      Deadline.is_feasible_approx ~divisible:false inst
-        ~deadlines:(Deadline.flow_deadlines inst ~objective:f))
-    candidates
+  let pr = Deadline.prober ~divisible:false inst in
+  fst
+    (Flow_search.first_feasible
+       ~exact:(fun f ->
+         if Deadline.probe_exact pr ~objective:f then Some () else None)
+       ~approx:(fun f -> Deadline.probe_approx pr ~objective:f)
+       candidates)
 
 (* Rebuild a preemptive schedule from interval fractions: per interval,
    decompose the processing-time matrix into synchronized slots. *)
@@ -74,13 +73,14 @@ let solve inst =
      preemptive schedule: its weighted flow is a feasible objective. *)
   let f_ub = Max_flow.feasible_upper_bound inst in
   let milestones = Milestones.compute inst in
-  let below = List.filter (fun ms -> Rat.compare ms f_ub < 0) milestones in
-  let candidates = Array.of_list (below @ [ f_ub ]) in
+  let candidates = Milestones.candidates ~milestones inst ~upper:f_ub in
   let idx = first_feasible inst candidates in
   let f_hi = candidates.(idx) in
   let f_lo = if idx = 0 then Rat.zero else candidates.(idx - 1) in
+  (* Cold final solve, as in {!Max_flow.solve}: schedules stay independent
+     of probe history and identical across solver variants. *)
   let form = Formulations.parametric_system ~divisible:false inst ~f_lo ~f_hi in
-  match Lp.Simplex_ff.solve form.pf_problem with
+  match Lp.Solve.exact form.pf_problem with
   | Sx.Optimal sol ->
     let f_star, fractions = form.pf_decode sol.values in
     let intervals =

@@ -33,6 +33,10 @@ module type S = sig
   val sign : t -> int
   (** [-1], [0] (within tolerance) or [1]. *)
 
+  val exact : bool
+  (** Whether arithmetic in this field is exact.  Solver instrumentation
+      uses it to split statistics between exact and approximate solves. *)
+
   val pp : Format.formatter -> t -> unit
 end
 
@@ -40,6 +44,7 @@ module Rational : S with type t = Numeric.Rat.t = struct
   include Numeric.Rat
 
   let of_rat x = x
+  let exact = true
 end
 
 module Approx : S with type t = float = struct
@@ -59,6 +64,7 @@ module Approx : S with type t = float = struct
   let abs = Float.abs
   let is_zero x = Float.abs x < eps
   let sign x = if x > eps then 1 else if x < -.eps then -1 else 0
+  let exact = false
   let compare a b = if is_zero (a -. b) then 0 else Float.compare a b
   let equal a b = compare a b = 0
   let pp fmt x = Format.fprintf fmt "%g" x

@@ -1,0 +1,656 @@
+(* Revised simplex over a sparse (CSC) constraint matrix, functorized over
+   the coefficient field, with an explicit basis object that supports warm
+   starts.
+
+   Where the dense tableau rewrites all m×(n+m) entries per pivot, this
+   engine keeps only the basis inverse B⁻¹ (m×m) and the basic solution
+   x_B, prices candidate columns against the sparse matrix (y = c_B·B⁻¹,
+   d_j = c_j − y·A_j), and updates B⁻¹ in O(m²) per pivot — the win grows
+   with the number of variables, and the scheduling formulations have one
+   variable per machine×interval.
+
+   Pivot-rule parity: cold solves use exactly the rules of [Simplex.Make] —
+   Dantzig entering with the same budget formula and first-index tie-break,
+   Bland fallback, minimum-ratio leaving with ties broken by smallest basic
+   variable, the same normalization and phase-1 artificial drive-out scan
+   order.  In exact arithmetic the reduced costs computed here equal the
+   dense tableau's objective row entry for entry, so a cold solve visits
+   the same sequence of bases and returns bit-identical values and duals.
+   The dense solvers are kept as a differential-testing oracle behind
+   [Solve.Dense].
+
+   Warm starts ([solve_prepared ?warm]) re-solve a problem starting from a
+   previously optimal basis: refactorize B⁻¹ from scratch (so stale hints
+   are *verified*, never trusted), drive out zero-valued artificials, then
+   either resume primal phase 2 (basis still primal feasible), run the dual
+   simplex (basis dual feasible — always the case for the zero-objective
+   deadline-feasibility probes), or give up and fall back to a cold solve.
+   A warm start can change which optimal vertex is returned (the objective
+   value is unique; the argmax need not be), so callers that require
+   bit-identical schedules simply do not pass [?warm]. *)
+
+module Sp = Linalg.Sparse
+
+module Make (F : Linalg.Field.S) = struct
+  type 'f poly_solution = 'f Solution.solution = {
+    values : 'f array;
+    objective : 'f;
+    duals : 'f array;
+  }
+
+  type solution = F.t poly_solution
+
+  type 'f poly_outcome = 'f Solution.outcome =
+    | Optimal of 'f poly_solution
+    | Infeasible
+    | Unbounded
+
+  type outcome = F.t poly_outcome
+
+  let pp_outcome fmt o = Solution.pp_outcome F.pp fmt o
+
+  type prepared = {
+    src : F.t Problem.t;
+    m : int;
+    n : int; (* original variables *)
+    total : int; (* structural columns: originals, slack/surplus, artificials *)
+    art_start : int;
+    num_art : int;
+    cols : F.t Sp.t; (* m × total *)
+    b : F.t array; (* normalized (nonnegative) right-hand sides *)
+    cost2 : F.t array; (* phase-2 costs over all columns (minimization) *)
+    negate : bool; (* original problem was a maximization *)
+    dual_col : int array; (* unit column used to read each row's dual *)
+    flipped : bool array; (* rows whose rhs sign was flipped *)
+    shape : string; (* structural signature; see [shape] *)
+  }
+
+  let shape prep = prep.shape
+  let num_cols prep = prep.total
+  let matrix prep = prep.cols
+
+  (* Normalize and build the CSC matrix.  The layout matches the dense
+     solvers exactly: originals, then one slack/surplus per inequality,
+     then one artificial per Ge/Eq row; rhs is kept separately. *)
+  let prepare (p : F.t Problem.t) : prepared =
+    let n = p.Problem.num_vars in
+    let constrs = Array.of_list p.Problem.constraints in
+    let m = Array.length constrs in
+    let normalized =
+      Array.map
+        (fun (c : F.t Problem.constr) ->
+          if F.sign c.rhs < 0 then
+            let flip = function Problem.Le -> Problem.Ge | Ge -> Le | Eq -> Eq in
+            (List.map (fun (v, k) -> (v, F.neg k)) c.terms, flip c.rel, F.neg c.rhs)
+          else (c.terms, c.rel, c.rhs))
+        constrs
+    in
+    let num_slack =
+      Array.fold_left
+        (fun acc (_, rel, _) -> match rel with Problem.Le | Ge -> acc + 1 | Eq -> acc)
+        0 normalized
+    in
+    let num_art =
+      Array.fold_left
+        (fun acc (_, rel, _) -> match rel with Problem.Ge | Eq -> acc + 1 | Le -> acc)
+        0 normalized
+    in
+    let art_start = n + num_slack in
+    let total = n + num_slack + num_art in
+    let builder = Sp.Builder.create ~nrows:m ~ncols:total in
+    let b = Array.make m F.zero in
+    let dual_col = Array.make m (-1) in
+    let flipped =
+      Array.map (fun (c : F.t Problem.constr) -> F.sign c.rhs < 0) constrs
+    in
+    (* Scratch row for combining duplicate terms; [touched] lists the
+       columns written, in first-touch order. *)
+    let scratch = Array.make (max n 1) F.zero in
+    let next_slack = ref n and next_art = ref art_start in
+    let shape_buf = Buffer.create (m + 32) in
+    Buffer.add_string shape_buf (Printf.sprintf "%d/%d/%d/%d:" m n total art_start);
+    Array.iteri
+      (fun i (terms, rel, rhs) ->
+        let touched = ref [] in
+        List.iter
+          (fun (v, k) ->
+            if not (List.mem v !touched) then touched := v :: !touched;
+            scratch.(v) <- F.add scratch.(v) k)
+          terms;
+        (* Columns must be fed in increasing order within the row so that
+           CSC columns come out row-sorted; sort the touched set. *)
+        let cols_touched = List.sort_uniq compare !touched in
+        List.iter
+          (fun v ->
+            if not (F.is_zero scratch.(v)) then
+              Sp.Builder.add builder ~row:i ~col:v scratch.(v);
+            scratch.(v) <- F.zero)
+          cols_touched;
+        b.(i) <- rhs;
+        (match rel with
+         | Problem.Le ->
+           Sp.Builder.add builder ~row:i ~col:!next_slack F.one;
+           dual_col.(i) <- !next_slack;
+           incr next_slack;
+           Buffer.add_char shape_buf 'l'
+         | Problem.Ge ->
+           Sp.Builder.add builder ~row:i ~col:!next_slack (F.neg F.one);
+           incr next_slack;
+           Sp.Builder.add builder ~row:i ~col:!next_art F.one;
+           dual_col.(i) <- !next_art;
+           incr next_art;
+           Buffer.add_char shape_buf 'g'
+         | Problem.Eq ->
+           Sp.Builder.add builder ~row:i ~col:!next_art F.one;
+           dual_col.(i) <- !next_art;
+           incr next_art;
+           Buffer.add_char shape_buf 'e'))
+      normalized;
+    let cols = Sp.Builder.finish builder in
+    let negate = p.Problem.direction = Problem.Maximize in
+    let cost2 = Array.make (max total 1) F.zero in
+    List.iter
+      (fun (v, k) ->
+        let k = if negate then F.neg k else k in
+        cost2.(v) <- F.add cost2.(v) k)
+      p.Problem.objective;
+    {
+      src = p;
+      m;
+      n;
+      total;
+      art_start;
+      num_art;
+      cols;
+      b;
+      cost2;
+      negate;
+      dual_col;
+      flipped;
+      shape = Buffer.contents shape_buf;
+    }
+
+  (* The initial basic column of each normalized row: the slack for Le,
+     the artificial for Ge/Eq — i.e. exactly [dual_col]. *)
+  let initial_basis prep = Array.copy prep.dual_col
+
+  type state = {
+    prep : prepared;
+    basis : int array; (* basic column of each row *)
+    in_basis : bool array; (* over all [total] columns *)
+    binv : F.t array array; (* B⁻¹, m×m, row-major *)
+    xb : F.t array; (* current basic values, = B⁻¹·b *)
+  }
+
+  let make_in_basis prep basis =
+    let in_basis = Array.make (max prep.total 1) false in
+    Array.iter (fun j -> in_basis.(j) <- true) basis;
+    in_basis
+
+  let cold_state prep =
+    let m = prep.m in
+    let basis = initial_basis prep in
+    {
+      prep;
+      basis;
+      in_basis = make_in_basis prep basis;
+      binv = Array.init m (fun i -> Array.init m (fun j -> if i = j then F.one else F.zero));
+      xb = Array.copy prep.b;
+    }
+
+  (* Rebuild B⁻¹ and x_B for an arbitrary candidate basis by Gauss–Jordan
+     elimination with partial pivoting on [B | I].  Returns [None] when the
+     candidate columns are (numerically) singular — the warm-start caller
+     then falls back to a cold solve, so a bad hint can never produce a
+     wrong answer, only a slower one. *)
+  let refactor prep basis0 : state option =
+    let m = prep.m in
+    if Array.length basis0 <> m then None
+    else if Array.exists (fun j -> j < 0 || j >= prep.total) basis0 then None
+    else begin
+      let duplicate =
+        let seen = Array.make (max prep.total 1) false in
+        Array.exists
+          (fun j ->
+            if seen.(j) then true
+            else begin
+              seen.(j) <- true;
+              false
+            end)
+          basis0
+      in
+      if duplicate then None
+      else begin
+        let aug = Array.init m (fun _ -> Array.make (2 * m) F.zero) in
+        Array.iteri
+          (fun k j -> Sp.iter_col prep.cols j (fun r v -> aug.(r).(k) <- v))
+          basis0;
+        for i = 0 to m - 1 do
+          aug.(i).(m + i) <- F.one
+        done;
+        let singular = ref false in
+        (try
+           for c = 0 to m - 1 do
+             let pr = ref c in
+             for r = c + 1 to m - 1 do
+               if F.compare (F.abs aug.(r).(c)) (F.abs aug.(!pr).(c)) > 0 then pr := r
+             done;
+             if F.is_zero aug.(!pr).(c) then raise Exit;
+             if !pr <> c then begin
+               let tmp = aug.(c) in
+               aug.(c) <- aug.(!pr);
+               aug.(!pr) <- tmp
+             end;
+             let piv = aug.(c).(c) in
+             for j = 0 to (2 * m) - 1 do
+               aug.(c).(j) <- F.div aug.(c).(j) piv
+             done;
+             for r = 0 to m - 1 do
+               if r <> c && not (F.is_zero aug.(r).(c)) then begin
+                 let f = aug.(r).(c) in
+                 for j = 0 to (2 * m) - 1 do
+                   aug.(r).(j) <- F.sub aug.(r).(j) (F.mul f aug.(c).(j))
+                 done
+               end
+             done
+           done
+         with Exit -> singular := true);
+        if !singular then None
+        else begin
+          let binv = Array.init m (fun i -> Array.sub aug.(i) m m) in
+          let xb =
+            Array.init m (fun i ->
+                let acc = ref F.zero in
+                for k = 0 to m - 1 do
+                  if not (F.is_zero prep.b.(k)) then
+                    acc := F.add !acc (F.mul binv.(i).(k) prep.b.(k))
+                done;
+                !acc)
+          in
+          let basis = Array.copy basis0 in
+          Some { prep; basis; in_basis = make_in_basis prep basis; binv; xb }
+        end
+      end
+    end
+
+  (* w = B⁻¹ · A_j, the entering column expressed in the current basis. *)
+  let column st j =
+    let m = st.prep.m in
+    let w = Array.make m F.zero in
+    Sp.iter_col st.prep.cols j (fun r v ->
+        for i = 0 to m - 1 do
+          let c = st.binv.(i).(r) in
+          if not (F.is_zero c) then w.(i) <- F.add w.(i) (F.mul c v)
+        done);
+    w
+
+  (* Row r of B⁻¹·A at column j (used by the dual ratio test). *)
+  let row_entry st r j =
+    Sp.fold_col st.prep.cols j
+      (fun acc row v -> F.add acc (F.mul st.binv.(r).(row) v))
+      F.zero
+
+  (* Simplex multipliers y = c_B · B⁻¹ for cost vector [cost]. *)
+  let multipliers st cost =
+    let m = st.prep.m in
+    let y = Array.make m F.zero in
+    for i = 0 to m - 1 do
+      let cb = cost.(st.basis.(i)) in
+      if not (F.is_zero cb) then begin
+        let bi = st.binv.(i) in
+        for k = 0 to m - 1 do
+          if not (F.is_zero bi.(k)) then y.(k) <- F.add y.(k) (F.mul cb bi.(k))
+        done
+      end
+    done;
+    y
+
+  let reduced_cost st cost y j =
+    Sp.fold_col st.prep.cols j
+      (fun acc r v -> F.sub acc (F.mul y.(r) v))
+      cost.(j)
+
+  (* Basis change: column [col] enters at row [row]; [w] = B⁻¹·A_col.
+     Updates B⁻¹ and x_B in O(m²). *)
+  let pivot st ~row ~col ~w =
+    let m = st.prep.m in
+    let piv = w.(row) in
+    let brow = st.binv.(row) in
+    for k = 0 to m - 1 do
+      brow.(k) <- F.div brow.(k) piv
+    done;
+    st.xb.(row) <- F.div st.xb.(row) piv;
+    for i = 0 to m - 1 do
+      if i <> row then begin
+        let f = w.(i) in
+        if not (F.is_zero f) then begin
+          let bi = st.binv.(i) in
+          for k = 0 to m - 1 do
+            bi.(k) <- F.sub bi.(k) (F.mul f brow.(k))
+          done;
+          st.xb.(i) <- F.sub st.xb.(i) (F.mul f st.xb.(row))
+        end
+      end
+    done;
+    st.in_basis.(st.basis.(row)) <- false;
+    st.basis.(row) <- col;
+    st.in_basis.(col) <- true
+
+  (* Leaving row: minimum ratio x_B / w over positive w entries, ties
+     broken by smallest basic variable index — identical to the dense
+     solvers' rule. *)
+  let leaving st w =
+    let m = st.prep.m in
+    let best = ref None in
+    for i = 0 to m - 1 do
+      if F.sign w.(i) > 0 then begin
+        let ratio = F.div st.xb.(i) w.(i) in
+        match !best with
+        | None -> best := Some (ratio, i)
+        | Some (r, i') ->
+          let c = F.compare ratio r in
+          if c < 0 || (c = 0 && st.basis.(i) < st.basis.(i')) then
+            best := Some (ratio, i)
+      end
+    done;
+    Option.map snd !best
+
+  exception Iteration_limit
+
+  (* Primal simplex from the current (primal-feasible) state.  Entering
+     rules and the Dantzig budget mirror [Simplex.optimize] so that cold
+     runs traverse the same bases as the dense tableau. *)
+  let primal ?(count = ref 0) st ~cost ~allowed_up_to ~max_iters =
+    let m = st.prep.m in
+    let width = st.prep.total + 1 in
+    let dantzig_budget = 50 + (4 * (m + width)) in
+    let iters = ref 0 in
+    let rec loop () =
+      incr iters;
+      if !iters > max_iters then raise Iteration_limit;
+      let y = multipliers st cost in
+      let enter =
+        if !iters <= dantzig_budget then begin
+          (* Dantzig: most negative reduced cost, first index on ties.
+             Basic columns have reduced cost exactly zero, so skipping
+             them matches the dense scan. *)
+          let best = ref None in
+          for j = 0 to allowed_up_to - 1 do
+            if not st.in_basis.(j) then begin
+              let d = reduced_cost st cost y j in
+              if F.sign d < 0 then
+                match !best with
+                | None -> best := Some (j, d)
+                | Some (_, bd) -> if F.compare d bd < 0 then best := Some (j, d)
+            end
+          done;
+          Option.map fst !best
+        end
+        else begin
+          (* Bland: smallest index with negative reduced cost. *)
+          let rec go j =
+            if j >= allowed_up_to then None
+            else if
+              (not st.in_basis.(j)) && F.sign (reduced_cost st cost y j) < 0
+            then Some j
+            else go (j + 1)
+          in
+          go 0
+        end
+      in
+      match enter with
+      | None -> `Optimal
+      | Some j -> (
+        let w = column st j in
+        match leaving st w with
+        | None -> `Unbounded
+        | Some i ->
+          pivot st ~row:i ~col:j ~w;
+          incr count;
+          loop ())
+    in
+    loop ()
+
+  (* Drive zero-valued basic artificials out of the basis, mirroring the
+     dense phase-1 epilogue: scan rows in order, pivot on the first real
+     column with a nonzero entry; rows with none are redundant. *)
+  let drive_out_artificials st =
+    let prep = st.prep in
+    for i = 0 to prep.m - 1 do
+      if st.basis.(i) >= prep.art_start then begin
+        let rec find j =
+          if j >= prep.art_start then None
+          else if
+            (not st.in_basis.(j)) && not (F.is_zero (row_entry st i j))
+          then Some j
+          else find (j + 1)
+        in
+        match find 0 with
+        | Some j ->
+          let w = column st j in
+          pivot st ~row:i ~col:j ~w
+        | None -> ()
+      end
+    done
+
+  let phase1_value st cost1 =
+    let acc = ref F.zero in
+    Array.iteri
+      (fun i b ->
+        if not (F.is_zero cost1.(b)) then
+          acc := F.add !acc (F.mul cost1.(b) st.xb.(i)))
+      st.basis;
+    !acc
+
+  let extract st =
+    let prep = st.prep in
+    let values = Array.make prep.n F.zero in
+    Array.iteri
+      (fun i b -> if b < prep.n then values.(b) <- st.xb.(i))
+      st.basis;
+    let objective =
+      List.fold_left
+        (fun acc (v, k) -> F.add acc (F.mul k values.(v)))
+        F.zero prep.src.Problem.objective
+    in
+    (* Dual of normalized row i is y at its unit column; undo the rhs flip
+       and the Maximize negation, exactly as the dense extraction does. *)
+    let y = multipliers st prep.cost2 in
+    let duals =
+      Array.init prep.m (fun i ->
+          let v = y.(i) in
+          let v = if prep.flipped.(i) then F.neg v else v in
+          if prep.negate then F.neg v else v)
+    in
+    Optimal { values; objective; duals }
+
+  let max_iters_for prep = 1000 + (100 * (prep.m + prep.total))
+
+  (* Dual simplex: restores primal feasibility while keeping all reduced
+     costs nonnegative.  Only used on warm restarts; artificial columns
+     are never eligible to enter.  Returns [`Limit] when the iteration cap
+     trips, letting the caller fall back to a cold solve — so termination
+     is guaranteed without a dedicated anti-cycling proof. *)
+  let dual_simplex ?(count = ref 0) st ~max_iters =
+    let prep = st.prep in
+    let m = prep.m in
+    let budget = 50 + (4 * (m + prep.total + 1)) in
+    let iters = ref 0 in
+    let rec loop () =
+      incr iters;
+      if !iters > max_iters then `Limit
+      else begin
+        (* Leaving row: most negative x_B (ties by smallest basic
+           variable); after the budget, smallest basic variable among the
+           negatives (Bland-style). *)
+        let leave = ref None in
+        for i = 0 to m - 1 do
+          if F.sign st.xb.(i) < 0 then
+            match !leave with
+            | None -> leave := Some i
+            | Some i' ->
+              let better =
+                if !iters <= budget then
+                  let c = F.compare st.xb.(i) st.xb.(i') in
+                  c < 0 || (c = 0 && st.basis.(i) < st.basis.(i'))
+                else st.basis.(i) < st.basis.(i')
+              in
+              if better then leave := Some i
+        done;
+        match !leave with
+        | None -> `Feasible
+        | Some r -> (
+          let y = multipliers st prep.cost2 in
+          let best = ref None in
+          for j = 0 to prep.art_start - 1 do
+            if not st.in_basis.(j) then begin
+              let alpha = row_entry st r j in
+              if F.sign alpha < 0 then begin
+                let d = reduced_cost st prep.cost2 y j in
+                let ratio = F.div d (F.neg alpha) in
+                match !best with
+                | None -> best := Some (ratio, j)
+                | Some (br, _) -> if F.compare ratio br < 0 then best := Some (ratio, j)
+              end
+            end
+          done;
+          match !best with
+          | None -> `Infeasible (* row r certifies primal infeasibility *)
+          | Some (_, j) ->
+            let w = column st j in
+            pivot st ~row:r ~col:j ~w;
+            incr count;
+            loop ())
+      end
+    in
+    loop ()
+
+  (* Cold two-phase solve; returns the outcome plus the final state. *)
+  let cold_solve prep ~count1 ~count2 =
+    let st = cold_state prep in
+    let max_iters = max_iters_for prep in
+    let feasible =
+      if prep.num_art = 0 then `Feasible
+      else begin
+        let cost1 = Array.make (max prep.total 1) F.zero in
+        for j = prep.art_start to prep.total - 1 do
+          cost1.(j) <- F.one
+        done;
+        match primal ~count:count1 st ~cost:cost1 ~allowed_up_to:prep.total ~max_iters with
+        | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+        | `Optimal ->
+          if not (F.is_zero (phase1_value st cost1)) then `Infeasible
+          else begin
+            drive_out_artificials st;
+            `Feasible
+          end
+      end
+    in
+    match feasible with
+    | `Infeasible -> (Infeasible, st)
+    | `Feasible -> (
+      match
+        primal ~count:count2 st ~cost:prep.cost2 ~allowed_up_to:prep.art_start
+          ~max_iters
+      with
+      | `Unbounded -> (Unbounded, st)
+      | `Optimal -> (extract st, st))
+
+  (* Attempt a warm restart from [basis0].  [None] means "fall back to a
+     cold solve"; [Some] is a fully verified outcome. *)
+  let warm_solve prep basis0 ~count2 ~countd =
+    match refactor prep basis0 with
+    | None -> None
+    | Some st ->
+      let max_iters = max_iters_for prep in
+      (* A basic artificial with nonzero value means the hinted basis does
+         not reach a feasible point of the real problem; phase 1 would be
+         needed, which a cold solve does anyway. *)
+      let bad_artificial = ref false in
+      Array.iteri
+        (fun i b ->
+          if b >= prep.art_start && not (F.is_zero st.xb.(i)) then
+            bad_artificial := true)
+        st.basis;
+      if !bad_artificial then None
+      else begin
+        drive_out_artificials st;
+        let primal_feasible =
+          Array.for_all (fun v -> F.sign v >= 0) st.xb
+        in
+        if primal_feasible then begin
+          match
+            primal ~count:count2 st ~cost:prep.cost2
+              ~allowed_up_to:prep.art_start ~max_iters
+          with
+          | `Unbounded -> Some (Unbounded, st)
+          | `Optimal -> Some (extract st, st)
+        end
+        else begin
+          (* Primal infeasible at the hint: usable only if dual feasible
+             (true by construction for zero-objective feasibility probes,
+             where every reduced cost is ≥ 0). *)
+          let y = multipliers st prep.cost2 in
+          let dual_feasible = ref true in
+          (try
+             for j = 0 to prep.art_start - 1 do
+               if
+                 (not st.in_basis.(j))
+                 && F.sign (reduced_cost st prep.cost2 y j) < 0
+               then begin
+                 dual_feasible := false;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          if not !dual_feasible then None
+          else
+            match dual_simplex ~count:countd st ~max_iters with
+            | `Limit -> None
+            | `Infeasible -> Some (Infeasible, st)
+            | `Feasible -> (
+              match
+                primal ~count:count2 st ~cost:prep.cost2
+                  ~allowed_up_to:prep.art_start ~max_iters
+              with
+              | `Unbounded -> Some (Unbounded, st)
+              | `Optimal -> Some (extract st, st))
+        end
+      end
+
+  (* Solve a prepared problem, optionally warm-starting from a previous
+     basis.  Returns the outcome together with the final basis (a plain
+     int array, safe to store and pass to a later [solve_prepared]). *)
+  let solve_prepared ?warm prep : outcome * int array =
+    let t_start = Stats.now () in
+    let p1 = ref 0 and p2 = ref 0 and pd = ref 0 in
+    let warm_used = ref false in
+    let finish (outcome, st) =
+      Stats.record
+        {
+          Stats.exact = F.exact;
+          warm = !warm_used;
+          pivots_phase1 = !p1;
+          pivots_phase2 = !p2;
+          pivots_dual = !pd;
+          seconds = Stats.now () -. t_start;
+        };
+      (outcome, Array.copy st.basis)
+    in
+    let attempt =
+      match warm with
+      | None -> None
+      | Some basis0 -> warm_solve prep basis0 ~count2:p2 ~countd:pd
+    in
+    match attempt with
+    | Some result ->
+      warm_used := true;
+      finish result
+    | None -> finish (cold_solve prep ~count1:p1 ~count2:p2)
+
+  let solve (p : F.t Problem.t) : outcome =
+    fst (solve_prepared (prepare p))
+end
+
+module Exact = Make (Linalg.Field.Rational)
+module Approx = Make (Linalg.Field.Approx)

@@ -1,0 +1,74 @@
+(* Solver sessions: a problem plus the reusable basis from its last solve.
+
+   A session wraps [Revised] so that callers re-solving a *family* of LPs
+   (binary-search probes over deadline bounds, online re-solves on every
+   arrival) keep the optimal basis across calls instead of cold-solving.
+
+   Basis-reuse contract:
+   - [solve] records the final basis; the next [solve]/[resolve] on the
+     same session passes it as a warm-start hint.
+   - A hint is *verified*, never trusted: the engine refactorizes B⁻¹ from
+     the current coefficients, so a stale basis can cost pivots but never
+     correctness.
+   - [resolve] invalidates the stored basis automatically when the new
+     problem's structural shape (variable count, row count, normalized
+     relation pattern — everything that determines the column layout)
+     differs from the current one.  Coefficient or rhs changes keep it.
+   - [invalidate] drops the basis manually. *)
+
+module Make (F : Linalg.Field.S) = struct
+  module E = Revised.Make (F)
+
+  type outcome = F.t Solution.outcome
+
+  type t = {
+    mutable prep : E.prepared;
+    mutable basis : int array option;
+    mutable solves : int;
+    mutable warm_hits : int;
+  }
+
+  let create (p : F.t Problem.t) : t =
+    { prep = E.prepare p; basis = None; solves = 0; warm_hits = 0 }
+
+  let invalidate t = t.basis <- None
+  let solves t = t.solves
+  let warm_hits t = t.warm_hits
+
+  let solve t : outcome =
+    let before = Stats.copy (if F.exact then Stats.exact else Stats.approx) in
+    let outcome, basis = E.solve_prepared ?warm:t.basis t.prep in
+    let after = if F.exact then Stats.exact else Stats.approx in
+    if after.Stats.warm_solves > before.Stats.warm_solves then
+      t.warm_hits <- t.warm_hits + 1;
+    t.solves <- t.solves + 1;
+    t.basis <- Some basis;
+    outcome
+
+  (* Re-solve with a new problem, reusing the basis when the structural
+     shape is unchanged. *)
+  let resolve t (p : F.t Problem.t) : outcome =
+    let prep = E.prepare p in
+    if E.shape prep <> E.shape t.prep then t.basis <- None;
+    t.prep <- prep;
+    solve t
+
+  (* Re-solve after substituting right-hand sides: [updates] maps
+     constraint indices (in problem order) to new rhs values.  The shape
+     only changes if an rhs crosses zero (the normalization flips the
+     relation), which [resolve] detects and handles. *)
+  let resolve_rhs t (updates : (int * F.t) list) : outcome =
+    let p = (t.prep : E.prepared).E.src in
+    let constraints =
+      List.mapi
+        (fun i (c : F.t Problem.constr) ->
+          match List.assoc_opt i updates with
+          | None -> c
+          | Some rhs -> { c with rhs })
+        p.Problem.constraints
+    in
+    resolve t { p with Problem.constraints }
+end
+
+module Exact = Make (Linalg.Field.Rational)
+module Approx = Make (Linalg.Field.Approx)

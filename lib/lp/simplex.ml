@@ -11,25 +11,30 @@
    (floats with tolerance) backs the online simulator. *)
 
 module Make (F : Linalg.Field.S) = struct
-  type solution = {
-    values : F.t array; (* one per problem variable *)
-    objective : F.t;
-    duals : F.t array;
+  (* Result types are shared across engines (see [Solution]); the type
+     equations keep [Sx.Optimal]-style constructors working while letting
+     dense and revised results be compared with [=].  The re-exports must
+     keep the original arity, hence the polymorphic aliases. *)
+  type 'f poly_solution = 'f Solution.solution = {
+    values : 'f array; (* one per problem variable *)
+    objective : 'f;
+    duals : 'f array;
         (* one per constraint, in problem order, for the original problem:
            at optimality Σ_i duals_i · rhs_i = objective (strong duality),
            and for a minimization duals_i ≤ 0 on Le rows, ≥ 0 on Ge rows
            (reversed for a maximization; Eq rows are unconstrained) *)
   }
 
-  type outcome =
-    | Optimal of solution
+  type solution = F.t poly_solution
+
+  type 'f poly_outcome = 'f Solution.outcome =
+    | Optimal of 'f poly_solution
     | Infeasible
     | Unbounded
 
-  let pp_outcome fmt = function
-    | Optimal s -> Format.fprintf fmt "optimal (objective %a)" F.pp s.objective
-    | Infeasible -> Format.pp_print_string fmt "infeasible"
-    | Unbounded -> Format.pp_print_string fmt "unbounded"
+  type outcome = F.t poly_outcome
+
+  let pp_outcome fmt o = Solution.pp_outcome F.pp fmt o
 
   type tableau = {
     rows : F.t array array; (* m rows of width [width]; last column = rhs *)
@@ -113,7 +118,7 @@ module Make (F : Linalg.Field.S) = struct
 
   exception Iteration_limit
 
-  let optimize t ~allowed_up_to ~max_iters =
+  let optimize ?(count = ref 0) t ~allowed_up_to ~max_iters =
     (* Dantzig pivoting until the budget is spent, then Bland (which cannot
        cycle) for as long as it takes.  The budget is generous enough that
        the fallback only triggers on genuinely degenerate stalls. *)
@@ -133,11 +138,25 @@ module Make (F : Linalg.Field.S) = struct
         | None -> `Unbounded
         | Some i ->
           pivot t ~row:i ~col:j;
+          incr count;
           loop ())
     in
     loop ()
 
   let solve (p : F.t Problem.t) : outcome =
+    let t_start = Stats.now () in
+    let pivots1 = ref 0 and pivots2 = ref 0 in
+    let record () =
+      Stats.record
+        {
+          Stats.exact = F.exact;
+          warm = false;
+          pivots_phase1 = !pivots1;
+          pivots_phase2 = !pivots2;
+          pivots_dual = 0;
+          seconds = Stats.now () -. t_start;
+        }
+    in
     let n = p.Problem.num_vars in
     let constrs = Array.of_list p.Problem.constraints in
     let m = Array.length constrs in
@@ -216,7 +235,7 @@ module Make (F : Linalg.Field.S) = struct
           cost.(j) <- F.one
         done;
         set_costs t cost;
-        match optimize t ~allowed_up_to:total ~max_iters with
+        match optimize ~count:pivots1 t ~allowed_up_to:total ~max_iters with
         | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
         | `Optimal ->
           (* Objective cell holds the negated phase-1 value. *)
@@ -243,7 +262,9 @@ module Make (F : Linalg.Field.S) = struct
       end
     in
     match outcome with
-    | `Infeasible -> Infeasible
+    | `Infeasible ->
+      record ();
+      Infeasible
     | `Optimal | `Feasible -> (
       (* Phase 2: the real objective (internally always a minimization). *)
       let cost = Array.make total F.zero in
@@ -254,8 +275,10 @@ module Make (F : Linalg.Field.S) = struct
           cost.(v) <- F.add cost.(v) k)
         p.Problem.objective;
       set_costs t cost;
-      match optimize t ~allowed_up_to:art_start ~max_iters with
-      | `Unbounded -> Unbounded
+      match optimize ~count:pivots2 t ~allowed_up_to:art_start ~max_iters with
+      | `Unbounded ->
+        record ();
+        Unbounded
       | `Optimal ->
         let values = Array.make n F.zero in
         Array.iteri
@@ -275,6 +298,7 @@ module Make (F : Linalg.Field.S) = struct
               let y = if flipped.(i) then F.neg y else y in
               if negate then F.neg y else y)
         in
+        record ();
         Optimal { values; objective; duals })
 
   (* Check that [values] satisfies every constraint of [p] (within the

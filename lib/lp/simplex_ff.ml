@@ -105,7 +105,7 @@ let set_costs t (cost : R.t array) =
 
 exception Iteration_limit
 
-let optimize t ~allowed_up_to ~max_iters =
+let optimize ?(count = ref 0) t ~allowed_up_to ~max_iters =
   let dantzig_budget = 50 + (4 * (Array.length t.rows + t.width)) in
   let iters = ref 0 in
   let rec loop () =
@@ -122,11 +122,25 @@ let optimize t ~allowed_up_to ~max_iters =
       | None -> `Unbounded
       | Some i ->
         pivot t ~row:i ~col:j;
+        incr count;
         loop ())
   in
   loop ()
 
 let solve (p : R.t Problem.t) : Sx.outcome =
+  let t_start = Stats.now () in
+  let pivots1 = ref 0 and pivots2 = ref 0 in
+  let record () =
+    Stats.record
+      {
+        Stats.exact = true;
+        warm = false;
+        pivots_phase1 = !pivots1;
+        pivots_phase2 = !pivots2;
+        pivots_dual = 0;
+        seconds = Stats.now () -. t_start;
+      }
+  in
   let n = p.Problem.num_vars in
   let constrs = Array.of_list p.Problem.constraints in
   let m = Array.length constrs in
@@ -208,7 +222,7 @@ let solve (p : R.t Problem.t) : Sx.outcome =
         cost.(j) <- R.one
       done;
       set_costs t cost;
-      match optimize t ~allowed_up_to:total ~max_iters with
+      match optimize ~count:pivots1 t ~allowed_up_to:total ~max_iters with
       | `Unbounded -> assert false
       | `Optimal ->
         if not (R.is_zero t.obj.(total)) then `Infeasible
@@ -247,7 +261,9 @@ let solve (p : R.t Problem.t) : Sx.outcome =
     end
   in
   match outcome with
-  | `Infeasible -> Sx.Infeasible
+  | `Infeasible ->
+    record ();
+    Sx.Infeasible
   | `Optimal | `Feasible -> (
     let cost = Array.make total R.zero in
     let negate = p.Problem.direction = Problem.Maximize in
@@ -257,8 +273,10 @@ let solve (p : R.t Problem.t) : Sx.outcome =
         cost.(v) <- R.add cost.(v) k)
       p.Problem.objective;
     set_costs t cost;
-    match optimize t ~allowed_up_to:art_start ~max_iters with
-    | `Unbounded -> Sx.Unbounded
+    match optimize ~count:pivots2 t ~allowed_up_to:art_start ~max_iters with
+    | `Unbounded ->
+      record ();
+      Sx.Unbounded
     | `Optimal ->
       let values = Array.make n R.zero in
       Array.iteri
@@ -280,4 +298,5 @@ let solve (p : R.t Problem.t) : Sx.outcome =
             let y = if flipped.(i) then R.neg y else y in
             if negate then R.neg y else y)
       in
+      record ();
       Sx.Optimal { values; objective; duals })

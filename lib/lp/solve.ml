@@ -1,0 +1,86 @@
+(* Solver dispatch: one entry point for the rest of the codebase.
+
+   [variant] selects the engine family process-wide:
+   - [Sparse] (default): the revised simplex over CSC columns.  Cold
+     solves follow the dense pivot rules exactly, so exact-arithmetic
+     results are bit-identical to [Dense].
+   - [Dense]: the original tableau solvers ([Simplex.Exact] for rationals,
+     [Simplex.Approx] for floats), kept as a differential-testing oracle
+     (CLI flag [--solver=dense]).  Note this is the rational tableau, not
+     [Simplex_ff]: the fraction-free solver agrees on objectives but can
+     land on a different optimal vertex under degeneracy, while the
+     revised engine replicates the tableau's pivot rules vertex-for-vertex.
+
+   Warm-start hints are only honored by the sparse engines and only when
+   the caller supplies them ([?hint] for a one-shot basis, [?cache] for a
+   shape-keyed basis store).  Paths that pass neither get cold solves and
+   therefore identical results under both variants. *)
+
+module R = Numeric.Rat
+
+type variant = Dense | Sparse
+
+let variant = ref Sparse
+let variant_name = function Dense -> "dense" | Sparse -> "sparse"
+
+let variant_of_string = function
+  | "dense" -> Some Dense
+  | "sparse" -> Some Sparse
+  | _ -> None
+
+(* Global warm-start enable: flipping this off makes even hinted solves
+   run cold.  The bench uses it to measure the warm-start payoff with
+   everything else held fixed. *)
+let warm = ref true
+
+(* A basis cache keyed by the problem's structural shape.  Bounded: when
+   full, the whole table is dropped (shape families in one search are few,
+   so eviction is rare in practice). *)
+type cache = (string, int array) Hashtbl.t
+
+let cache_capacity = 64
+let cache () : cache = Hashtbl.create 16
+
+let cache_store (c : cache) shape basis =
+  if Hashtbl.length c >= cache_capacity && not (Hashtbl.mem c shape) then
+    Hashtbl.reset c;
+  Hashtbl.replace c shape basis
+
+let pick_hint ?cache ?hint shape =
+  if not !warm then None
+  else
+    match hint with
+    | Some _ -> hint
+    | None -> Option.bind cache (fun c -> Hashtbl.find_opt c shape)
+
+(* Exact (rational) solve.  [exact_basis] additionally returns the final
+   basis under the sparse variant, for callers that hand bases across
+   engines (e.g. float probe → exact certification). *)
+let exact_basis ?cache ?hint (p : R.t Problem.t) :
+    R.t Solution.outcome * int array option =
+  match !variant with
+  | Dense -> (Simplex.Exact.solve p, None)
+  | Sparse ->
+    let prep = Revised.Exact.prepare p in
+    let shape = Revised.Exact.shape prep in
+    let warm = pick_hint ?cache ?hint shape in
+    let outcome, basis = Revised.Exact.solve_prepared ?warm prep in
+    Option.iter (fun c -> cache_store c shape basis) cache;
+    (outcome, Some basis)
+
+let exact ?cache ?hint p = fst (exact_basis ?cache ?hint p)
+
+(* Approximate (float) solve, same dispatch. *)
+let approx_basis ?cache ?hint (p : float Problem.t) :
+    float Solution.outcome * int array option =
+  match !variant with
+  | Dense -> (Simplex.Approx.solve p, None)
+  | Sparse ->
+    let prep = Revised.Approx.prepare p in
+    let shape = Revised.Approx.shape prep in
+    let warm = pick_hint ?cache ?hint shape in
+    let outcome, basis = Revised.Approx.solve_prepared ?warm prep in
+    Option.iter (fun c -> cache_store c shape basis) cache;
+    (outcome, Some basis)
+
+let approx ?cache ?hint p = fst (approx_basis ?cache ?hint p)

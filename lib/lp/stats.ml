@@ -1,0 +1,91 @@
+(* Solver instrumentation.
+
+   Every engine records one [info] per [solve] call.  Records are folded
+   into two global accumulators (exact vs approximate arithmetic, as
+   declared by the engine's field) and passed to an optional hook, which
+   [Serve.Engine] uses to feed per-solve wall-time histograms without the
+   engines knowing anything about metrics. *)
+
+type info = {
+  exact : bool; (* Field.exact of the engine that produced this solve *)
+  warm : bool; (* true iff a supplied basis was successfully reused *)
+  pivots_phase1 : int;
+  pivots_phase2 : int;
+  pivots_dual : int; (* dual-simplex pivots (warm restarts only) *)
+  seconds : float;
+}
+
+type t = {
+  mutable solves : int;
+  mutable warm_solves : int;
+  mutable pivots_phase1 : int;
+  mutable pivots_phase2 : int;
+  mutable pivots_dual : int;
+  mutable seconds : float;
+}
+
+let create () =
+  {
+    solves = 0;
+    warm_solves = 0;
+    pivots_phase1 = 0;
+    pivots_phase2 = 0;
+    pivots_dual = 0;
+    seconds = 0.0;
+  }
+
+let reset t =
+  t.solves <- 0;
+  t.warm_solves <- 0;
+  t.pivots_phase1 <- 0;
+  t.pivots_phase2 <- 0;
+  t.pivots_dual <- 0;
+  t.seconds <- 0.0
+
+let copy t = { t with solves = t.solves }
+let total_pivots t = t.pivots_phase1 + t.pivots_phase2 + t.pivots_dual
+
+(* Accumulators for every solve performed by this process, split by
+   arithmetic.  The milestone searches drive both: float probes land in
+   [approx], their exact certifications in [exact]. *)
+let exact = create ()
+let approx = create ()
+
+let add t (i : info) =
+  t.solves <- t.solves + 1;
+  if i.warm then t.warm_solves <- t.warm_solves + 1;
+  t.pivots_phase1 <- t.pivots_phase1 + i.pivots_phase1;
+  t.pivots_phase2 <- t.pivots_phase2 + i.pivots_phase2;
+  t.pivots_dual <- t.pivots_dual + i.pivots_dual;
+  t.seconds <- t.seconds +. i.seconds
+
+(* [diff ~before after] with both snapshots of the same accumulator. *)
+let diff ~before after =
+  {
+    solves = after.solves - before.solves;
+    warm_solves = after.warm_solves - before.warm_solves;
+    pivots_phase1 = after.pivots_phase1 - before.pivots_phase1;
+    pivots_phase2 = after.pivots_phase2 - before.pivots_phase2;
+    pivots_dual = after.pivots_dual - before.pivots_dual;
+    seconds = after.seconds -. before.seconds;
+  }
+
+let hook : (info -> unit) option ref = ref None
+
+let record (i : info) =
+  add (if i.exact then exact else approx) i;
+  match !hook with None -> () | Some f -> f i
+
+(* Scoped hook installation; restores the previous hook on exit. *)
+let with_hook f body =
+  let saved = !hook in
+  hook := Some f;
+  Fun.protect ~finally:(fun () -> hook := saved) body
+
+let now () = Unix.gettimeofday ()
+
+let pp fmt t =
+  Format.fprintf fmt
+    "solves=%d warm=%d pivots(p1=%d p2=%d dual=%d) %.3fms" t.solves
+    t.warm_solves t.pivots_phase1 t.pivots_phase2 t.pivots_dual
+    (t.seconds *. 1e3)

@@ -22,10 +22,13 @@ let sub_instance inst ~now ~active =
   (jobs, I.make ~flow_origins ~releases ~weights cost)
 
 (* Re-solve the offline problem on the remaining work and extract the
-   machine shares of the plan's first epochal interval, plus its horizon. *)
-let compute_plan inst ~now ~active =
+   machine shares of the plan's first epochal interval, plus its horizon.
+   [cache] carries warm-start bases across arrivals: successive re-solves
+   see structurally identical deadline systems (same active-job count),
+   so their feasibility probes resume from the previous plan's bases. *)
+let compute_plan ?cache inst ~now ~active =
   let jobs, sub = sub_instance inst ~now ~active in
-  let r = Mf.solve sub in
+  let r = Mf.solve ?cache sub in
   (* First epochal boundary after [now]: the earliest deadline at F*. *)
   let horizon =
     Array.fold_left
@@ -65,15 +68,17 @@ let compute_plan inst ~now ~active =
   end
 
 module Divisible = struct
-  type state = I.t
+  (* The solver session outlives any single decision: the basis cache is
+     part of the policy state, so each re-solve warm-starts from the last. *)
+  type state = { inst : I.t; cache : Lp.Solve.cache }
 
   let name = "online-opt"
-  let init inst = inst
+  let init inst = { inst; cache = Lp.Solve.cache () }
   let on_arrival _ ~now:_ ~job:_ = ()
   let on_completion _ ~now:_ ~job:_ = ()
 
-  let decide inst ~now ~active =
-    let shares, review_at = compute_plan inst ~now ~active in
+  let decide st ~now ~active =
+    let shares, review_at = compute_plan ~cache:st.cache st.inst ~now ~active in
     { Sim.shares; review_at }
 end
 
@@ -86,12 +91,13 @@ module Lazy_divisible = struct
      trade. *)
   type state = {
     inst : I.t;
+    cache : Lp.Solve.cache;
     mutable cached : (Sim.share list * Rat.t) option;  (* shares, horizon *)
     mutable dirty : bool;
   }
 
   let name = "online-opt-lazy"
-  let init inst = { inst; cached = None; dirty = true }
+  let init inst = { inst; cache = Lp.Solve.cache (); cached = None; dirty = true }
   let on_arrival st ~now:_ ~job:_ = st.dirty <- true
   let on_completion _ ~now:_ ~job:_ = ()
 
@@ -100,7 +106,7 @@ module Lazy_divisible = struct
       List.exists (fun (v : Sim.job_view) -> v.id = s.job) active
     in
     let refresh () =
-      match compute_plan st.inst ~now ~active with
+      match compute_plan ~cache:st.cache st.inst ~now ~active with
       | shares, Some horizon ->
         st.cached <- Some (shares, horizon);
         st.dirty <- false;

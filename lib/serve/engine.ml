@@ -55,6 +55,14 @@ type t = {
   h_flow : Metrics.histogram;
   h_weighted : Metrics.histogram;
   h_stretch : Metrics.histogram;
+  (* Solver instrumentation, fed by the {!Lp.Stats} hook while a policy
+     decision is being computed (LP-free policies leave these at zero). *)
+  c_lp_solves : Metrics.counter;
+  c_lp_warm : Metrics.counter;
+  c_lp_pivots1 : Metrics.counter;
+  c_lp_pivots2 : Metrics.counter;
+  c_lp_pivots_dual : Metrics.counter;
+  h_lp_seconds : Metrics.histogram;
 }
 
 let bug fmt = Printf.ksprintf (fun s -> failwith ("Serve.Engine: " ^ s)) fmt
@@ -99,6 +107,12 @@ let create ?(batch_window = Rat.zero) ?(objective = `Stretch) ~clock ~policy pla
     h_flow = Metrics.histogram metrics "flow_seconds";
     h_weighted = Metrics.histogram metrics "weighted_flow_seconds";
     h_stretch = Metrics.histogram metrics "stretch";
+    c_lp_solves = Metrics.counter metrics "lp_solves";
+    c_lp_warm = Metrics.counter metrics "lp_solves_warm";
+    c_lp_pivots1 = Metrics.counter metrics "lp_pivots_phase1";
+    c_lp_pivots2 = Metrics.counter metrics "lp_pivots_phase2";
+    c_lp_pivots_dual = Metrics.counter metrics "lp_pivots_dual";
+    h_lp_seconds = Metrics.histogram metrics "lp_solve_seconds";
   }
 
 let submitted t = t.n
@@ -224,7 +238,19 @@ let runner t =
 
 let decide t =
   let (Runner ((module P), state)) = runner t in
-  let d = P.decide state ~now:t.now ~active:(views t) in
+  (* Every LP solve triggered by the policy — exact or float, cold or
+     warm — is observed here, without the policy knowing about metrics. *)
+  let d =
+    Lp.Stats.with_hook
+      (fun (i : Lp.Stats.info) ->
+        Metrics.incr t.c_lp_solves;
+        if i.Lp.Stats.warm then Metrics.incr t.c_lp_warm;
+        Metrics.add t.c_lp_pivots1 i.Lp.Stats.pivots_phase1;
+        Metrics.add t.c_lp_pivots2 i.Lp.Stats.pivots_phase2;
+        Metrics.add t.c_lp_pivots_dual i.Lp.Stats.pivots_dual;
+        Metrics.observe t.h_lp_seconds i.Lp.Stats.seconds)
+      (fun () -> P.decide state ~now:t.now ~active:(views t))
+  in
   Sim.check_decision ~where:"Serve.Engine" ~name:P.name (instance t)
     ~eligible:(fun j -> j < t.n && t.jobs.(j).arrived && t.jobs.(j).completed_at = None)
     ~now:t.now d;

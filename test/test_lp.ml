@@ -486,6 +486,196 @@ let prop_scaling =
       | _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Revised simplex (sparse engine)                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Rv = Lp.Revised.Exact
+module Rva = Lp.Revised.Approx
+
+let solution_equal (a : Sx.solution) (b : Sx.solution) =
+  Array.length a.values = Array.length b.values
+  && Array.for_all2 R.equal a.values b.values
+  && R.equal a.objective b.objective
+  && Array.length a.duals = Array.length b.duals
+  && Array.for_all2 R.equal a.duals b.duals
+
+let outcome_equal (a : Sx.outcome) (b : Sx.outcome) =
+  match (a, b) with
+  | Sx.Optimal a, Sx.Optimal b -> solution_equal a b
+  | Sx.Infeasible, Sx.Infeasible | Sx.Unbounded, Sx.Unbounded -> true
+  | _ -> false
+
+let to_float_problem (p : R.t P.t) : float P.t = P.map R.to_float p
+
+let test_revised_hand_cases () =
+  (* Dantzig's example through the revised engine, checked bit-for-bit
+     against the dense tableau (values, objective, and duals). *)
+  let p, dense_out =
+    solve_exact ~dir:P.Maximize ~vars:2
+      ~obj:[ (0, R.of_int 3); (1, R.of_int 5) ]
+      [ ([ (0, R.one) ], P.Le, R.of_int 4);
+        ([ (1, R.of_int 2) ], P.Le, R.of_int 12);
+        ([ (0, R.of_int 3); (1, R.of_int 2) ], P.Le, R.of_int 18)
+      ]
+  in
+  Alcotest.(check bool) "dantzig identical" true (outcome_equal dense_out (Rv.solve p));
+  (* Infeasible, unbounded, fractional, negative-rhs cases. *)
+  List.iter
+    (fun (dir, vars, obj, constrs) ->
+      let p, dense_out = solve_exact ~dir ~vars ~obj constrs in
+      Alcotest.(check bool) "identical outcome" true
+        (outcome_equal dense_out (Rv.solve p)))
+    [ (P.Minimize, 1, [ (0, R.one) ],
+       [ ([ (0, R.one) ], P.Ge, R.of_int 5); ([ (0, R.one) ], P.Le, R.of_int 3) ]);
+      (P.Maximize, 2, [ (0, R.one); (1, R.one) ],
+       [ ([ (0, R.one); (1, R.minus_one) ], P.Le, R.of_int 1) ]);
+      (P.Maximize, 1, [ (0, R.one) ], [ ([ (0, R.of_int 3) ], P.Le, R.one) ]);
+      (P.Minimize, 2, [ (0, R.one); (1, R.one) ],
+       [ ([ (0, R.minus_one); (1, R.minus_one) ], P.Le, R.of_int (-4)) ]);
+      (P.Minimize, 2, [ (0, R.one); (1, R.of_int 2) ],
+       [ ([ (0, R.one); (1, R.one) ], P.Eq, R.of_int 3);
+         ([ (0, R.of_int 2); (1, R.of_int 2) ], P.Eq, R.of_int 6);
+         ([ (0, R.one) ], P.Le, R.of_int 3) ])
+    ]
+
+(* The parity claim behind --solver=dense differential testing: a cold
+   revised solve follows the dense pivot rules exactly, so in exact
+   arithmetic the full payload (values, objective, duals) is identical. *)
+let prop_revised_bit_identical =
+  QCheck.Test.make ~name:"revised ≡ dense bit-for-bit (cold, rational)" ~count:300
+    (QCheck.make mixed_lp_gen) (fun spec ->
+      let p = build_mixed_min spec in
+      outcome_equal (Sx.solve p) (Rv.solve p))
+
+let prop_revised_bit_identical_ge =
+  QCheck.Test.make ~name:"revised ≡ dense bit-for-bit (Ge-only generator)" ~count:150
+    (QCheck.make random_lp_gen) (fun spec ->
+      let p = build_random_min spec in
+      outcome_equal (Sx.solve p) (Rv.solve p))
+
+let prop_revised_duality =
+  QCheck.Test.make ~name:"strong duality certificate (revised solver)" ~count:200
+    (QCheck.make mixed_lp_gen) (fun spec ->
+      let p = build_mixed_min spec in
+      match Rv.solve p with
+      | Sx.Optimal s -> dual_certificate_holds p s
+      | Sx.Infeasible | Sx.Unbounded -> true)
+
+(* Warm-started re-solve after an rhs change: same classification and
+   objective as a cold solve, and any optimum it returns is feasible. *)
+let prop_warm_equals_cold =
+  QCheck.Test.make ~name:"warm-started resolve ≡ cold solve" ~count:300
+    (QCheck.pair (QCheck.make mixed_lp_gen) (QCheck.int_range 0 8))
+    (fun (spec, delta) ->
+      let p = build_mixed_min spec in
+      let prep = Rv.prepare p in
+      let _, basis = Rv.solve_prepared prep in
+      (* Scale every rhs by (10+delta)/10: signs are preserved, so the
+         normalized structural shape is unchanged. *)
+      let scale = q (10 + delta) 10 in
+      let p' : R.t P.t =
+        {
+          p with
+          P.constraints =
+            List.map
+              (fun (c : R.t P.constr) -> { c with P.rhs = R.mul c.P.rhs scale })
+              p.P.constraints;
+        }
+      in
+      let warm_out, _ = Rv.solve_prepared ~warm:basis (Rv.prepare p') in
+      let cold_out = Sx.solve p' in
+      match (warm_out, cold_out) with
+      | Sx.Optimal a, Sx.Optimal b ->
+        R.equal a.objective b.objective
+        && Result.is_ok (Sx.check_feasible p' a.values)
+        && dual_certificate_holds p' a
+      | Sx.Infeasible, Sx.Infeasible | Sx.Unbounded, Sx.Unbounded -> true
+      | _ -> false)
+
+(* A garbage basis hint must never change the answer — only the route. *)
+let prop_bogus_hint_harmless =
+  QCheck.Test.make ~name:"arbitrary basis hints never change the outcome" ~count:200
+    (QCheck.pair (QCheck.make mixed_lp_gen) (QCheck.int_range 0 1000))
+    (fun (spec, seed) ->
+      let p = build_mixed_min spec in
+      let prep = Rv.prepare p in
+      let m = List.length p.P.constraints in
+      let ncols = Rv.num_cols prep in
+      let hint =
+        Array.init m (fun i -> (seed + (i * 7919)) mod (max ncols 1))
+      in
+      let warm_out, _ = Rv.solve_prepared ~warm:hint prep in
+      let cold_out = Sx.solve p in
+      match (warm_out, cold_out) with
+      | Sx.Optimal a, Sx.Optimal b ->
+        R.equal a.objective b.objective
+        && Result.is_ok (Sx.check_feasible p a.values)
+      | Sx.Infeasible, Sx.Infeasible | Sx.Unbounded, Sx.Unbounded -> true
+      | _ -> false)
+
+(* Float probe → exact certification: warm-starting the exact solve from
+   the float engine's final basis is the handoff the milestone search
+   uses; it must agree with a cold exact solve. *)
+let prop_float_handoff =
+  QCheck.Test.make ~name:"approx-basis handoff ≡ cold exact solve" ~count:200
+    (QCheck.make mixed_lp_gen) (fun spec ->
+      let p = build_mixed_min spec in
+      let _, fbasis = Rva.solve_prepared (Rva.prepare (to_float_problem p)) in
+      let warm_out, _ = Rv.solve_prepared ~warm:fbasis (Rv.prepare p) in
+      let cold_out = Sx.solve p in
+      match (warm_out, cold_out) with
+      | Sx.Optimal a, Sx.Optimal b ->
+        R.equal a.objective b.objective
+        && Result.is_ok (Sx.check_feasible p a.values)
+      | Sx.Infeasible, Sx.Infeasible | Sx.Unbounded, Sx.Unbounded -> true
+      | _ -> false)
+
+(* Session API: resolve_rhs keeps the basis across a family of rhs
+   variations and must track cold solves exactly. *)
+let prop_session_resolve_rhs =
+  QCheck.Test.make ~name:"session resolve_rhs tracks cold solves" ~count:150
+    (QCheck.make mixed_lp_gen) (fun spec ->
+      let p = build_mixed_min spec in
+      let session = Lp.Session.Exact.create p in
+      let _ = Lp.Session.Exact.solve session in
+      List.for_all
+        (fun num ->
+          let scale = q num 10 in
+          let updates =
+            List.mapi
+              (fun i (c : R.t P.constr) -> (i, R.mul c.P.rhs scale))
+              p.P.constraints
+          in
+          let p' : R.t P.t =
+            {
+              p with
+              P.constraints =
+                List.map
+                  (fun (c : R.t P.constr) ->
+                    { c with P.rhs = R.mul c.P.rhs scale })
+                  p.P.constraints;
+            }
+          in
+          let warm_out = Lp.Session.Exact.resolve_rhs session updates in
+          match (warm_out, Sx.solve p') with
+          | Sx.Optimal a, Sx.Optimal b ->
+            R.equal a.objective b.objective
+            && Result.is_ok (Sx.check_feasible p' a.values)
+          | Sx.Infeasible, Sx.Infeasible | Sx.Unbounded, Sx.Unbounded -> true
+          | _ -> false)
+        [ 12; 8; 10; 15; 10 ])
+
+(* The approx instance of the revised engine against the dense float
+   tableau: same classification, objectives within tolerance. *)
+let prop_revised_approx_agrees =
+  QCheck.Test.make ~name:"revised approx ≈ dense approx" ~count:150
+    (QCheck.make random_lp_gen) (fun spec ->
+      let p = build_random_min spec in
+      let pf = to_float_problem p in
+      match (Sf.solve pf, Rva.solve pf) with
+      | Sf.Optimal a, Sf.Optimal b -> Float.abs (a.objective -. b.objective) < 1e-6
+      | Sf.Infeasible, Sf.Infeasible | Sf.Unbounded, Sf.Unbounded -> true
+      | _ -> false)
 
 let () =
   Alcotest.run "lp"
@@ -503,7 +693,8 @@ let () =
           Alcotest.test_case "duplicate terms" `Quick test_duplicate_terms;
           Alcotest.test_case "exact fractional optimum" `Quick test_exactness;
           Alcotest.test_case "fraction-free hand cases" `Quick test_fraction_free_hand_cases;
-          Alcotest.test_case "duality hand case" `Quick test_duality_hand_case
+          Alcotest.test_case "duality hand case" `Quick test_duality_hand_case;
+          Alcotest.test_case "revised hand cases" `Quick test_revised_hand_cases
         ] );
       ( "simplex-props",
         List.map QCheck_alcotest.to_alcotest
@@ -511,5 +702,12 @@ let () =
             prop_exact_and_float_agree; prop_fraction_free_agrees;
             prop_fraction_free_fractional_data; prop_mixed_relations_agree;
             prop_duality_rational; prop_duality_fraction_free; prop_scaling
+          ] );
+      ( "revised-props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_revised_bit_identical; prop_revised_bit_identical_ge;
+            prop_revised_duality; prop_warm_equals_cold;
+            prop_bogus_hint_harmless; prop_float_handoff;
+            prop_session_resolve_rhs; prop_revised_approx_agrees
           ] )
     ]

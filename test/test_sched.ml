@@ -597,9 +597,15 @@ let prop_flow_search_certified =
          return (len, exact_idx, approx_idx)))
     (fun (len, exact_idx, approx_idx) ->
       let candidates = Array.init len (fun i -> R.of_int i) in
-      let exact f = R.compare f (R.of_int exact_idx) >= 0 in
+      let exact f =
+        if R.compare f (R.of_int exact_idx) >= 0 then Some f else None
+      in
       let approx f = R.compare f (R.of_int approx_idx) >= 0 in
-      Sched_core.Flow_search.first_feasible ~exact ~approx candidates = exact_idx)
+      let idx, payload =
+        Sched_core.Flow_search.first_feasible ~exact ~approx candidates
+      in
+      (* The payload must be the winning probe's, not a stale one. *)
+      idx = exact_idx && R.equal payload candidates.(idx))
 
 (* ------------------------------------------------------------------ *)
 (* Open-shop decomposition                                             *)
@@ -861,6 +867,71 @@ let test_io_errors_malformed () =
   bad "machines 2\njob 0 1 1/0 2\n";                (* zero denominator *)
   bad "machines 1\njob 0 1 2 extra words\n"
 
+(* ------------------------------------------------------------------ *)
+(* Solver variants: sparse (revised) vs dense (tableau) dispatch       *)
+(* ------------------------------------------------------------------ *)
+
+let with_variant v f =
+  let saved = !Lp.Solve.variant in
+  Lp.Solve.variant := v;
+  Fun.protect ~finally:(fun () -> Lp.Solve.variant := saved) f
+
+let with_warm w f =
+  let saved = !Lp.Solve.warm in
+  Lp.Solve.warm := w;
+  Fun.protect ~finally:(fun () -> Lp.Solve.warm := saved) f
+
+(* Bit-identical means the whole schedule matches, not just the objective;
+   the printed form is an exact rendering of the rational slice list. *)
+let print_sched s = Format.asprintf "%a" S.pp s
+
+let prop_variant_makespan_identical =
+  QCheck.Test.make ~name:"makespan: sparse and dense solvers bit-identical"
+    ~count:30 arbitrary_instance (fun inst ->
+      let rs = with_variant Lp.Solve.Sparse (fun () -> Mk.solve inst) in
+      let rd = with_variant Lp.Solve.Dense (fun () -> Mk.solve inst) in
+      R.equal rs.Mk.makespan rd.Mk.makespan
+      && print_sched rs.Mk.schedule = print_sched rd.Mk.schedule)
+
+let prop_variant_maxflow_identical =
+  QCheck.Test.make ~name:"max-flow: sparse and dense solvers bit-identical"
+    ~count:20 arbitrary_instance (fun inst ->
+      let rs = with_variant Lp.Solve.Sparse (fun () -> Mf.solve inst) in
+      let rd = with_variant Lp.Solve.Dense (fun () -> Mf.solve inst) in
+      R.equal rs.Mf.objective rd.Mf.objective
+      && rs.Mf.search_range = rd.Mf.search_range
+      && print_sched rs.Mf.schedule = print_sched rd.Mf.schedule)
+
+let prop_variant_deadline_identical =
+  QCheck.Test.make ~name:"deadline feasibility agrees across solver variants"
+    ~count:40
+    (QCheck.pair arbitrary_instance (QCheck.int_range 1 10))
+    (fun (inst, k) ->
+      let deadlines =
+        Array.init (I.num_jobs inst) (fun j ->
+            R.add (I.release inst j) (R.mul_int (I.fastest_cost inst ~job:j) k))
+      in
+      with_variant Lp.Solve.Sparse (fun () -> Dl.is_feasible inst ~deadlines)
+      = with_variant Lp.Solve.Dense (fun () -> Dl.is_feasible inst ~deadlines))
+
+let prop_warm_toggle_identical =
+  (* Warm starts only accelerate feasibility probes; disabling them must
+     not change anything the solver returns. *)
+  QCheck.Test.make ~name:"max-flow identical with warm starts disabled"
+    ~count:20 arbitrary_instance (fun inst ->
+      let rw = with_warm true (fun () -> Mf.solve inst) in
+      let rc = with_warm false (fun () -> Mf.solve inst) in
+      R.equal rw.Mf.objective rc.Mf.objective
+      && print_sched rw.Mf.schedule = print_sched rc.Mf.schedule)
+
+let prop_variant_preemptive_identical =
+  QCheck.Test.make ~name:"preemptive: sparse and dense solvers bit-identical"
+    ~count:10 arbitrary_instance (fun inst ->
+      let rs = with_variant Lp.Solve.Sparse (fun () -> Pre.solve inst) in
+      let rd = with_variant Lp.Solve.Dense (fun () -> Pre.solve inst) in
+      R.equal rs.Pre.objective rd.Pre.objective
+      && print_sched rs.Pre.schedule = print_sched rd.Pre.schedule)
+
 let () =
   Alcotest.run "sched_core"
     [ ( "instance",
@@ -948,5 +1019,12 @@ let () =
             test_preemptive_equals_divisible_on_one_machine;
           QCheck_alcotest.to_alcotest prop_preemptive_valid_and_dominates;
           QCheck_alcotest.to_alcotest prop_preemptive_single_machine_matches_divisible
+        ] );
+      ( "solver-variants",
+        [ QCheck_alcotest.to_alcotest prop_variant_makespan_identical;
+          QCheck_alcotest.to_alcotest prop_variant_maxflow_identical;
+          QCheck_alcotest.to_alcotest prop_variant_deadline_identical;
+          QCheck_alcotest.to_alcotest prop_warm_toggle_identical;
+          QCheck_alcotest.to_alcotest prop_variant_preemptive_identical
         ] )
     ]
