@@ -648,6 +648,75 @@ let run_serve () =
   Json_out.write ~experiment:"serve" (Json_out.List (List.rev !json_rows))
 
 (* ------------------------------------------------------------------ *)
+(* Serving engine under machine failures                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_faults () =
+  section "Serving engine under machine failures: healthy vs degraded replay";
+  Printf.printf
+    "Poisson GriPPS trace replayed twice per policy: as-is, and under an\n\
+     exponential failure/recovery overlay (in-flight work lost).  A final\n\
+     never-recovered failure of bank 0's sole holder shows starvation\n\
+     surfacing as incomplete requests rather than a livelock.\n";
+  let trace = Serve.Trace.poisson ~seed:77 ~machines:4 ~banks:3 ~rate:0.3 ~count:60 () in
+  let faulted = Serve.Trace.with_faults ~seed:78 ~mtbf:120. ~mttr:15. trace in
+  (* Starvation scenario: kill every holder of bank 0 after 10 s, forever. *)
+  let open Serve.Trace in
+  let holders =
+    List.filteri
+      (fun i _ -> trace.platform.Gripps.Workload.has_bank.(i).(0))
+      (Array.to_list trace.platform.Gripps.Workload.speeds |> List.mapi (fun i _ -> i))
+  in
+  let starving =
+    { trace with events = List.map (fun i -> { at = R.of_ints 10 1; fault = Fail i }) holders }
+  in
+  Printf.printf "%-8s %-10s %9s %9s %7s %7s %9s %9s %8s\n" "run" "policy" "completed"
+    "starved" "fails" "lost" "p95 flow" "p95 str" "time(ms)";
+  let json_rows = ref [] in
+  let one label (tr : Serve.Trace.t) (module P : Online.Sim.POLICY) =
+    let engine, elapsed = time_it (fun () -> Serve.Engine.replay ~policy:(module P) tr) in
+    let m = Serve.Engine.metrics engine in
+    let count_of name = Serve.Metrics.count (Serve.Metrics.counter m name) in
+    let q name p = Serve.Metrics.quantile (Serve.Metrics.histogram m name) p in
+    let completed = Serve.Engine.completed engine in
+    let starved = Serve.Engine.starved engine in
+    Printf.printf "%-8s %-10s %9d %9d %7d %7d %9.2f %9.2f %8.1f\n" label P.name completed
+      starved
+      (count_of "machine_failures")
+      (count_of "slices_lost")
+      (q "flow_seconds" 0.95) (q "stretch" 0.95) (elapsed *. 1000.);
+    json_rows :=
+      Json_out.Obj
+        [
+          ("run", Json_out.Str label);
+          ("policy", Json_out.Str P.name);
+          ("submitted", Json_out.Int (Serve.Engine.submitted engine));
+          ("completed", Json_out.Int completed);
+          ("starved", Json_out.Int starved);
+          ("failures", Json_out.Int (count_of "machine_failures"));
+          ("recoveries", Json_out.Int (count_of "machine_recoveries"));
+          ("slices_lost", Json_out.Int (count_of "slices_lost"));
+          ("policy_rebuilds", Json_out.Int (count_of "policy_rebuilds"));
+          ("p95_flow_seconds", Json_out.Float (q "flow_seconds" 0.95));
+          ("p95_stretch", Json_out.Float (q "stretch" 0.95));
+          ("seconds", Json_out.Float elapsed);
+        ]
+      :: !json_rows
+  in
+  let policies =
+    ([ (module Online.Policies.Mct); (module Online.Policies.Srpt);
+       (module Online.Policies.Fair) ]
+      : (module Online.Sim.POLICY) list)
+  in
+  List.iter
+    (fun p ->
+      one "healthy" trace p;
+      one "faulted" faulted p;
+      one "starving" starving p)
+    policies;
+  Json_out.write ~experiment:"faults" (Json_out.List (List.rev !json_rows))
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -709,6 +778,7 @@ let experiments =
     ("smoke", run_smoke);
     ("uniform", run_uniform);
     ("serve", run_serve);
+    ("faults", run_faults);
     ("micro", run_micro)
   ]
 

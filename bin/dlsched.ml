@@ -316,7 +316,20 @@ let trace_cmd =
   let output =
     Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"Output file.")
   in
-  let run profile machines banks replication requests rate day seed output =
+  let faults =
+    let doc = "Overlay machine failure/recovery events (exponential up/down periods)." in
+    Arg.(value & flag & info [ "faults" ] ~doc)
+  in
+  let mtbf =
+    let doc = "Mean time between failures per machine, in seconds (with --faults)." in
+    Arg.(value & opt float 300. & info [ "mtbf" ] ~doc)
+  in
+  let mttr =
+    let doc = "Mean time to recovery, in seconds (with --faults)." in
+    Arg.(value & opt float 30. & info [ "mttr" ] ~doc)
+  in
+  let run profile machines banks replication requests rate day seed output faults mtbf
+      mttr =
     let trace =
       match profile with
       | `Poisson ->
@@ -325,17 +338,23 @@ let trace_cmd =
         Serve.Trace.diurnal ~seed ~machines ~banks ~replication ~day ~peak_rate:rate
           ~count:requests ()
     in
+    let trace =
+      if faults then or_die (Serve.Trace.with_faults ~seed:(seed + 1) ~mtbf ~mttr) trace
+      else trace
+    in
     let text = Serve.Trace.to_string trace in
     match output with
     | Some path ->
       Out_channel.with_open_text path (fun oc -> output_string oc text);
-      Format.printf "wrote %s (%d requests)@." path (List.length trace.Serve.Trace.entries)
+      Format.printf "wrote %s (%d requests, %d fault events)@." path
+        (List.length trace.Serve.Trace.entries)
+        (List.length trace.Serve.Trace.events)
     | None -> print_string text
   in
   let doc = "Generate a synthetic workload trace for `dlsched replay`." in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(const run $ profile $ trace_machines $ trace_banks $ trace_replication
-          $ requests $ rate $ day $ trace_seed $ output)
+          $ requests $ rate $ day $ trace_seed $ output $ faults $ mtbf $ mttr)
 
 (* --- replay / serve ------------------------------------------------- *)
 
@@ -360,6 +379,13 @@ let batch_arg =
              decision instead of re-consulting the policy on each one." in
   Arg.(value & opt float 0. & info [ "batch" ] ~doc)
 
+let lost_work_arg =
+  let doc = "What happens to in-flight work when a machine fails: lost (redone from \
+             scratch) or preserved (partial results survive)." in
+  Arg.(value
+       & opt (enum [ ("lost", `Lost); ("preserved", `Preserved) ]) `Lost
+       & info [ "lost-work" ] ~doc)
+
 let replay_cmd =
   let trace_arg =
     let doc = "Trace file (see `dlsched trace`)." in
@@ -370,11 +396,12 @@ let replay_cmd =
     Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Report metrics as JSON.") in
-  let run () file policy batch report json =
+  let run () file policy batch lost_work report json =
     let trace = load_trace file in
     let wall0 = Unix.gettimeofday () in
     let engine =
-      Serve.Engine.replay ~batch_window:(Gripps.Workload.quantize batch) ~policy trace
+      Serve.Engine.replay ~batch_window:(Gripps.Workload.quantize batch) ~lost_work
+        ~policy trace
     in
     let wall = Unix.gettimeofday () -. wall0 in
     let m = Serve.Engine.metrics engine in
@@ -388,13 +415,24 @@ let replay_cmd =
       Format.eprintf "dlsched: %s: trace has no requests@." file;
       exit 2
     end;
-    let sched = Serve.Engine.schedule engine in
-    (match S.validate_divisible sched with
-     | Ok () ->
-       Format.printf "schedule valid (%d slices)@." (List.length sched.S.slices)
-     | Error msg ->
-       Format.eprintf "dlsched: invalid schedule: %s@." msg;
-       exit 1);
+    let incomplete = Serve.Engine.submitted engine - Serve.Engine.completed engine in
+    if incomplete > 0 then
+      (* A trace whose failures are never recovered can leave permanently
+         starved requests; the partial schedule cannot pass the fraction
+         check, so report instead of validating. *)
+      Format.printf
+        "note: %d request(s) incomplete (%d starved by machine failures); \
+         skipping schedule validation@."
+        incomplete (Serve.Engine.starved engine)
+    else begin
+      let sched = Serve.Engine.schedule engine in
+      match S.validate_divisible sched with
+      | Ok () ->
+        Format.printf "schedule valid (%d slices)@." (List.length sched.S.slices)
+      | Error msg ->
+        Format.eprintf "dlsched: invalid schedule: %s@." msg;
+        exit 1
+    end;
     let n = Serve.Engine.completed engine in
     if wall > 0. then
       Format.printf "replayed %d requests in %.3fs wall (%.0f requests/s, %.0f decisions/s)@."
@@ -404,7 +442,8 @@ let replay_cmd =
   in
   let doc = "Replay a workload trace through the serving engine under a virtual              clock and report per-request flow/stretch metrics." in
   Cmd.v (Cmd.info "replay" ~doc)
-    Term.(const run $ solver_arg $ trace_arg $ policy_arg $ batch_arg $ report $ json)
+    Term.(const run $ solver_arg $ trace_arg $ policy_arg $ batch_arg $ lost_work_arg
+          $ report $ json)
 
 let serve_cmd =
   let socket =
@@ -421,7 +460,11 @@ let serve_cmd =
                file instead of generating a random one." in
     Arg.(value & opt (some file) None & info [ "platform" ] ~docv:"TRACE" ~doc)
   in
-  let run () socket clock platform_from machines banks replication seed policy batch =
+  let run () socket clock platform_from machines banks replication seed policy batch
+      lost_work =
+    (* A disconnecting client must never kill the daemon with SIGPIPE —
+       writes to a dead peer surface as exceptions the session loop eats. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
     let platform =
       match platform_from with
       | Some file -> (load_trace file).Serve.Trace.platform
@@ -433,12 +476,12 @@ let serve_cmd =
       match clock with `Wall -> Serve.Clock.wall () | `Virtual -> Serve.Clock.virtual_ ()
     in
     let engine =
-      Serve.Engine.create ~batch_window:(Gripps.Workload.quantize batch) ~clock ~policy
-        platform
+      Serve.Engine.create ~batch_window:(Gripps.Workload.quantize batch) ~lost_work
+        ~clock ~policy platform
     in
     let server = Serve.Server.create engine in
     Format.eprintf "dlsched serve: %d machines, %d banks; commands: \
-                    submit/status/metrics/tick/drain/quit@."
+                    submit/status/metrics/fail/recover/tick/drain/quit@."
       (Array.length platform.Gripps.Workload.speeds)
       (Array.length platform.Gripps.Workload.bank_sizes);
     match socket with
@@ -450,7 +493,8 @@ let serve_cmd =
   let doc = "Run the scheduler as a daemon speaking a newline-delimited command              protocol on stdin/stdout or a Unix socket." in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ solver_arg $ socket $ clock $ platform_from $ trace_machines
-          $ trace_banks $ trace_replication $ trace_seed $ policy_arg $ batch_arg)
+          $ trace_banks $ trace_replication $ trace_seed $ policy_arg $ batch_arg
+          $ lost_work_arg)
 
 let () =
   let doc = "exact schedulers for divisible requests on heterogeneous databanks" in

@@ -8,6 +8,34 @@ type platform = {
 
 type request = { arrival : Rat.t; bank : int; num_motifs : int }
 
+type machine_state = Up | Down | Degraded of Rat.t
+
+type overlay = machine_state array
+
+let all_up platform = Array.make (Array.length platform.speeds) Up
+
+let healthy overlay = Array.for_all (fun s -> s = Up) overlay
+
+let machine_live = function Up | Degraded _ -> true | Down -> false
+
+let check_state = function
+  | Up | Down -> ()
+  | Degraded f ->
+    if Rat.sign f <= 0 then
+      invalid_arg "Workload: degraded speed factor must be positive"
+
+let mask_cost state cost =
+  check_state state;
+  match state with
+  | Up -> cost
+  | Down -> None
+  | Degraded f -> Option.map (Rat.mul f) cost
+
+let mask_column overlay column =
+  if Array.length overlay <> Array.length column then
+    invalid_arg "Workload.mask_column: overlay and column lengths disagree";
+  Array.map2 mask_cost overlay column
+
 (* Quantize a float of seconds to an exact number of centiseconds: exact
    rational arithmetic downstream stays cheap. *)
 let centi f = Rat.of_ints (int_of_float (Float.round (f *. 100.0))) 100

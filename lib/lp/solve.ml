@@ -41,6 +41,12 @@ type cache = (string, int array) Hashtbl.t
 let cache_capacity = 64
 let cache () : cache = Hashtbl.create 16
 
+(* Drop every stored basis.  Callers invalidate when the *problem family*
+   changes shape-incompatibly — e.g. a machine failure rewrites the cost
+   matrix, so bases keyed by the old columns would only mislead the
+   crash-recovery logic of the first warm solve after the change. *)
+let cache_clear (c : cache) = Hashtbl.reset c
+
 let cache_store (c : cache) shape basis =
   if Hashtbl.length c >= cache_capacity && not (Hashtbl.mem c shape) then
     Hashtbl.reset c;

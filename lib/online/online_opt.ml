@@ -70,12 +70,20 @@ let compute_plan ?cache inst ~now ~active =
 module Divisible = struct
   (* The solver session outlives any single decision: the basis cache is
      part of the policy state, so each re-solve warm-starts from the last. *)
-  type state = { inst : I.t; cache : Lp.Solve.cache }
+  type state = { mutable inst : I.t; cache : Lp.Solve.cache }
 
   let name = "online-opt"
   let init inst = { inst; cache = Lp.Solve.cache () }
   let on_arrival _ ~now:_ ~job:_ = ()
   let on_completion _ ~now:_ ~job:_ = ()
+
+  (* An availability change rewrites whole cost columns, so every cached
+     basis describes a system that no longer exists; re-solves after the
+     change must run cold rather than chase a stale vertex. *)
+  let on_platform_change st ~now:_ ~inst =
+    st.inst <- inst;
+    Lp.Solve.cache_clear st.cache;
+    `Adapted
 
   let decide st ~now ~active =
     let shares, review_at = compute_plan ~cache:st.cache st.inst ~now ~active in
@@ -90,7 +98,7 @@ module Lazy_divisible = struct
      than {!Divisible}, laxer in quality; the [reopt] bench quantifies the
      trade. *)
   type state = {
-    inst : I.t;
+    mutable inst : I.t;
     cache : Lp.Solve.cache;
     mutable cached : (Sim.share list * Rat.t) option;  (* shares, horizon *)
     mutable dirty : bool;
@@ -100,6 +108,15 @@ module Lazy_divisible = struct
   let init inst = { inst; cache = Lp.Solve.cache (); cached = None; dirty = true }
   let on_arrival st ~now:_ ~job:_ = st.dirty <- true
   let on_completion _ ~now:_ ~job:_ = ()
+
+  (* Same invalidation as {!Divisible}, plus the cached plan itself: its
+     shares may sit on machines that just went down. *)
+  let on_platform_change st ~now:_ ~inst =
+    st.inst <- inst;
+    Lp.Solve.cache_clear st.cache;
+    st.cached <- None;
+    st.dirty <- true;
+    `Adapted
 
   let decide st ~now ~active =
     let live (s : Sim.share) =

@@ -47,6 +47,10 @@ module Mct = struct
     let head = Queue.pop st.queues.(i) in
     assert (head = job)
 
+  (* Queue assignments and drain estimates may point at machines that just
+     went down; start over against the new platform. *)
+  let on_platform_change = Sim.rebuild_on_platform_change
+
   let decide st ~now:_ ~active =
     ignore active;
     let shares = ref [] in
@@ -82,6 +86,9 @@ module Fcfs = struct
   let on_completion st ~now:_ ~job =
     let i = st.machine_of.(job) in
     if i >= 0 && st.running.(i) = job then st.running.(i) <- -1
+
+  (* Running jobs may be pinned to machines that just went down. *)
+  let on_platform_change = Sim.rebuild_on_platform_change
 
   let decide st ~now:_ ~active =
     ignore active;
@@ -137,45 +144,55 @@ let greedy_by_rank inst ~rank active =
     ranked;
   { Sim.shares = !shares; review_at = None }
 
+(* Srpt, Evd and Fair keep no per-machine state beyond the cost matrix, so
+   an availability change only needs the instance swapped in place. *)
+let adapt_instance st ~now:_ ~inst =
+  st := inst;
+  `Adapted
+
 module Srpt = struct
-  type state = I.t
+  type state = I.t ref
 
   let name = "srpt"
-  let init inst = inst
+  let init inst = ref inst
   let on_arrival _ ~now:_ ~job:_ = ()
   let on_completion _ ~now:_ ~job:_ = ()
+  let on_platform_change = adapt_instance
 
-  let decide inst ~now:_ ~active =
+  let decide st ~now:_ ~active =
     (* Rank by remaining processing time on the job's fastest machine. *)
-    greedy_by_rank inst active ~rank:(fun (v : Sim.job_view) ->
-        Rat.mul v.remaining (I.fastest_cost inst ~job:v.id))
+    greedy_by_rank !st active ~rank:(fun (v : Sim.job_view) ->
+        Rat.mul v.remaining (I.fastest_cost !st ~job:v.id))
 end
 
 module Evd = struct
-  type state = I.t
+  type state = I.t ref
 
   let name = "evd"
-  let init inst = inst
+  let init inst = ref inst
   let on_arrival _ ~now:_ ~job:_ = ()
   let on_completion _ ~now:_ ~job:_ = ()
+  let on_platform_change = adapt_instance
 
-  let decide inst ~now:_ ~active =
+  let decide st ~now:_ ~active =
     (* Virtual deadline for a unit objective: o_j + 1/w_j. *)
-    greedy_by_rank inst active ~rank:(fun (v : Sim.job_view) ->
-        Rat.add (I.flow_origin inst v.id) (Rat.inv v.weight))
+    greedy_by_rank !st active ~rank:(fun (v : Sim.job_view) ->
+        Rat.add (I.flow_origin !st v.id) (Rat.inv v.weight))
 end
 
 module Fair = struct
-  type state = I.t
+  type state = I.t ref
 
   let name = "fair"
-  let init inst = inst
+  let init inst = ref inst
   let on_arrival _ ~now:_ ~job:_ = ()
   let on_completion _ ~now:_ ~job:_ = ()
+  let on_platform_change = adapt_instance
 
-  let decide inst ~now:_ ~active =
+  let decide st ~now:_ ~active =
     (* Each machine splits its time equally among the active jobs it can
        run. *)
+    let inst = !st in
     let m = I.num_machines inst in
     let shares = ref [] in
     for i = 0 to m - 1 do

@@ -15,15 +15,28 @@ module type POLICY = sig
   val init : Sched_core.Instance.t -> state
   val on_arrival : state -> now:Rat.t -> job:int -> unit
   val on_completion : state -> now:Rat.t -> job:int -> unit
+
+  val on_platform_change :
+    state -> now:Rat.t -> inst:Sched_core.Instance.t -> [ `Adapted | `Rebuild ]
+
   val decide : state -> now:Rat.t -> active:job_view list -> decision
 end
+
+(* The default shim for [on_platform_change]: ask the driving engine to
+   throw the state away and [init] a fresh one against the new instance.
+   Always sound — availability changes are rare enough that rebuilding is
+   never a hot path — so policies only adapt in place when they have
+   caches worth preserving. *)
+let rebuild_on_platform_change :
+    'a -> now:Rat.t -> inst:Sched_core.Instance.t -> [ `Adapted | `Rebuild ] =
+ fun _ ~now:_ ~inst:_ -> `Rebuild
 
 type result = { policy : string; schedule : S.t; decisions : int }
 
 let bad ?(where = "Sim.run") name fmt =
   Printf.ksprintf (fun s -> invalid_arg (Printf.sprintf "%s(%s): %s" where name s)) fmt
 
-let check_decision ?where ~name inst ~eligible ~now d =
+let check_decision ?where ?(up = fun _ -> true) ~name inst ~eligible ~now d =
   let n = I.num_jobs inst and m = I.num_machines inst in
   let per_machine = Array.make m Rat.zero in
   List.iter
@@ -32,6 +45,7 @@ let check_decision ?where ~name inst ~eligible ~now d =
       if s.job < 0 || s.job >= n || not (eligible s.job) then
         bad ?where name "share on inactive job %d" s.job;
       if Rat.sign s.share <= 0 then bad ?where name "non-positive share";
+      if not (up s.machine) then bad ?where name "share on down machine %d" s.machine;
       if I.cost inst ~machine:s.machine ~job:s.job = None then
         bad ?where name "share on unavailable machine %d for job %d" s.machine s.job;
       per_machine.(s.machine) <- Rat.add per_machine.(s.machine) s.share)

@@ -48,8 +48,28 @@ module type POLICY = sig
   val init : Sched_core.Instance.t -> state
   val on_arrival : state -> now:Rat.t -> job:int -> unit
   val on_completion : state -> now:Rat.t -> job:int -> unit
+
+  val on_platform_change :
+    state -> now:Rat.t -> inst:Sched_core.Instance.t -> [ `Adapted | `Rebuild ]
+  (** Machine availability changed: [inst] is the same job set under the
+      new cost matrix (down machines masked to [None], the paper's +∞;
+      degraded machines proportionally slower).  Return [`Adapted] after
+      updating the state in place to schedule against [inst]; return
+      [`Rebuild] (the {!rebuild_on_platform_change} shim) to have the
+      engine discard the state, [init] a fresh one from [inst], and
+      re-announce the live jobs.  Policies that cache per-platform data —
+      warm-start bases, machine queues — must either refresh those caches
+      or rebuild: stale shapes are useless and stale queues may point at
+      down machines. *)
+
   val decide : state -> now:Rat.t -> active:job_view list -> decision
 end
+
+val rebuild_on_platform_change :
+  'a -> now:Rat.t -> inst:Sched_core.Instance.t -> [ `Adapted | `Rebuild ]
+(** The default [on_platform_change]: always [`Rebuild].  Sound for every
+    policy (availability changes are rare, so rebuilding is never hot);
+    alias it when the state holds nothing worth preserving. *)
 
 type result = {
   policy : string;
@@ -72,6 +92,7 @@ val run : (module POLICY) -> Sched_core.Instance.t -> result
 
 val check_decision :
   ?where:string ->
+  ?up:(int -> bool) ->
   name:string ->
   Sched_core.Instance.t ->
   eligible:(int -> bool) ->
@@ -79,8 +100,12 @@ val check_decision :
   decision ->
   unit
 (** Validate a policy decision: machine/job indices in range, shares only on
-    [eligible] jobs and available machines, positive shares, per-machine
-    capacity at most 1, and [review_at] strictly in the future.
+    [eligible] jobs, [up] machines (defaults to all machines up) and
+    available machines, positive shares, per-machine capacity at most 1,
+    and [review_at] strictly in the future.  The serving engine passes the
+    platform's live-machine predicate as [up] so a decision placing work on
+    a failed machine is rejected even if the instance it was checked
+    against predates the failure.
     @raise Invalid_argument with a ["where(name): ..."] message ([where]
     defaults to ["Sim.run"]). *)
 

@@ -6,13 +6,16 @@ module W = Gripps.Workload
 
 type objective = [ `Flow | `Stretch ]
 
+type lost_work = [ `Lost | `Preserved ]
+
 type job = {
   id : string;
   arrival : Rat.t;
-  column : Rat.t option array;  (* cost per machine *)
+  column : Rat.t option array;  (* cost per machine, healthy platform *)
   weight : Rat.t;
   fastest : Rat.t;  (* min finite cost, for stretch accounting *)
-  mutable arrived : bool;  (* announced to the policy *)
+  mutable arrived : bool;  (* arrival date has passed *)
+  mutable parked : bool;  (* arrived but starved: no live machine can run it *)
   mutable completed_at : Rat.t option;
 }
 
@@ -26,11 +29,18 @@ type t = {
   origin : float;  (* clock date of engine time 0 *)
   batch_window : Rat.t;
   objective : objective;
+  lost_work : lost_work;
+  (* Machine availability.  [overlay] is mutated in place; [faults] is the
+     pending injection queue, sorted by date. *)
+  overlay : W.overlay;
+  mutable faults : (Rat.t * Trace.fault) list;
   (* Growable job store; index = policy job index. *)
   mutable jobs : job array;
   mutable n : int;
+  ids : (string, int) Hashtbl.t;  (* request id -> job index *)
   mutable remaining : Rat.t array;  (* parallel to [jobs], fraction left *)
-  mutable inst : I.t option;  (* cache over jobs.(0..n-1) *)
+  mutable inst : I.t option;  (* cache over jobs.(0..n-1), healthy costs *)
+  mutable masked : I.t option;  (* [inst] under the overlay, for decisions *)
   mutable runner : runner option;
   mutable now : Rat.t;
   (* Current validated decision and its batching state. *)
@@ -51,6 +61,10 @@ type t = {
   c_slices : Metrics.counter;
   c_coalesced : Metrics.counter;
   c_rebuilds : Metrics.counter;
+  c_failures : Metrics.counter;
+  c_recoveries : Metrics.counter;
+  c_slices_lost : Metrics.counter;
+  g_machines_up : Metrics.gauge;
   g_queue : Metrics.gauge;
   h_flow : Metrics.histogram;
   h_weighted : Metrics.histogram;
@@ -71,23 +85,30 @@ let policy_name t =
   let (module P : Sim.POLICY) = t.policy in
   P.name
 
-let create ?(batch_window = Rat.zero) ?(objective = `Stretch) ~clock ~policy platform =
+let create ?(batch_window = Rat.zero) ?(objective = `Stretch) ?(lost_work = `Lost) ~clock
+    ~policy platform =
   if Rat.sign batch_window < 0 then invalid_arg "Engine.create: negative batch window";
   let m = Array.length platform.W.speeds in
   let metrics = Metrics.create () in
-  {
-    platform;
-    policy;
-    clock;
-    origin = Clock.now clock;
-    batch_window;
-    objective;
-    jobs = [||];
-    n = 0;
-    remaining = [||];
-    inst = None;
-    runner = None;
-    now = Rat.zero;
+  let t =
+    {
+      platform;
+      policy;
+      clock;
+      origin = Clock.now clock;
+      batch_window;
+      objective;
+      lost_work;
+      overlay = W.all_up platform;
+      faults = [];
+      jobs = [||];
+      n = 0;
+      ids = Hashtbl.create 64;
+      remaining = [||];
+      inst = None;
+      masked = None;
+      runner = None;
+      now = Rat.zero;
     decision = None;
     decided_at = Rat.zero;
     dirty = true;
@@ -101,9 +122,13 @@ let create ?(batch_window = Rat.zero) ?(objective = `Stretch) ~clock ~policy pla
     c_decisions = Metrics.counter metrics "decisions";
     c_segments = Metrics.counter metrics "segments";
     c_slices = Metrics.counter metrics "slices";
-    c_coalesced = Metrics.counter metrics "arrivals_coalesced";
-    c_rebuilds = Metrics.counter metrics "policy_rebuilds";
-    g_queue = Metrics.gauge metrics "queue_depth";
+      c_coalesced = Metrics.counter metrics "arrivals_coalesced";
+      c_rebuilds = Metrics.counter metrics "policy_rebuilds";
+      c_failures = Metrics.counter metrics "machine_failures";
+      c_recoveries = Metrics.counter metrics "machine_recoveries";
+      c_slices_lost = Metrics.counter metrics "slices_lost";
+      g_machines_up = Metrics.gauge metrics "machines_up";
+      g_queue = Metrics.gauge metrics "queue_depth";
     h_flow = Metrics.histogram metrics "flow_seconds";
     h_weighted = Metrics.histogram metrics "weighted_flow_seconds";
     h_stretch = Metrics.histogram metrics "stretch";
@@ -111,9 +136,12 @@ let create ?(batch_window = Rat.zero) ?(objective = `Stretch) ~clock ~policy pla
     c_lp_warm = Metrics.counter metrics "lp_solves_warm";
     c_lp_pivots1 = Metrics.counter metrics "lp_pivots_phase1";
     c_lp_pivots2 = Metrics.counter metrics "lp_pivots_phase2";
-    c_lp_pivots_dual = Metrics.counter metrics "lp_pivots_dual";
-    h_lp_seconds = Metrics.histogram metrics "lp_solve_seconds";
-  }
+      c_lp_pivots_dual = Metrics.counter metrics "lp_pivots_dual";
+      h_lp_seconds = Metrics.histogram metrics "lp_solve_seconds";
+    }
+  in
+  Metrics.set t.g_machines_up (float_of_int m);
+  t
 
 let submitted t = t.n
 let completed t = t.num_completed
@@ -125,9 +153,37 @@ let active t =
   done;
   !k
 
+let starved t =
+  let k = ref 0 in
+  for j = 0 to t.n - 1 do
+    let job = t.jobs.(j) in
+    if job.arrived && job.parked && job.completed_at = None then incr k
+  done;
+  !k
+
+(* Arrived, incomplete and not starved: the jobs the policy may schedule. *)
+let schedulable t =
+  let k = ref 0 in
+  for j = 0 to t.n - 1 do
+    let job = t.jobs.(j) in
+    if job.arrived && (not job.parked) && job.completed_at = None then incr k
+  done;
+  !k
+
+let machine_up t i =
+  if i < 0 || i >= Array.length t.overlay then
+    invalid_arg (Printf.sprintf "Engine.machine_up: machine %d out of range" i);
+  W.machine_live t.overlay.(i)
+
+let machines_up t =
+  Array.fold_left (fun k s -> if W.machine_live s then k + 1 else k) 0 t.overlay
+
+let find t id = Hashtbl.find_opt t.ids id
+
 let now t = t.now
 let metrics t = t.metrics
 let clock t = t.clock
+let platform t = t.platform
 
 let clock_date t = W.quantize (Clock.now t.clock -. t.origin)
 
@@ -144,6 +200,45 @@ let instance t =
     let inst = I.make ~releases ~weights cost in
     t.inst <- Some inst;
     inst
+
+(* No live machine holds the job's bank: the masked column is all-[None],
+   the paper's "every c_{i,j} = +∞" row. *)
+let starved_column t column =
+  let runnable = ref false in
+  Array.iteri
+    (fun i c -> if W.machine_live t.overlay.(i) && c <> None then runnable := true)
+    column;
+  not !runnable
+
+(* The instance decisions are made against: [instance t] with down
+   machines' costs masked to [None] (the paper's +∞).  Physically the base
+   instance while the platform is healthy, so failure-free runs are
+   bit-identical to the fault-unaware engine.  Starved jobs keep their
+   healthy column — {!Sched_core.Instance.make} rejects all-[None] columns
+   — but are parked out of the policy's sight, so nothing is ever
+   scheduled against those phantom costs. *)
+let decision_instance t =
+  if W.healthy t.overlay then instance t
+  else
+    match t.masked with
+    | Some i -> i
+    | None ->
+      if t.n = 0 then bug "no jobs submitted";
+      let jobs = Array.sub t.jobs 0 t.n in
+      let releases = Array.map (fun j -> j.arrival) jobs in
+      let weights = Array.map (fun j -> j.weight) jobs in
+      let columns =
+        Array.map
+          (fun j ->
+            if starved_column t j.column then j.column
+            else W.mask_column t.overlay j.column)
+          jobs
+      in
+      let m = Array.length t.platform.W.speeds in
+      let cost = Array.init m (fun i -> Array.map (fun col -> col.(i)) columns) in
+      let inst = I.make ~releases ~weights cost in
+      t.masked <- Some inst;
+      inst
 
 let push t job =
   if t.n = Array.length t.jobs then begin
@@ -164,10 +259,8 @@ let submit t ~id ?arrival ~bank ~num_motifs () =
   if num_motifs <= 0 then invalid_arg "Engine.submit: motif count must be positive";
   if bank < 0 || bank >= Array.length t.platform.W.bank_sizes then
     invalid_arg (Printf.sprintf "Engine.submit: bank %d out of range" bank);
-  for j = 0 to t.n - 1 do
-    if t.jobs.(j).id = id then
-      invalid_arg (Printf.sprintf "Engine.submit: duplicate request id %S" id)
-  done;
+  if Hashtbl.mem t.ids id then
+    invalid_arg (Printf.sprintf "Engine.submit: duplicate request id %S" id);
   let arrival = match arrival with Some a -> a | None -> clock_date t in
   if Rat.compare arrival t.now < 0 then
     invalid_arg
@@ -186,11 +279,23 @@ let submit t ~id ?arrival ~bank ~num_motifs () =
   in
   let weight = match t.objective with `Flow -> Rat.one | `Stretch -> Rat.inv fastest in
   let idx =
-    push t { id; arrival; column; weight; fastest; arrived = false; completed_at = None }
+    push t
+      {
+        id;
+        arrival;
+        column;
+        weight;
+        fastest;
+        arrived = false;
+        parked = false;
+        completed_at = None;
+      }
   in
+  Hashtbl.add t.ids id idx;
   (* The instance grew: caches over the old job set are stale.  A live
      rebuild mid-run is counted; replay submits everything up front. *)
   t.inst <- None;
+  t.masked <- None;
   if t.runner <> None then begin
     t.runner <- None;
     (* Any cached decision was made against the retired policy state; using
@@ -203,12 +308,16 @@ let submit t ~id ?arrival ~bank ~num_motifs () =
 
 (* --- policy plumbing ------------------------------------------------ *)
 
+(* Parked (starved) jobs are withheld from the policy entirely: not in the
+   views, not eligible, never announced.  They re-enter when a recovery
+   makes them runnable again. *)
 let views t =
   let rec go j acc =
     if j < 0 then acc
     else
       go (j - 1)
-        (if t.jobs.(j).arrived && t.jobs.(j).completed_at = None then
+        (if t.jobs.(j).arrived && (not t.jobs.(j).parked) && t.jobs.(j).completed_at = None
+         then
            { Sim.id = j; release = t.jobs.(j).arrival; weight = t.jobs.(j).weight;
              remaining = t.remaining.(j) }
            :: acc
@@ -221,10 +330,12 @@ let runner t =
   | Some r -> r
   | None ->
     let (module P : Sim.POLICY) = t.policy in
-    let state = P.init (instance t) in
-    (* Re-announce the surviving active jobs, in arrival order. *)
+    let state = P.init (decision_instance t) in
+    (* Re-announce the surviving schedulable jobs, in arrival order. *)
     let live =
-      List.filter (fun j -> t.jobs.(j).arrived && t.jobs.(j).completed_at = None)
+      List.filter
+        (fun j ->
+          t.jobs.(j).arrived && (not t.jobs.(j).parked) && t.jobs.(j).completed_at = None)
         (List.init t.n (fun j -> j))
       |> List.sort (fun a b ->
              let c = Rat.compare t.jobs.(a).arrival t.jobs.(b).arrival in
@@ -251,8 +362,13 @@ let decide t =
         Metrics.observe t.h_lp_seconds i.Lp.Stats.seconds)
       (fun () -> P.decide state ~now:t.now ~active:(views t))
   in
-  Sim.check_decision ~where:"Serve.Engine" ~name:P.name (instance t)
-    ~eligible:(fun j -> j < t.n && t.jobs.(j).arrived && t.jobs.(j).completed_at = None)
+  Sim.check_decision ~where:"Serve.Engine" ~name:P.name (decision_instance t)
+    ~up:(fun i -> W.machine_live t.overlay.(i))
+    ~eligible:(fun j ->
+      j < t.n
+      && t.jobs.(j).arrived
+      && (not t.jobs.(j).parked)
+      && t.jobs.(j).completed_at = None)
     ~now:t.now d;
   t.decision <- Some d;
   t.decided_at <- t.now;
@@ -262,26 +378,35 @@ let decide t =
   d
 
 let fire_arrival t j =
-  (* Build the runner before flipping [arrived], or a fresh rebuild would
-     announce the job a second time. *)
-  let (Runner ((module P), state)) = runner t in
-  t.jobs.(j).arrived <- true;
-  P.on_arrival state ~now:t.now ~job:j;
-  (* Batching: within one window of the last decision the current plan
-     keeps running and the newcomer waits for the coalesced re-decision. *)
-  if t.dirty || t.decision = None then t.dirty <- true
-  else if Rat.is_zero t.batch_window then t.dirty <- true
+  if starved_column t t.jobs.(j).column then begin
+    (* Nothing live can run it: park it instead of announcing it — Mct's
+       arrival handler, for one, asserts some machine can take the job. *)
+    t.jobs.(j).arrived <- true;
+    t.jobs.(j).parked <- true;
+    Metrics.set t.g_queue (float_of_int (active t))
+  end
   else begin
-    let deadline = Rat.add t.decided_at t.batch_window in
-    if Rat.compare deadline t.now <= 0 then t.dirty <- true
+    (* Build the runner before flipping [arrived], or a fresh rebuild would
+       announce the job a second time. *)
+    let (Runner ((module P), state)) = runner t in
+    t.jobs.(j).arrived <- true;
+    P.on_arrival state ~now:t.now ~job:j;
+    (* Batching: within one window of the last decision the current plan
+       keeps running and the newcomer waits for the coalesced re-decision. *)
+    if t.dirty || t.decision = None then t.dirty <- true
+    else if Rat.is_zero t.batch_window then t.dirty <- true
     else begin
-      (match t.batch_deadline with
-       | None -> t.batch_deadline <- Some deadline
-       | Some _ -> ());
-      Metrics.incr t.c_coalesced
-    end
-  end;
-  Metrics.set t.g_queue (float_of_int (active t))
+      let deadline = Rat.add t.decided_at t.batch_window in
+      if Rat.compare deadline t.now <= 0 then t.dirty <- true
+      else begin
+        (match t.batch_deadline with
+         | None -> t.batch_deadline <- Some deadline
+         | Some _ -> ());
+        Metrics.incr t.c_coalesced
+      end
+    end;
+    Metrics.set t.g_queue (float_of_int (active t))
+  end
 
 let fire_due_arrivals t =
   for j = 0 to t.n - 1 do
@@ -302,6 +427,127 @@ let complete t j =
   Metrics.observe t.h_weighted (Rat.to_float (Rat.mul job.weight flow));
   Metrics.observe t.h_stretch (Rat.to_float (Rat.div flow job.fastest));
   Metrics.set t.g_queue (float_of_int (active t))
+
+(* --- machine failures ----------------------------------------------- *)
+
+(* In-flight work on a machine that just died is lost: re-credit every
+   incomplete job with the fraction it had processed there and drop those
+   slices from the output.  Slices of *completed* jobs stay — their
+   responses already left the building.  The decision's segments were
+   clipped at the failure instant, so every dropped slice lies entirely in
+   the machine's up period and its fraction is exact. *)
+let drop_lost_slices t i =
+  let lost = ref 0 in
+  let keep (s : S.slice) =
+    let job = t.jobs.(s.job) in
+    if s.machine = i && job.completed_at = None then begin
+      incr lost;
+      let c = Option.get job.column.(i) in
+      t.remaining.(s.job) <-
+        Rat.add t.remaining.(s.job) (Rat.div (Rat.sub s.stop s.start) c);
+      false
+    end
+    else true
+  in
+  t.slices <- List.filter keep t.slices;
+  Metrics.add t.c_slices_lost !lost
+
+(* The overlay changed under us: recompute which jobs are starved, tell
+   the policy, and force the next step to re-decide against the reduced
+   (or re-grown) platform. *)
+let platform_changed t =
+  t.masked <- None;
+  let unparked = ref [] in
+  for j = 0 to t.n - 1 do
+    let job = t.jobs.(j) in
+    if job.arrived && job.completed_at = None then begin
+      let s = starved_column t job.column in
+      if s && not job.parked then job.parked <- true
+      else if (not s) && job.parked then begin
+        job.parked <- false;
+        unparked := j :: !unparked
+      end
+    end
+  done;
+  let unparked =
+    List.sort
+      (fun a b ->
+        let c = Rat.compare t.jobs.(a).arrival t.jobs.(b).arrival in
+        if c <> 0 then c else compare a b)
+      !unparked
+  in
+  (match t.runner with
+   | None -> ()  (* the next [runner] builds against the new platform *)
+   | Some (Runner ((module P), state)) -> (
+     match P.on_platform_change state ~now:t.now ~inst:(decision_instance t) with
+     | `Adapted ->
+       (* The policy kept its state; jobs that were parked the whole time
+          were never announced, so introduce the rescued ones now. *)
+       List.iter (fun j -> P.on_arrival state ~now:t.now ~job:j) unparked
+     | `Rebuild ->
+       t.runner <- None;
+       Metrics.incr t.c_rebuilds));
+  t.decision <- None;
+  t.dirty <- true;
+  t.batch_deadline <- None;
+  Metrics.set t.g_queue (float_of_int (active t))
+
+(* Apply a fault at the current engine time.  Idempotent: failing a dead
+   machine or recovering a live one is a no-op. *)
+let apply_fault t fault =
+  let changed =
+    match fault with
+    | Trace.Fail i ->
+      if not (W.machine_live t.overlay.(i)) then false
+      else begin
+        t.overlay.(i) <- W.Down;
+        Metrics.incr t.c_failures;
+        (match t.lost_work with `Lost -> drop_lost_slices t i | `Preserved -> ());
+        true
+      end
+    | Trace.Recover i ->
+      if W.machine_live t.overlay.(i) then false
+      else begin
+        t.overlay.(i) <- W.Up;
+        Metrics.incr t.c_recoveries;
+        true
+      end
+  in
+  if changed then begin
+    Metrics.set t.g_machines_up (float_of_int (machines_up t));
+    platform_changed t
+  end
+
+let inject t ~at fault =
+  let m = Array.length t.platform.W.speeds in
+  (match fault with
+   | Trace.Fail i | Trace.Recover i ->
+     if i < 0 || i >= m then
+       invalid_arg (Printf.sprintf "Engine.inject: machine %d out of range" i));
+  if Rat.compare at t.now <= 0 then
+    (* The date is already past (e.g. a live [fail] command racing the
+       clock): apply it right now rather than rewriting history. *)
+    apply_fault t fault
+  else begin
+    let rec insert = function
+      | ((a, _) as hd) :: tl when Rat.compare a at <= 0 -> hd :: insert tl
+      | rest -> (at, fault) :: rest
+    in
+    t.faults <- insert t.faults
+  end
+
+let fire_due_faults t =
+  let rec go () =
+    match t.faults with
+    | (at, fault) :: rest when Rat.compare at t.now <= 0 ->
+      t.faults <- rest;
+      apply_fault t fault;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let next_fault t = match t.faults with [] -> None | (at, _) :: _ -> Some at
 
 let next_arrival_after t date =
   let best = ref None in
@@ -339,33 +585,36 @@ let append_slices t segment_slices =
    until all jobs complete).  Mirrors Sim.run's loop, with the clock in
    charge of real time and batching folded into the event set. *)
 let step t ~limit =
-  let guard = ref (100_000 + (1000 * t.n)) in
-  let live () = t.num_completed < t.n in
+  let guard = ref (100_000 + (1000 * t.n) + (10 * List.length t.faults)) in
   let within date = match limit with None -> true | Some l -> Rat.compare date l <= 0 in
+  let min_opt a b =
+    match (a, b) with
+    | None, c | c, None -> c
+    | Some a, Some b -> Some (Rat.min a b)
+  in
   let continue = ref true in
   while !continue do
     decr guard;
     if !guard < 0 then
       invalid_arg
         (Printf.sprintf "Serve.Engine(%s): no progress (possible livelock)" (policy_name t));
+    (* Faults strictly before arrivals at the same instant: a request
+       arriving as its last capable machine dies must be parked, and one
+       arriving at the recovery must be announced. *)
+    fire_due_faults t;
     fire_due_arrivals t;
-    if active t = 0 then begin
-      if not (live ()) then begin
-        (* Idle and empty: just let time pass to the limit. *)
+    if schedulable t = 0 then begin
+      (* Idle: empty, or only starved jobs waiting for a recovery.  Sleep
+         until something changes — an arrival or an injected fault — and
+         stop (even mid-drain) when nothing ever will: a permanently
+         starved job surfaces as incomplete, it does not livelock. *)
+      match min_opt (next_arrival_after t t.now) (next_fault t) with
+      | Some a when within a -> advance_time t a
+      | Some _ | None ->
         (match limit with
          | Some l when Rat.compare l t.now > 0 -> advance_time t l
          | _ -> ());
         continue := false
-      end
-      else begin
-        match next_arrival_after t t.now with
-        | Some a when within a -> advance_time t a
-        | Some _ | None ->
-          (match limit with
-           | Some l when Rat.compare l t.now > 0 -> advance_time t l
-           | _ -> ());
-          continue := false
-      end
     end
     else begin
       let d =
@@ -373,7 +622,7 @@ let step t ~limit =
         | Some d when not t.dirty -> d
         | _ -> decide t
       in
-      let inst = instance t in
+      let inst = decision_instance t in
       let rate = Sim.progress_rates inst d in
       let completion_candidate =
         List.fold_left
@@ -394,7 +643,13 @@ let step t ~limit =
             | Some a, Some b -> Some (Rat.min a b)
             | Some a, None -> Some a)
           None
-          [ completion_candidate; arrival_candidate; d.Sim.review_at; t.batch_deadline ]
+          [
+            completion_candidate;
+            arrival_candidate;
+            next_fault t;
+            d.Sim.review_at;
+            t.batch_deadline;
+          ]
       in
       match event with
       | None ->
@@ -450,14 +705,17 @@ let schedule t =
   if t.n = 0 then invalid_arg "Engine.schedule: nothing submitted";
   S.make (instance t) (List.rev t.slices)
 
-let replay ?batch_window ?objective ~policy (trace : Trace.t) =
+let replay ?batch_window ?objective ?lost_work ~policy (trace : Trace.t) =
   let clock = Clock.virtual_ () in
-  let t = create ?batch_window ?objective ~clock ~policy trace.Trace.platform in
+  let t =
+    create ?batch_window ?objective ?lost_work ~clock ~policy trace.Trace.platform
+  in
   List.iter
     (fun (e : Trace.entry) ->
       ignore
         (submit t ~id:e.Trace.id ~arrival:e.Trace.request.W.arrival
            ~bank:e.Trace.request.W.bank ~num_motifs:e.Trace.request.W.num_motifs ()))
     trace.Trace.entries;
+  List.iter (fun (e : Trace.event) -> inject t ~at:e.Trace.at e.Trace.fault) trace.Trace.events;
   drain t;
   t

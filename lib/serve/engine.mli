@@ -26,7 +26,21 @@
     rebuilt from the surviving active jobs; queue-based policies lose
     their queue estimates at that point (counted by the
     [policy_rebuilds] metric).  Trace replay submits everything before the
-    first step and never rebuilds. *)
+    first step and never rebuilds.
+
+    {b Machine failures.}  Faults ({!Trace.fault}) can be injected at any
+    date, live ([fail]/[recover] server commands) or from a trace's event
+    stream.  A failure masks the machine's costs to [None] (the paper's
+    +∞) in the instance decisions are made against, clips the running
+    segment at the failure instant, notifies the policy
+    ({!Online.Sim.POLICY.on_platform_change}) and forces a re-decision;
+    in-flight work on the dead machine is by default lost and re-credited
+    to the affected jobs ([`Lost]; [`Preserved] keeps it).  A job whose
+    every capable machine is down is {e parked} — withheld from the policy
+    rather than scheduled against phantom costs — and re-announced when a
+    recovery makes it runnable again; a permanently starved job surfaces
+    as incomplete instead of livelocking the drain.  While every machine
+    is up the engine is bit-identical to its fault-unaware self. *)
 
 module Rat = Numeric.Rat
 
@@ -36,18 +50,24 @@ type objective =
     (** weight [1/fastest_cost] per job: the policy optimizes max
         stretch *) ]
 
+type lost_work =
+  [ `Lost  (** in-flight work on a failed machine is lost and redone *)
+  | `Preserved  (** partial results survive the failure (checkpointing) *) ]
+
 type t
 
 val create :
   ?batch_window:Rat.t ->
   ?objective:objective ->
+  ?lost_work:lost_work ->
   clock:Clock.t ->
   policy:(module Online.Sim.POLICY) ->
   Gripps.Workload.platform ->
   t
 (** [batch_window] defaults to zero (re-evaluate on every arrival);
-    [objective] defaults to [`Stretch].  Engine time starts at 0 at the
-    clock's current date. *)
+    [objective] defaults to [`Stretch]; [lost_work] defaults to [`Lost].
+    Engine time starts at 0 at the clock's current date, with every
+    machine up. *)
 
 val submit :
   t -> id:string -> ?arrival:Rat.t -> bank:int -> num_motifs:int -> unit -> int
@@ -71,36 +91,65 @@ val catch_up : t -> unit
     clock. *)
 
 val drain : t -> unit
-(** Run until every submitted job has completed.  Under a virtual clock
-    this fast-forwards; under a wall clock it really waits. *)
+(** Run until every submitted job has completed — or, under faults, until
+    only permanently starved jobs remain (no pending fault or arrival can
+    unpark them).  Under a virtual clock this fast-forwards; under a wall
+    clock it really waits. *)
+
+val inject : t -> at:Rat.t -> Trace.fault -> unit
+(** Schedule a machine failure or recovery at engine time [at]; a date at
+    or before the current time applies immediately.  Idempotent per state:
+    failing a dead machine or recovering a live one is a no-op when the
+    date arrives.
+    @raise Invalid_argument if the machine index is out of range. *)
+
+val machine_up : t -> int -> bool
+(** Whether the machine is currently live (up or merely degraded).
+    @raise Invalid_argument if the index is out of range. *)
+
+val machines_up : t -> int
+(** Number of currently live machines. *)
 
 val now : t -> Rat.t
 (** Current engine time (seconds since the engine's epoch). *)
 
 val submitted : t -> int
 val active : t -> int
+
+val starved : t -> int
+(** Arrived, incomplete jobs currently parked because no live machine
+    holds their bank. *)
+
 val completed : t -> int
 
+val find : t -> string -> int option
+(** Job index of a submitted request id, if any. *)
+
 val clock : t -> Clock.t
+val platform : t -> Gripps.Workload.platform
 
 val metrics : t -> Metrics.t
 (** Live registry: counters [requests_submitted], [requests_completed],
     [decisions], [segments], [slices], [arrivals_coalesced],
-    [policy_rebuilds]; gauge [queue_depth]; histograms [flow_seconds],
-    [weighted_flow_seconds], [stretch] (one sample per completed
-    request). *)
+    [policy_rebuilds], [machine_failures], [machine_recoveries],
+    [slices_lost]; gauges [queue_depth], [machines_up]; histograms
+    [flow_seconds], [weighted_flow_seconds], [stretch] (one sample per
+    completed request). *)
 
 val schedule : t -> Sched_core.Schedule.t
 (** The slices materialized so far, over the instance of every submitted
-    job.  Passes {!Sched_core.Schedule.validate_divisible} once all jobs
-    have completed (e.g. after {!drain}).
+    job (healthy costs; under [`Lost] the slices wasted on failed machines
+    have already been dropped).  Passes
+    {!Sched_core.Schedule.validate_divisible} once all jobs have completed
+    (e.g. after a {!drain} with no starved leftovers).
     @raise Invalid_argument if nothing was ever submitted. *)
 
 val replay :
   ?batch_window:Rat.t ->
   ?objective:objective ->
+  ?lost_work:lost_work ->
   policy:(module Online.Sim.POLICY) ->
   Trace.t ->
   t
-(** Submit the whole trace to a fresh virtual-clock engine and {!drain}
-    it. *)
+(** Submit the whole trace to a fresh virtual-clock engine, {!inject} its
+    fault events, and {!drain} it. *)

@@ -131,7 +131,9 @@ let json_escape s =
   Buffer.contents buf
 
 let json_float f =
-  if Float.is_nan f then "null"
+  (* JSON has no NaN or infinities; emitting a bare [inf] breaks every
+     consumer, so all non-finite values map to null. *)
+  if not (Float.is_finite f) then "null"
   else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.6g" f
 

@@ -27,10 +27,25 @@ let handle_line t line =
       with Invalid_argument msg -> (errf "%s" msg, `Continue))
     | _ -> (errf "usage: submit ID BANK MOTIFS", `Continue))
   | [ "status" ] ->
-    ( okf "now=%s submitted=%d active=%d completed=%d"
+    ( okf "now=%s submitted=%d active=%d completed=%d up=%d/%d starved=%d"
         (Rat.to_string (Engine.now e))
-        (Engine.submitted e) (Engine.active e) (Engine.completed e),
+        (Engine.submitted e) (Engine.active e) (Engine.completed e) (Engine.machines_up e)
+        (Array.length (Engine.platform e).Gripps.Workload.speeds)
+        (Engine.starved e),
       `Continue )
+  | [ (("fail" | "recover") as kind); machine ] -> (
+    match int_of_string_opt machine with
+    | Some i -> (
+      let fault = if kind = "fail" then Trace.Fail i else Trace.Recover i in
+      try
+        Engine.inject e ~at:(Engine.now e) fault;
+        (okf "machine %d %s up=%d/%d" i
+           (if kind = "fail" then "down" else "up")
+           (Engine.machines_up e)
+           (Array.length (Engine.platform e).Gripps.Workload.speeds),
+         `Continue)
+      with Invalid_argument msg -> (errf "%s" msg, `Continue))
+    | None -> (errf "usage: %s MACHINE" kind, `Continue))
   | [ "metrics" ] ->
     let body = String.split_on_char '\n' (Metrics.to_text (Engine.metrics e)) in
     (List.filter (fun l -> l <> "") body @ [ "ok" ], `Continue)
@@ -54,7 +69,8 @@ let handle_line t line =
     with Invalid_argument msg -> (errf "%s" msg, `Continue))
   | [ "quit" ] -> (okf "bye", `Quit)
   | cmd :: _ ->
-    (errf "unknown command %S (try submit/status/metrics/tick/drain/quit)" cmd, `Continue)
+    (errf "unknown command %S (try submit/status/metrics/fail/recover/tick/drain/quit)" cmd,
+     `Continue)
 
 let run t ic oc =
   let rec loop () =
@@ -69,6 +85,10 @@ let run t ic oc =
   loop ()
 
 let run_socket t ~path =
+  (* A client that disconnects mid-write must kill its session, not the
+     daemon: without this, the first write after the hangup raises SIGPIPE
+     and takes the whole process down. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   Unix.bind sock (Unix.ADDR_UNIX path);
@@ -88,12 +108,18 @@ let run_socket t ~path =
           | None -> ()
           | Some line ->
             let replies, verdict = handle_line t line in
+            (* Honor quit before writing: the farewell write may fail if
+               the client is already gone, but the loop must still end. *)
+            (match verdict with `Quit -> quit := true | `Continue -> ());
             List.iter (fun r -> output_string oc (r ^ "\n")) replies;
             flush oc;
-            (match verdict with
-             | `Continue -> session ()
-             | `Quit -> quit := true)
+            (match verdict with `Continue -> session () | `Quit -> ())
         in
-        (try session () with Sys_error _ -> ());
+        (* Any I/O failure — EPIPE surfacing as Sys_error or Unix_error,
+           a torn connection mid-line — ends this client's session only;
+           the accept loop keeps serving the next client. *)
+        (try session () with
+         | Sys_error _ | End_of_file | Unix.Unix_error _ -> ());
+        (try Unix.shutdown client Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
         try Unix.close client with Unix.Unix_error _ -> ()
       done)

@@ -8,9 +8,13 @@
     {v
     submit ID BANK MOTIFS   admit a request now; ok submitted ID job=K
     status                  ok now=T submitted=N active=A completed=C
+                            up=U/M starved=S
     metrics [json]          dump the metrics registry, then ok
+    fail MACHINE            take a machine down now; ok machine I down ...
+    recover MACHINE         bring a machine back up; ok machine I up ...
     tick SECONDS            advance a virtual clock; err on a wall clock
     drain                   run until every admitted request completes
+                            (or only starved requests remain)
     quit                    ok bye, then the connection/loop ends
     v}
 
@@ -32,4 +36,7 @@ val run : t -> in_channel -> out_channel -> unit
 val run_socket : t -> path:string -> unit
 (** Bind a Unix-domain socket at [path] (replacing any stale file) and
     serve connections sequentially until a client sends [quit].  The
-    socket file is removed on exit. *)
+    socket file is removed on exit.  SIGPIPE is ignored for the process
+    and per-client I/O errors are contained: a client that vanishes
+    mid-session (even mid-write) only ends its own session, the daemon
+    keeps accepting. *)

@@ -3,7 +3,11 @@ module W = Gripps.Workload
 
 type entry = { id : string; request : W.request }
 
-type t = { platform : W.platform; entries : entry list }
+type fault = Fail of int | Recover of int
+
+type event = { at : Rat.t; fault : fault }
+
+type t = { platform : W.platform; entries : entry list; events : event list }
 
 let fail line fmt =
   Printf.ksprintf (fun s -> invalid_arg (Printf.sprintf "Trace: line %d: %s" line s)) fmt
@@ -29,10 +33,15 @@ let sort_entries entries =
     (fun a b -> Rat.compare a.request.W.arrival b.request.W.arrival)
     entries
 
+let sort_events events =
+  (* Stable: a fail and its recovery at the same instant keep their order. *)
+  List.stable_sort (fun a b -> Rat.compare a.at b.at) events
+
 let of_string text =
   let machines = ref None and banks = ref None in
   let speeds = ref [||] and bank_sizes = ref [||] and has_bank = ref [||] in
   let entries = ref [] in
+  let events = ref [] in
   let seen_header = ref false in
   let seen_ids = Hashtbl.create 64 in
   let dims line =
@@ -100,6 +109,13 @@ let of_string text =
         let num_motifs = parse_int line "motif count" motifs in
         if num_motifs <= 0 then fail line "motif count must be positive";
         entries := { id; request = { W.arrival; bank; num_motifs } } :: !entries
+      | [ (("fail" | "recover") as kind); at; machine ] ->
+        let m, _ = dims line in
+        let at = parse_rat line at in
+        if Rat.sign at < 0 then fail line "negative %s time" kind;
+        let machine = index line "machine" m machine in
+        let fault = if kind = "fail" then Fail machine else Recover machine in
+        events := { at; fault } :: !events
       | tok :: _ -> fail line "unknown directive %S" tok)
     (String.split_on_char '\n' text);
   if not !seen_header then invalid_arg "Trace: missing 'trace v1' header";
@@ -123,7 +139,11 @@ let of_string text =
             (Printf.sprintf "Trace: request %S targets bank %d, held by no machine" e.id
                e.request.W.bank))
       !entries;
-    { platform; entries = sort_entries (List.rev !entries) }
+    {
+      platform;
+      entries = sort_entries (List.rev !entries);
+      events = sort_events (List.rev !events);
+    }
 
 let to_string t =
   let buf = Buffer.create 1024 in
@@ -154,6 +174,14 @@ let to_string t =
            (Rat.to_string e.request.W.arrival)
            e.request.W.bank e.request.W.num_motifs))
     t.entries;
+  List.iter
+    (fun e ->
+      let kind, machine =
+        match e.fault with Fail i -> ("fail", i) | Recover i -> ("recover", i)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %d\n" kind (Rat.to_string e.at) machine))
+    t.events;
   Buffer.contents buf
 
 let load path =
@@ -178,7 +206,7 @@ let poisson ~seed ?(machines = 4) ?(banks = 3) ?(replication = 2) ?(max_motifs =
   let rng = Gripps.Prng.create seed in
   let platform = W.random_platform rng ~machines ~banks ~replication in
   let requests = W.poisson_requests rng ~rate ~count ~max_motifs ~banks in
-  { platform; entries = sort_entries (named_entries requests) }
+  { platform; entries = sort_entries (named_entries requests); events = [] }
 
 let diurnal ~seed ?(machines = 4) ?(banks = 3) ?(replication = 2) ?(max_motifs = 60)
     ?(day = 3600.) ?(trough_fraction = 0.05) ~peak_rate ~count () =
@@ -207,4 +235,35 @@ let diurnal ~seed ?(machines = 4) ?(banks = 3) ?(replication = 2) ?(max_motifs =
           num_motifs = 1 + Gripps.Prng.int rng max_motifs;
         })
   in
-  { platform; entries = sort_entries (named_entries requests) }
+  { platform; entries = sort_entries (named_entries requests); events = [] }
+
+let horizon t =
+  List.fold_left (fun acc e -> Rat.max acc e.request.W.arrival) Rat.zero t.entries
+
+let with_faults ~seed ?(mtbf = 300.) ?(mttr = 30.) t =
+  if mtbf <= 0. || mttr <= 0. then invalid_arg "Trace.with_faults: bad mtbf or mttr";
+  let rng = Gripps.Prng.create seed in
+  let stop = Rat.to_float (horizon t) in
+  let machines = Array.length t.platform.W.speeds in
+  let events = ref [] in
+  (* Per machine, alternate exponential up and down periods starting up at
+     time 0.  Failures are only drawn inside the trace's arrival span, and
+     every failure gets its recovery — possibly past the span — so a drain
+     of the replayed trace can always finish the work. *)
+  for i = 0 to machines - 1 do
+    let now = ref 0.0 in
+    let continue = ref true in
+    while !continue do
+      let fail_at = !now +. Gripps.Prng.exponential rng ~mean:mtbf in
+      if fail_at >= stop then continue := false
+      else begin
+        let recover_at = fail_at +. Gripps.Prng.exponential rng ~mean:mttr in
+        events :=
+          { at = W.quantize recover_at; fault = Recover i }
+          :: { at = W.quantize fail_at; fault = Fail i }
+          :: !events;
+        now := recover_at
+      end
+    done
+  done;
+  { t with events = sort_events (List.rev !events) }

@@ -16,6 +16,8 @@
     holds 0 0 1          # machine 0 holds banks 0 and 1
     holds 1 1
     req r0001 27/100 0 12   # id, arrival (s, rational), bank, motif count
+    fail 40 1               # machine 1 goes down at t = 40 s
+    recover 55 1            # ... and comes back at t = 55 s
     v}
 
     [speed] lines default to 1; every bank needs a [bank] size line and at
@@ -27,9 +29,18 @@ module Rat = Numeric.Rat
 
 type entry = { id : string; request : Gripps.Workload.request }
 
+type fault = Fail of int | Recover of int  (** machine index *)
+
+type event = { at : Rat.t; fault : fault }
+(** A timed availability change: [fail T I] / [recover T I] lines in the
+    trace file (time [T] as a rational, machine index [I]). *)
+
 type t = {
   platform : Gripps.Workload.platform;
   entries : entry list;  (** sorted by arrival *)
+  events : event list;
+      (** sorted by time; a fail and its recovery at the same instant keep
+          file order *)
 }
 
 val of_string : string -> t
@@ -89,3 +100,13 @@ val diurnal :
     [3600.] (a compressed one-hour "day" keeps exact solvers and replays
     fast; pass [86400.] for real-time realism); [trough_fraction] defaults
     to [0.05]. *)
+
+val with_faults : seed:int -> ?mtbf:float -> ?mttr:float -> t -> t
+(** Overlay the trace with machine failure/recovery events: each machine
+    alternates exponential up periods (mean [mtbf], default 300 s) and
+    down periods (mean [mttr], default 30 s), starting up at time 0.
+    Failures are drawn within the trace's arrival span and every failure
+    is eventually recovered (the recovery may fall past the last arrival),
+    so replaying the result can always complete all requests.  Replaces
+    any existing events; deterministic in [seed].
+    @raise Invalid_argument if [mtbf] or [mttr] is not positive. *)

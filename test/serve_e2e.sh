@@ -31,6 +31,25 @@ grep -q '^schedule valid' "$WORK/replay-json.out" || fail "json replay schedule 
 "$DLSCHED" replay "$WORK/trace.txt" --policy mct --batch 30 > "$WORK/replay-batch.out"
 grep -q '^schedule valid' "$WORK/replay-batch.out" || fail "batched replay invalid"
 
+# --- fault injection: trace generation and replay -------------------------
+
+"$DLSCHED" trace --profile poisson --requests 40 --seed 7 --faults \
+  --mtbf 60 --mttr 10 -o "$WORK/faulty.txt" > "$WORK/faulty.gen"
+grep -q 'fault events' "$WORK/faulty.gen" || fail "trace gen did not report fault events"
+FAILS=$(grep -c '^fail ' "$WORK/faulty.txt")
+RECOVERS=$(grep -c '^recover ' "$WORK/faulty.txt")
+[ "$FAILS" -ge 1 ] || fail "faulted trace has no fail events"
+[ "$FAILS" -eq "$RECOVERS" ] || fail "fail/recover counts differ ($FAILS vs $RECOVERS)"
+
+# Every failure in the generated overlay is recovered, so replay must still
+# complete every request and produce a valid schedule under both regimes.
+"$DLSCHED" replay "$WORK/faulty.txt" --policy mct > "$WORK/replay-fault.out"
+grep -q '^schedule valid' "$WORK/replay-fault.out" || fail "faulted replay invalid"
+"$DLSCHED" replay "$WORK/faulty.txt" --policy srpt --lost-work preserved \
+  > "$WORK/replay-fault-p.out"
+grep -q '^schedule valid' "$WORK/replay-fault-p.out" \
+  || fail "preserved-work faulted replay invalid"
+
 # --- loading errors exit nonzero with one line, not a backtrace -----------
 
 if "$DLSCHED" solve "$WORK/nonexistent.txt" > /dev/null 2> "$WORK/err.txt"; then
@@ -54,6 +73,9 @@ submit b 1 20
 submit a 0 10
 status
 tick 10
+fail 0
+status
+recover 0
 metrics
 drain
 status
@@ -68,11 +90,72 @@ expect '^ok submitted b job=1'
 expect '^err .*duplicate'
 expect '^ok now=0 submitted=2 active=0 completed=0'
 expect '^ok now=10'
+expect '^ok machine 0 down up='
+expect 'up=[0-9]*/[0-9]* starved='
+expect '^ok machine 0 up up='
 expect '^stretch '
 expect '^ok drained .*completed=2'
 expect '^ok now=.* submitted=2 active=0 completed=2'
 expect '"requests_completed":2'
 expect '^err unknown command'
 expect '^ok bye'
+
+# --- serve: socket daemon survives a client that vanishes mid-session -----
+
+SOCK="$WORK/dlsched.sock"
+"$DLSCHED" serve --socket "$SOCK" --clock virtual --seed 42 --policy mct \
+  > "$WORK/daemon.out" 2>&1 &
+DAEMON=$!
+
+if ! python3 - "$SOCK" <<'PYEOF'
+import socket, sys, time
+path = sys.argv[1]
+for _ in range(100):
+    try:
+        s = socket.socket(socket.AF_UNIX)
+        s.connect(path)
+        break
+    except OSError:
+        time.sleep(0.1)
+else:
+    sys.exit("daemon socket never appeared")
+# Client 1: submit work, then vanish without reading a byte of the reply.
+# The daemon's write to this dead socket must not kill it (EPIPE, not SIGPIPE).
+s.sendall(b"submit a 0 40\nstatus\n")
+s.close()
+time.sleep(0.2)
+# Client 2: the daemon must still be serving, with client 1's submission kept.
+c = socket.socket(socket.AF_UNIX)
+c.connect(path)
+f = c.makefile("rw")
+def rt(cmd):
+    f.write(cmd + "\n")
+    f.flush()
+    return f.readline().strip()
+r = rt("fail 0")
+assert r.startswith("ok machine 0 down"), r
+r = rt("recover 0")
+assert r.startswith("ok machine 0 up"), r
+r = rt("status")
+assert "submitted=1" in r and "starved=0" in r, r
+r = rt("drain")
+assert r.startswith("ok drained"), r
+r = rt("quit")
+assert r == "ok bye", r
+c.close()
+PYEOF
+then
+  kill "$DAEMON" 2> /dev/null || true
+  fail "socket daemon did not survive a vanished client"
+fi
+
+i=0
+while kill -0 "$DAEMON" 2> /dev/null; do
+  i=$((i + 1))
+  [ "$i" -le 50 ] || { kill "$DAEMON"; fail "daemon did not exit after quit"; }
+  sleep 0.1
+done
+wait "$DAEMON" || fail "daemon exited nonzero"
+[ ! -e "$SOCK" ] || fail "socket file not cleaned up on exit"
 
 echo "serve_e2e: PASS"

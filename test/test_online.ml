@@ -108,6 +108,7 @@ let test_engine_honors_review_at () =
     let init _ = ref 0
     let on_arrival _ ~now:_ ~job:_ = ()
     let on_completion _ ~now:_ ~job:_ = ()
+    let on_platform_change = Sim.rebuild_on_platform_change
 
     let decide counter ~now ~active =
       incr counter;
@@ -136,6 +137,7 @@ let test_engine_rejects_bad_policy () =
     let init _ = ()
     let on_arrival () ~now:_ ~job:_ = ()
     let on_completion () ~now:_ ~job:_ = ()
+    let on_platform_change = Sim.rebuild_on_platform_change
 
     let decide () ~now:_ ~active =
       (* Overload machine 0 with total share 2. *)
@@ -162,6 +164,7 @@ let test_engine_rejects_starvation () =
     let init _ = ()
     let on_arrival () ~now:_ ~job:_ = ()
     let on_completion () ~now:_ ~job:_ = ()
+    let on_platform_change = Sim.rebuild_on_platform_change
     let decide () ~now:_ ~active:_ = { Sim.shares = []; review_at = None }
   end in
   let inst = simple [| [| 2 |] |] in

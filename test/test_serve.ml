@@ -34,6 +34,19 @@ let trace_equal (a : T.t) (b : T.t) =
          && x.request.W.bank = y.request.W.bank
          && x.request.W.num_motifs = y.request.W.num_motifs)
        a.entries b.entries
+  && List.length a.events = List.length b.events
+  && List.for_all2
+       (fun (x : T.event) (y : T.event) ->
+         R.equal x.at y.at && x.fault = y.fault)
+       a.events b.events
+
+let slices_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : S.slice) (y : S.slice) ->
+         x.machine = y.machine && x.job = y.job && R.equal x.start y.start
+         && R.equal x.stop y.stop)
+       a b
 
 (* ------------------------------------------------------------------ *)
 (* Trace                                                               *)
@@ -84,6 +97,33 @@ let prop_trace_roundtrip =
     (QCheck.make gen ~print:T.to_string)
     (fun t -> trace_equal t (T.of_string (T.to_string t)))
 
+let test_trace_faults_roundtrip () =
+  let base = T.poisson ~seed:9 ~rate:0.2 ~count:15 () in
+  let t = T.with_faults ~seed:10 ~mtbf:30. ~mttr:5. base in
+  Alcotest.(check bool) "has events" true (t.T.events <> []);
+  (* Every failure is eventually recovered, machine by machine. *)
+  let m = Array.length t.T.platform.W.speeds in
+  let balance = Array.make m 0 in
+  List.iter
+    (fun (e : T.event) ->
+      match e.fault with
+      | T.Fail i -> balance.(i) <- balance.(i) + 1
+      | T.Recover i -> balance.(i) <- balance.(i) - 1)
+    t.T.events;
+  Alcotest.(check bool) "fails and recovers balance" true
+    (Array.for_all (fun b -> b = 0) balance);
+  (* Events are sorted and survive the text round-trip. *)
+  let sorted = ref true in
+  ignore
+    (List.fold_left
+       (fun prev (e : T.event) ->
+         if R.compare e.at prev < 0 then sorted := false;
+         e.T.at)
+       R.zero t.T.events);
+  Alcotest.(check bool) "events sorted" true !sorted;
+  Alcotest.(check bool) "roundtrip with events" true
+    (trace_equal t (T.of_string (T.to_string t)))
+
 let test_trace_errors () =
   let bad s =
     Alcotest.(check bool) ("rejects " ^ s) true
@@ -105,7 +145,10 @@ let test_trace_errors () =
   bad "trace v1\nmachines 2\nbanks 2\nbank 0 10\nbank 1 10\nholds 0 0\nreq a 0 1 5\n"
   (* bank 1 held nowhere *);
   bad "trace v1\nmachines 1\nbanks 1\nbank 0 10\nholds 0 0\nfrob\n";
-  bad "trace v1\nmachines 1\nbanks 1\nspeed 0 0\nbank 0 10\nholds 0 0\n"
+  bad "trace v1\nmachines 1\nbanks 1\nspeed 0 0\nbank 0 10\nholds 0 0\n";
+  bad "trace v1\nmachines 1\nbanks 1\nbank 0 10\nholds 0 0\nfail 5 1\n" (* machine *);
+  bad "trace v1\nmachines 1\nbanks 1\nbank 0 10\nholds 0 0\nfail -1 0\n" (* time *);
+  bad "trace v1\nmachines 1\nbanks 1\nbank 0 10\nholds 0 0\nrecover x 0\n"
 
 let test_trace_diurnal_shape () =
   let count = 200 in
@@ -274,6 +317,138 @@ let test_engine_live_submissions () =
      with Invalid_argument _ -> true)
 
 (* ------------------------------------------------------------------ *)
+(* Machine failures                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The availability layer must be invisible while every machine is up:
+   replaying any failure-free trace produces the simulator's schedule
+   slice for slice. *)
+let prop_failure_free_identity =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_range 0 9999 in
+      let* machines = int_range 1 3 in
+      let* banks = int_range 1 2 in
+      let* replication = int_range 1 machines in
+      let* count = int_range 1 6 in
+      let* pi = int_range 0 3 in
+      return (seed, machines, banks, replication, count, pi))
+  in
+  let print (seed, machines, banks, replication, count, pi) =
+    Printf.sprintf "seed=%d m=%d b=%d r=%d n=%d policy=%d" seed machines banks
+      replication count pi
+  in
+  QCheck.Test.make ~name:"failure-free replay is slice-identical to the simulator"
+    ~count:40 (QCheck.make gen ~print)
+    (fun (seed, machines, banks, replication, count, pi) ->
+      let trace = T.poisson ~seed ~machines ~banks ~replication ~rate:0.1 ~count () in
+      let policy = List.nth policies pi in
+      let inst = I.stretch_weights (T.to_instance trace) in
+      let sim = Online.Sim.run policy inst in
+      let eng = E.replay ~policy trace in
+      slices_equal
+        (S.slices sim.Online.Sim.schedule)
+        (S.slices (E.schedule eng)))
+
+(* Two machines sharing one bank.  Machine 0 dies at t=1 and returns at
+   t=3: everything still completes, the schedule stays legal, and no work
+   is placed on machine 0 while it is down. *)
+let test_fail_recover () =
+  let clock = Serve.Clock.virtual_ () in
+  let eng =
+    E.create ~clock ~policy:(module Online.Policies.Fair) (mini_platform ())
+  in
+  ignore (E.submit eng ~id:"a" ~arrival:R.zero ~bank:0 ~num_motifs:300 ());
+  ignore (E.submit eng ~id:"b" ~arrival:R.zero ~bank:0 ~num_motifs:200 ());
+  E.inject eng ~at:R.one (T.Fail 0);
+  E.inject eng ~at:(R.of_int 3) (T.Recover 0);
+  E.run_until eng (R.of_int 2);
+  Alcotest.(check bool) "machine 0 down at t=2" false (E.machine_up eng 0);
+  Alcotest.(check int) "one machine up" 1 (E.machines_up eng);
+  E.drain eng;
+  Alcotest.(check bool) "machine 0 back up" true (E.machine_up eng 0);
+  Alcotest.(check int) "both completed" 2 (E.completed eng);
+  let sched = E.schedule eng in
+  check_valid "fail/recover" sched;
+  List.iter
+    (fun (s : S.slice) ->
+      if s.machine = 0 then
+        Alcotest.(check bool) "no slice on machine 0 during its downtime" true
+          (R.compare s.stop R.one <= 0 || R.compare s.start (R.of_int 3) >= 0))
+    (S.slices sched);
+  let reg = E.metrics eng in
+  Alcotest.(check int) "failure counted" 1 (M.count (M.counter reg "machine_failures"));
+  Alcotest.(check int) "recovery counted" 1
+    (M.count (M.counter reg "machine_recoveries"))
+
+(* Same failure, both lost-work regimes: [`Lost] drops the dead machine's
+   in-flight slices (and redoes the work), [`Preserved] keeps them.  Both
+   must still produce complete, legal schedules. *)
+let test_lost_vs_preserved () =
+  let run lost_work =
+    let clock = Serve.Clock.virtual_ () in
+    let eng =
+      E.create ~lost_work ~clock ~policy:(module Online.Policies.Fair)
+        (mini_platform ())
+    in
+    ignore (E.submit eng ~id:"a" ~arrival:R.zero ~bank:0 ~num_motifs:300 ());
+    ignore (E.submit eng ~id:"b" ~arrival:R.zero ~bank:0 ~num_motifs:200 ());
+    E.inject eng ~at:R.one (T.Fail 0);
+    E.inject eng ~at:(R.of_int 3) (T.Recover 0);
+    E.drain eng;
+    Alcotest.(check int) "completed" 2 (E.completed eng);
+    check_valid "lost-work schedule" (E.schedule eng);
+    eng
+  in
+  let lost = run `Lost and preserved = run `Preserved in
+  let lost_count e = M.count (M.counter (E.metrics e) "slices_lost") in
+  Alcotest.(check bool) "lost run drops slices" true (lost_count lost > 0);
+  Alcotest.(check int) "preserved run keeps everything" 0 (lost_count preserved);
+  (* Redoing work can only delay completion. *)
+  Alcotest.(check bool) "lost makespan >= preserved" true
+    (R.compare (S.makespan (E.schedule lost)) (S.makespan (E.schedule preserved)) >= 0)
+
+(* A job whose only capable machine goes down must surface as starved —
+   drain terminates with it incomplete — and complete after a recovery. *)
+let test_starvation () =
+  let platform =
+    (* Bank 0 lives only on machine 0; machine 1 only holds bank 1. *)
+    {
+      W.speeds = [| R.one; R.one |];
+      bank_sizes = [| 380; 380 |];
+      has_bank = [| [| true; false |]; [| false; true |] |];
+    }
+  in
+  let clock = Serve.Clock.virtual_ () in
+  let eng = E.create ~clock ~policy:(module Online.Policies.Mct) platform in
+  ignore (E.submit eng ~id:"x" ~arrival:R.zero ~bank:0 ~num_motifs:300 ());
+  E.inject eng ~at:R.one (T.Fail 0);
+  E.drain eng;
+  Alcotest.(check int) "nothing completed" 0 (E.completed eng);
+  Alcotest.(check int) "one starved" 1 (E.starved eng);
+  (* A request arriving while its bank is unreachable parks immediately. *)
+  ignore (E.submit eng ~id:"y" ~arrival:(E.now eng) ~bank:0 ~num_motifs:100 ());
+  E.drain eng;
+  Alcotest.(check int) "still starved" 2 (E.starved eng);
+  E.inject eng ~at:(E.now eng) (T.Recover 0);
+  Alcotest.(check int) "unparked" 0 (E.starved eng);
+  E.drain eng;
+  Alcotest.(check int) "completed after recovery" 2 (E.completed eng);
+  check_valid "starvation schedule" (E.schedule eng)
+
+let test_metrics_json_nonfinite () =
+  let reg = M.create () in
+  let g = M.gauge reg "weird" in
+  M.set g infinity;
+  let h = M.histogram reg "h" in
+  M.observe h neg_infinity;
+  M.observe h nan;
+  let json = M.to_json reg in
+  Alcotest.(check bool) "no bare inf" false (contains json "inf");
+  Alcotest.(check bool) "no bare nan" false (contains json "nan");
+  Alcotest.(check bool) "nulls instead" true (contains json "null")
+
+(* ------------------------------------------------------------------ *)
 (* Server protocol                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -300,6 +475,12 @@ let test_server_protocol () =
   expect_last "submit r3 9 5" "err";
   expect_last "tick 1" "ok now=1";
   expect_last "status" "ok now=1 submitted=2";
+  expect_last "fail 0" "ok machine 0 down up=1/2";
+  expect_last "status" "ok now=1 submitted=2 active=2 completed=0 up=1/2";
+  expect_last "fail 0" "ok machine 0 down up=1/2" (* idempotent *);
+  expect_last "fail 7" "err";
+  expect_last "fail" "err unknown command" (* wrong arity *);
+  expect_last "recover 0" "ok machine 0 up up=2/2";
   expect_last "metrics" "ok";
   expect_last "drain" "ok drained";
   expect_last "nonsense" "err unknown command";
@@ -319,19 +500,27 @@ let () =
     [ ( "trace",
         [ Alcotest.test_case "parse" `Quick test_trace_parse;
           Alcotest.test_case "roundtrip example" `Quick test_trace_roundtrip_example;
+          Alcotest.test_case "faults roundtrip" `Quick test_trace_faults_roundtrip;
           Alcotest.test_case "errors" `Quick test_trace_errors;
           Alcotest.test_case "diurnal shape" `Quick test_trace_diurnal_shape;
           QCheck_alcotest.to_alcotest prop_trace_roundtrip
         ] );
       ( "metrics",
         [ Alcotest.test_case "quantiles" `Quick test_metrics_quantiles;
-          Alcotest.test_case "registry" `Quick test_metrics_registry
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "non-finite json" `Quick test_metrics_json_nonfinite
         ] );
       ( "engine",
         [ Alcotest.test_case "matches simulator" `Quick test_engine_matches_sim;
           Alcotest.test_case "metrics report" `Quick test_engine_metrics_report;
           Alcotest.test_case "batching" `Quick test_engine_batching;
           Alcotest.test_case "live submissions" `Quick test_engine_live_submissions
+        ] );
+      ( "faults",
+        [ QCheck_alcotest.to_alcotest prop_failure_free_identity;
+          Alcotest.test_case "fail and recover" `Quick test_fail_recover;
+          Alcotest.test_case "lost vs preserved work" `Quick test_lost_vs_preserved;
+          Alcotest.test_case "starvation" `Quick test_starvation
         ] );
       ( "server",
         [ Alcotest.test_case "protocol" `Quick test_server_protocol ] )
