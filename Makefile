@@ -1,6 +1,6 @@
 # Convenience targets; everything real lives in dune.
 
-.PHONY: all build test bench bench-smoke check fmt clean
+.PHONY: all build test bench bench-smoke trace-smoke check fmt clean
 
 all: build
 
@@ -14,13 +14,20 @@ bench:
 	dune exec bench/main.exe
 
 # Fails if LP solve/pivot counts regress past bench/solve_budget.txt.
+# --json drops a BENCH_smoke.json envelope (CI uploads it as an artifact).
 bench-smoke:
-	dune exec bench/main.exe -- smoke
+	dune exec bench/main.exe -- --json smoke
 
-# What CI would run: full build + every test, the solve-count smoke
-# check, plus formatting when the formatter is installed (ocamlformat is
-# optional in the dev image).
-check: build test bench-smoke fmt
+# Fails if a --trace run emits anything that is not one JSON record per
+# line, or if the max-flow span tree loses its nesting or pivot counts.
+trace-smoke:
+	dune build bin/dlsched.exe
+	sh scripts/trace_smoke.sh _build/default/bin/dlsched.exe
+
+# What CI would run: full build + every test, the solve-count and trace
+# smoke checks, plus formatting when the formatter is installed
+# (ocamlformat is optional in the dev image).
+check: build test bench-smoke trace-smoke fmt
 
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \

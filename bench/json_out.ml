@@ -63,7 +63,32 @@ let rec emit buf = function
 (* The schema version is bumped whenever the envelope or any experiment's
    [data] layout changes incompatibly. *)
 let schema = "dlsched-bench"
-let version = 1
+let version = 2
+
+(* Trace summary attached to every envelope: spans/events emitted and wall
+   seconds spent inside the LP engines since the previous [write] (or
+   program start), so each experiment's file carries its own slice of the
+   process-wide counters. *)
+let last_spans = ref 0
+let last_events = ref 0
+let last_solver_s = ref 0.
+
+let trace_summary () =
+  let spans = Obs.Sink.emitted_spans () in
+  let events = Obs.Sink.emitted_events () in
+  let solver_s = (Lp.Instrument.combined ()).Lp.Instrument.seconds in
+  let d =
+    Obj
+      [
+        ("spans", Int (spans - !last_spans));
+        ("events", Int (events - !last_events));
+        ("time_in_solver_s", Float (solver_s -. !last_solver_s));
+      ]
+  in
+  last_spans := spans;
+  last_events := events;
+  last_solver_s := solver_s;
+  d
 
 let write ~experiment data =
   if !enabled then begin
@@ -75,6 +100,7 @@ let write ~experiment data =
           ("experiment", Str experiment);
           ("solver", Str (Lp.Solve.variant_name !Lp.Solve.variant));
           ("warm", Bool !Lp.Solve.warm);
+          ("trace", trace_summary ());
           ("data", data);
         ]
     in

@@ -355,28 +355,46 @@ let run_search () =
 (* Warm-start ablation: basis reuse across the milestone search         *)
 (* ------------------------------------------------------------------ *)
 
-(* One milestone search, with per-solve records captured via the stats
-   hook.  The last exact solve is the final parametric LP — always cold
-   by design (see Max_flow.solve), so it is reported separately from the
-   search-phase feasibility probes that warm-starting targets. *)
+(* One milestone search, with per-solve records captured from the
+   ["lp.solve"] trace spans via a scoped callback sink.  The last exact
+   solve is the final parametric LP — always cold by design (see
+   Max_flow.solve), so it is reported separately from the search-phase
+   feasibility probes that warm-starting targets. *)
+type solve_rec = { went_warm : bool; pivots : int }
+
 let measure_search ~warm inst =
   let saved = !Lp.Solve.warm in
   Lp.Solve.warm := warm;
   Fun.protect
     ~finally:(fun () -> Lp.Solve.warm := saved)
     (fun () ->
-      let infos = ref [] in
-      let r =
-        Lp.Stats.with_hook
-          (fun i -> if i.Lp.Stats.exact then infos := i :: !infos)
-          (fun () -> Sched_core.Max_flow.solve inst)
+      let attr_int sp key =
+        match Obs.Sink.attr sp key with Some (Obs.Sink.Int i) -> i | _ -> 0
       in
-      match !infos with
+      let attr_bool sp key =
+        match Obs.Sink.attr sp key with Some (Obs.Sink.Bool b) -> b | _ -> false
+      in
+      let recs = ref [] in
+      let sink =
+        Obs.Sink.callback (function
+          | Obs.Sink.Span sp
+            when sp.Obs.Sink.name = "lp.solve" && attr_bool sp "exact" ->
+            recs :=
+              {
+                went_warm = attr_bool sp "warm";
+                pivots =
+                  attr_int sp "pivots_phase1" + attr_int sp "pivots_phase2"
+                  + attr_int sp "pivots_dual";
+              }
+              :: !recs
+          | _ -> ())
+      in
+      let r = Obs.Sink.with_sink sink (fun () -> Sched_core.Max_flow.solve inst) in
+      (* Spans close in solve-completion order, so the final parametric LP
+         is the head of the (reversed) list. *)
+      match !recs with
       | final :: probes_rev -> (r, List.rev probes_rev, final)
       | [] -> assert false)
-
-let info_pivots (i : Lp.Stats.info) =
-  i.Lp.Stats.pivots_phase1 + i.Lp.Stats.pivots_phase2 + i.Lp.Stats.pivots_dual
 
 let run_warmstart () =
   section "Warm-start ablation: exact probe pivots, cold vs basis reuse";
@@ -399,12 +417,12 @@ let run_warmstart () =
             (R.equal rc.Sched_core.Max_flow.objective
                rw.Sched_core.Max_flow.objective)
         then failwith "warmstart: objectives diverge between configurations";
-        if info_pivots final_c <> info_pivots final_w then
+        if final_c.pivots <> final_w.pivots then
           failwith "warmstart: final parametric solve was not cold-identical";
-        let sum l = List.fold_left (fun a i -> a + info_pivots i) 0 l in
+        let sum l = List.fold_left (fun a i -> a + i.pivots) 0 l in
         let cold = sum probes_c and warmp = sum probes_w in
         let hits =
-          List.length (List.filter (fun i -> i.Lp.Stats.warm) probes_w)
+          List.length (List.filter (fun i -> i.went_warm) probes_w)
         in
         let ratio = float_of_int cold /. Float.max 1.0 (float_of_int warmp) in
         Printf.printf "%4d %4d %7d | %12d | %12d %6d | %6.1fx\n" n m
@@ -481,25 +499,25 @@ let run_smoke () =
       (fun (n, m) -> random_instance rng ~jobs:n ~machines:m)
       [ (4, 2); (6, 3); (8, 3); (10, 4) ]
   in
-  let b_ex = Lp.Stats.copy Lp.Stats.exact in
-  let b_ap = Lp.Stats.copy Lp.Stats.approx in
+  let b_ex = Lp.Instrument.exact_totals () in
+  let b_ap = Lp.Instrument.approx_totals () in
   List.iter
     (fun inst ->
       ignore (Sched_core.Max_flow.solve inst);
       ignore (Sched_core.Makespan.solve inst))
     insts;
-  let d_ex = Lp.Stats.diff ~before:b_ex (Lp.Stats.copy Lp.Stats.exact) in
-  let d_ap = Lp.Stats.diff ~before:b_ap (Lp.Stats.copy Lp.Stats.approx) in
+  let d_ex = Lp.Instrument.diff ~before:b_ex (Lp.Instrument.exact_totals ()) in
+  let d_ap = Lp.Instrument.diff ~before:b_ap (Lp.Instrument.approx_totals ()) in
   let measured =
     [
-      ("exact_solves", d_ex.Lp.Stats.solves);
-      ("exact_pivots", Lp.Stats.total_pivots d_ex);
-      ("approx_solves", d_ap.Lp.Stats.solves);
-      ("approx_pivots", Lp.Stats.total_pivots d_ap);
+      ("exact_solves", d_ex.Lp.Instrument.solves);
+      ("exact_pivots", Lp.Instrument.total_pivots d_ex);
+      ("approx_solves", d_ap.Lp.Instrument.solves);
+      ("approx_pivots", Lp.Instrument.total_pivots d_ap);
     ]
   in
   (* Warm solves are a floor, not a ceiling: losing them is the regression. *)
-  let floors = [ ("exact_warm_solves", d_ex.Lp.Stats.warm_solves) ] in
+  let floors = [ ("exact_warm_solves", d_ex.Lp.Instrument.warm_solves) ] in
   let budget = read_budget budget_file in
   let ok = ref true in
   Printf.printf "%-24s %10s %10s %8s\n" "metric" "measured" "budget" "ok";
@@ -785,12 +803,26 @@ let experiments =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* Flags: --json enables BENCH_*.json emission; --solver=dense|sparse
-     selects the engine family for everything that follows. *)
+     selects the engine family for everything that follows;
+     --trace=FILE streams a JSON-lines trace of every span and event the
+     experiments emit (the warmstart ablation briefly shadows it with its
+     own in-process sink while it measures). *)
   let names =
     List.filter
       (fun a ->
         if a = "--json" then begin
           Json_out.enabled := true;
+          false
+        end
+        else if String.length a > 8 && String.sub a 0 8 = "--trace=" then begin
+          let path = String.sub a 8 (String.length a - 8) in
+          (match Obs.Sink.file path with
+           | sink ->
+             Obs.Sink.install sink;
+             at_exit Obs.Sink.uninstall
+           | exception Sys_error msg ->
+             Printf.eprintf "--trace: %s\n" msg;
+             exit 1);
           false
         end
         else if String.length a > 9 && String.sub a 0 9 = "--solver=" then begin

@@ -1,6 +1,7 @@
 (* dlsched: command-line front end to the library.
 
      dlsched solve INSTANCE [--objective makespan|maxflow|stretch|preemptive]
+     dlsched max-flow INSTANCE [--trace FILE]
      dlsched feasible INSTANCE --deadlines 8,7,6
      dlsched milestones INSTANCE
      dlsched simulate INSTANCE [--policy mct|fcfs|srpt|online-opt] [--stretch]
@@ -47,19 +48,37 @@ let instance_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE" ~doc)
 
 (* Shared by every command that solves LPs.  Evaluates to (), setting the
-   process-wide engine family as a side effect before the command runs. *)
-let solver_arg =
-  let doc = "LP engine: $(b,sparse) (revised simplex on sparse columns, with \
-             warm-started re-solves; the default) or $(b,dense) (the original \
-             tableau solver, kept as a differential-testing oracle).  Exact \
-             results are identical under both." in
+   process-wide engine family and (with [--trace]) installing the trace
+   sink as side effects before the command runs. *)
+let setup_arg =
+  let solver_doc =
+    "LP engine: $(b,sparse) (revised simplex on sparse columns, with \
+     warm-started re-solves; the default) or $(b,dense) (the original \
+     tableau solver, kept as a differential-testing oracle).  Exact \
+     results are identical under both." in
   let solver =
     Arg.(value
          & opt (enum [ ("sparse", Lp.Solve.Sparse); ("dense", Lp.Solve.Dense) ])
              Lp.Solve.Sparse
-         & info [ "solver" ] ~docv:"ENGINE" ~doc)
+         & info [ "solver" ] ~docv:"ENGINE" ~doc:solver_doc)
   in
-  Term.(const (fun v -> Lp.Solve.variant := v) $ solver)
+  let trace_doc =
+    "Write an observability trace to $(docv): one JSON object per line, \
+     nested spans (LP solves with pivot counts, feasibility probes, \
+     milestone searches) and instant events." in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:trace_doc)
+  in
+  let setup variant trace =
+    Lp.Solve.variant := variant;
+    match trace with
+    | None -> ()
+    | Some path ->
+      Obs.Sink.install (or_die Obs.Sink.file path);
+      (* Flush and close the file even on [exit 1/2] paths. *)
+      at_exit Obs.Sink.uninstall
+  in
+  Term.(const setup $ solver $ trace)
 
 (* --- solve ------------------------------------------------------- *)
 
@@ -74,17 +93,8 @@ let maybe_svg svg sched =
     Format.printf "wrote %s@." path
   | None -> ()
 
-let solve_cmd =
-  let objective =
-    let doc = "Objective: makespan, maxflow (max weighted flow, divisible), \
-               stretch (max stretch, divisible), or preemptive (max weighted \
-               flow, preemption without divisibility)." in
-    Arg.(value & opt (enum [ ("makespan", `Makespan); ("maxflow", `Maxflow);
-                             ("stretch", `Stretch); ("preemptive", `Preemptive) ])
-           `Maxflow
-         & info [ "objective"; "O" ] ~doc)
-  in
-  let run () file objective svg =
+let solve_run ~root () file objective svg =
+  Obs.Span.with_span root (fun () ->
     let inst = load_instance file in
     let schedule =
       match objective with
@@ -115,11 +125,30 @@ let solve_cmd =
         r.Sched_core.Preemptive.schedule
     in
     print_schedule ~header:"schedule:" schedule;
-    maybe_svg svg schedule
-  in
+    maybe_svg svg schedule)
+
+let objective_arg =
+  let doc = "Objective: makespan, maxflow (max weighted flow, divisible), \
+             stretch (max stretch, divisible), or preemptive (max weighted \
+             flow, preemption without divisibility)." in
+  Arg.(value & opt (enum [ ("makespan", `Makespan); ("maxflow", `Maxflow);
+                           ("stretch", `Stretch); ("preemptive", `Preemptive) ])
+         `Maxflow
+       & info [ "objective"; "O" ] ~doc)
+
+let solve_cmd =
   let doc = "Solve an offline scheduling problem exactly (Theorems 1/2, Section 4.4)." in
   Cmd.v (Cmd.info "solve" ~doc)
-    Term.(const run $ solver_arg $ instance_arg $ objective $ svg_arg)
+    Term.(const (solve_run ~root:"dlsched.solve")
+          $ setup_arg $ instance_arg $ objective_arg $ svg_arg)
+
+(* Alias for `solve --objective maxflow`, the paper's headline problem —
+   with [--trace] the whole milestone search renders as one span tree. *)
+let max_flow_cmd =
+  let doc = "Minimize the maximum weighted flow (alias for `solve --objective maxflow`)." in
+  Cmd.v (Cmd.info "max-flow" ~doc)
+    Term.(const (fun () file svg -> solve_run ~root:"dlsched.max-flow" () file `Maxflow svg)
+          $ setup_arg $ instance_arg $ svg_arg)
 
 (* --- feasible ----------------------------------------------------- *)
 
@@ -129,25 +158,26 @@ let feasible_cmd =
     Arg.(required & opt (some string) None & info [ "deadlines"; "d" ] ~doc)
   in
   let run () file deadlines =
-    let inst = load_instance file in
-    let ds =
-      String.split_on_char ',' deadlines |> List.map R.of_string |> Array.of_list
-    in
-    if Array.length ds <> I.num_jobs inst then begin
-      Format.eprintf "expected %d deadlines, got %d@." (I.num_jobs inst) (Array.length ds);
-      exit 2
-    end;
-    match Sched_core.Deadline.feasible inst ~deadlines:ds with
-    | Some sched ->
-      Format.printf "FEASIBLE@.";
-      print_schedule ~header:"witness schedule:" sched
-    | None ->
-      Format.printf "INFEASIBLE@.";
-      exit 1
+    Obs.Span.with_span "dlsched.feasible" (fun () ->
+      let inst = load_instance file in
+      let ds =
+        String.split_on_char ',' deadlines |> List.map R.of_string |> Array.of_list
+      in
+      if Array.length ds <> I.num_jobs inst then begin
+        Format.eprintf "expected %d deadlines, got %d@." (I.num_jobs inst) (Array.length ds);
+        exit 2
+      end;
+      match Sched_core.Deadline.feasible inst ~deadlines:ds with
+      | Some sched ->
+        Format.printf "FEASIBLE@.";
+        print_schedule ~header:"witness schedule:" sched
+      | None ->
+        Format.printf "INFEASIBLE@.";
+        exit 1)
   in
   let doc = "Decide deadline feasibility (Lemma 1) and print a witness schedule." in
   Cmd.v (Cmd.info "feasible" ~doc)
-    Term.(const run $ solver_arg $ instance_arg $ deadlines)
+    Term.(const run $ setup_arg $ instance_arg $ deadlines)
 
 (* --- milestones ---------------------------------------------------- *)
 
@@ -177,26 +207,27 @@ let simulate_cmd =
     Arg.(value & flag & info [ "stretch" ] ~doc)
   in
   let run () file policy stretch =
-    let inst = load_instance file in
-    let inst = if stretch then I.stretch_weights inst else inst in
-    let m : (module Online.Sim.POLICY) =
-      match policy with
-      | `Mct -> (module Online.Policies.Mct)
-      | `Fcfs -> (module Online.Policies.Fcfs)
-      | `Srpt -> (module Online.Policies.Srpt)
-      | `Oo -> (module Online.Online_opt.Divisible)
-    in
-    let r = Online.Sim.run m inst in
-    let offline = Sched_core.Max_flow.solve inst in
-    print_schedule ~header:(Printf.sprintf "%s schedule:" r.Online.Sim.policy)
-      r.Online.Sim.schedule;
-    Format.printf "offline optimal max weighted flow: %s; achieved: %s@."
-      (R.to_string offline.Sched_core.Max_flow.objective)
-      (R.to_string (S.max_weighted_flow r.Online.Sim.schedule))
+    Obs.Span.with_span "dlsched.simulate" (fun () ->
+      let inst = load_instance file in
+      let inst = if stretch then I.stretch_weights inst else inst in
+      let m : (module Online.Sim.POLICY) =
+        match policy with
+        | `Mct -> (module Online.Policies.Mct)
+        | `Fcfs -> (module Online.Policies.Fcfs)
+        | `Srpt -> (module Online.Policies.Srpt)
+        | `Oo -> (module Online.Online_opt.Divisible)
+      in
+      let r = Online.Sim.run m inst in
+      let offline = Sched_core.Max_flow.solve inst in
+      print_schedule ~header:(Printf.sprintf "%s schedule:" r.Online.Sim.policy)
+        r.Online.Sim.schedule;
+      Format.printf "offline optimal max weighted flow: %s; achieved: %s@."
+        (R.to_string offline.Sched_core.Max_flow.objective)
+        (R.to_string (S.max_weighted_flow r.Online.Sim.schedule)))
   in
   let doc = "Run an online policy on the instance and compare to the offline optimum." in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ solver_arg $ instance_arg $ policy $ stretch)
+    Term.(const run $ setup_arg $ instance_arg $ policy $ stretch)
 
 (* --- compare ------------------------------------------------------- *)
 
@@ -206,14 +237,15 @@ let compare_cmd =
     Arg.(value & flag & info [ "stretch" ] ~doc)
   in
   let run () file stretch =
-    let inst = load_instance file in
-    let inst = if stretch then I.stretch_weights inst else inst in
-    let report = Online.Compare.run inst in
-    Format.printf "%a@." Online.Compare.pp report
+    Obs.Span.with_span "dlsched.compare" (fun () ->
+      let inst = load_instance file in
+      let inst = if stretch then I.stretch_weights inst else inst in
+      let report = Online.Compare.run inst in
+      Format.printf "%a@." Online.Compare.pp report)
   in
   let doc = "Run every online policy on the instance and tabulate them              against the offline optimum." in
   Cmd.v (Cmd.info "compare" ~doc)
-    Term.(const run $ solver_arg $ instance_arg $ stretch)
+    Term.(const run $ setup_arg $ instance_arg $ stretch)
 
 (* --- generate ------------------------------------------------------ *)
 
@@ -400,8 +432,9 @@ let replay_cmd =
     let trace = load_trace file in
     let wall0 = Unix.gettimeofday () in
     let engine =
-      Serve.Engine.replay ~batch_window:(Gripps.Workload.quantize batch) ~lost_work
-        ~policy trace
+      Obs.Span.with_span "dlsched.replay" (fun () ->
+          Serve.Engine.replay ~batch_window:(Gripps.Workload.quantize batch)
+            ~lost_work ~policy trace)
     in
     let wall = Unix.gettimeofday () -. wall0 in
     let m = Serve.Engine.metrics engine in
@@ -442,7 +475,7 @@ let replay_cmd =
   in
   let doc = "Replay a workload trace through the serving engine under a virtual              clock and report per-request flow/stretch metrics." in
   Cmd.v (Cmd.info "replay" ~doc)
-    Term.(const run $ solver_arg $ trace_arg $ policy_arg $ batch_arg $ lost_work_arg
+    Term.(const run $ setup_arg $ trace_arg $ policy_arg $ batch_arg $ lost_work_arg
           $ report $ json)
 
 let serve_cmd =
@@ -481,7 +514,7 @@ let serve_cmd =
     in
     let server = Serve.Server.create engine in
     Format.eprintf "dlsched serve: %d machines, %d banks; commands: \
-                    submit/status/metrics/fail/recover/tick/drain/quit@."
+                    submit/status/metrics/trace/spans/fail/recover/tick/drain/quit@."
       (Array.length platform.Gripps.Workload.speeds)
       (Array.length platform.Gripps.Workload.bank_sizes);
     match socket with
@@ -492,7 +525,7 @@ let serve_cmd =
   in
   let doc = "Run the scheduler as a daemon speaking a newline-delimited command              protocol on stdin/stdout or a Unix socket." in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ solver_arg $ socket $ clock $ platform_from $ trace_machines
+    Term.(const run $ setup_arg $ socket $ clock $ platform_from $ trace_machines
           $ trace_banks $ trace_replication $ trace_seed $ policy_arg $ batch_arg
           $ lost_work_arg)
 
@@ -500,5 +533,5 @@ let () =
   let doc = "exact schedulers for divisible requests on heterogeneous databanks" in
   let info = Cmd.info "dlsched" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-          [ solve_cmd; feasible_cmd; milestones_cmd; simulate_cmd; compare_cmd;
-            generate_cmd; gripps_cmd; trace_cmd; replay_cmd; serve_cmd ]))
+          [ solve_cmd; max_flow_cmd; feasible_cmd; milestones_cmd; simulate_cmd;
+            compare_cmd; generate_cmd; gripps_cmd; trace_cmd; replay_cmd; serve_cmd ]))

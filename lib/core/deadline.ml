@@ -74,33 +74,56 @@ let form_at pr ~objective =
   match Hashtbl.find_opt pr.p_forms key with
   | Some form -> form
   | None ->
-    let deadlines = flow_deadlines pr.p_inst ~objective in
     let form =
-      Formulations.deadline_system ~divisible:pr.p_divisible pr.p_inst ~deadlines
+      Obs.Span.with_span "deadline.form" (fun () ->
+          let deadlines = flow_deadlines pr.p_inst ~objective in
+          Formulations.deadline_system ~divisible:pr.p_divisible pr.p_inst
+            ~deadlines)
     in
     Hashtbl.replace pr.p_forms key form;
     form
 
 let probe_approx pr ~objective =
-  let form = form_at pr ~objective in
-  let outcome, basis =
-    Lp.Solve.approx_basis (Lp.Problem.map Rat.to_float form.dl_problem)
+  let body () =
+    let form = form_at pr ~objective in
+    let outcome, basis =
+      Lp.Solve.approx_basis (Lp.Problem.map Rat.to_float form.dl_problem)
+    in
+    Option.iter (fun b -> Hashtbl.replace pr.p_bases (obj_key objective) b) basis;
+    match outcome with
+    | Sf.Optimal _ -> true
+    | Sf.Infeasible -> false
+    | Sf.Unbounded -> assert false
   in
-  Option.iter (fun b -> Hashtbl.replace pr.p_bases (obj_key objective) b) basis;
-  match outcome with
-  | Sf.Optimal _ -> true
-  | Sf.Infeasible -> false
-  | Sf.Unbounded -> assert false
+  if not (Obs.Sink.enabled ()) then body ()
+  else
+    Obs.Span.with_span "probe.approx"
+      ~attrs:[ ("objective", Obs.Sink.Str (obj_key objective)) ]
+      (fun () ->
+        let feasible = body () in
+        Obs.Span.set_bool "feasible" feasible;
+        feasible)
 
 let probe_exact pr ~objective =
-  let form = form_at pr ~objective in
-  let hint = Hashtbl.find_opt pr.p_bases (obj_key objective) in
-  match Lp.Solve.exact ~cache:pr.p_cache ?hint form.dl_problem with
-  | Sx.Optimal sol ->
-    Hashtbl.replace pr.p_solutions (obj_key objective) sol.values;
-    true
-  | Sx.Infeasible -> false
-  | Sx.Unbounded -> assert false
+  let body () =
+    let form = form_at pr ~objective in
+    let hint = Hashtbl.find_opt pr.p_bases (obj_key objective) in
+    Obs.Span.set_bool "float_basis_hint" (hint <> None);
+    match Lp.Solve.exact ~cache:pr.p_cache ?hint form.dl_problem with
+    | Sx.Optimal sol ->
+      Hashtbl.replace pr.p_solutions (obj_key objective) sol.values;
+      true
+    | Sx.Infeasible -> false
+    | Sx.Unbounded -> assert false
+  in
+  if not (Obs.Sink.enabled ()) then body ()
+  else
+    Obs.Span.with_span "probe.exact"
+      ~attrs:[ ("objective", Obs.Sink.Str (obj_key objective)) ]
+      (fun () ->
+        let feasible = body () in
+        Obs.Span.set_bool "feasible" feasible;
+        feasible)
 
 let schedule_at pr ~objective =
   let key = obj_key objective in

@@ -9,7 +9,7 @@ let binary_search ~feasible candidates lo hi =
   done;
   !lo
 
-let first_feasible ~exact ~approx candidates =
+let first_feasible_untraced ~exact ~approx candidates =
   let last = Array.length candidates - 1 in
   (* Cache each exact probe's payload so the winning candidate's LP
      solution is returned instead of being solved a second time. *)
@@ -54,3 +54,15 @@ let first_feasible ~exact ~approx candidates =
         invalid_arg "Flow_search.first_feasible: last candidate not feasible")
   in
   (idx, payload)
+
+let first_feasible ~exact ~approx candidates =
+  if not (Obs.Sink.enabled ()) then
+    first_feasible_untraced ~exact ~approx candidates
+  else
+    Obs.Span.with_span "flow.search"
+      ~attrs:[ ("candidates", Obs.Sink.Int (Array.length candidates)) ]
+      (fun () ->
+        let idx, payload = first_feasible_untraced ~exact ~approx candidates in
+        Obs.Span.set_int "index" idx;
+        Obs.Event.emit "search.bracketed" ~attrs:[ ("index", Obs.Sink.Int idx) ];
+        (idx, payload))

@@ -3,7 +3,7 @@ module Sx = Lp.Simplex.Exact
 
 type result = { makespan : Rat.t; schedule : Schedule.t }
 
-let solve inst =
+let solve_untraced inst =
   if Instance.num_jobs inst = 0 then invalid_arg "Makespan.solve: empty instance";
   let form = Formulations.makespan_system inst in
   match Lp.Solve.exact form.mk_problem with
@@ -18,6 +18,20 @@ let solve inst =
   | Sx.Infeasible ->
     assert false (* system (1) is always feasible: process everything in I_n *)
   | Sx.Unbounded -> assert false (* Δ ≥ 0 and the objective is minimized *)
+
+let solve inst =
+  if not (Obs.Sink.enabled ()) then solve_untraced inst
+  else
+    Obs.Span.with_span "makespan.solve"
+      ~attrs:
+        [
+          ("jobs", Obs.Sink.Int (Instance.num_jobs inst));
+          ("machines", Obs.Sink.Int (Instance.num_machines inst));
+        ]
+      (fun () ->
+        let r = solve_untraced inst in
+        Obs.Span.set_str "makespan" (Format.asprintf "%a" Rat.pp r.makespan);
+        r)
 
 let lower_bound inst =
   let n = Instance.num_jobs inst and m = Instance.num_machines inst in

@@ -46,7 +46,7 @@ let first_feasible ~accelerate ?cache inst candidates =
   in
   fst (Flow_search.first_feasible ~exact ~approx candidates)
 
-let solve ?(accelerate = true) ?cache inst =
+let solve_untraced ?(accelerate = true) ?cache inst =
   if Instance.num_jobs inst = 0 then invalid_arg "Max_flow.solve: empty instance";
   let f_ub = feasible_upper_bound inst in
   let milestones = Milestones.compute inst in
@@ -61,9 +61,17 @@ let solve ?(accelerate = true) ?cache inst =
      This final parametric solve intentionally takes no warm-start hint:
      cold solves are bit-identical across solver variants, so the returned
      schedule never depends on probe history. *)
-  let form = Formulations.parametric_system ~divisible:true inst ~f_lo ~f_hi in
-  match Lp.Solve.exact form.pf_problem with
-  | Sx.Optimal sol ->
+  let outcome =
+    Obs.Span.with_span "parametric.solve" (fun () ->
+        let form = Formulations.parametric_system ~divisible:true inst ~f_lo ~f_hi in
+        match Lp.Solve.exact form.pf_problem with
+        | Sx.Optimal sol -> Some (form, sol)
+        | Sx.Infeasible ->
+          assert false (* f_hi is feasible, so the range contains a solution *)
+        | Sx.Unbounded -> assert false (* F is bounded below by f_lo ≥ 0 *))
+  in
+  match outcome with
+  | Some (form, sol) ->
     let f_star, fractions = form.pf_decode sol.values in
     let intervals =
       Array.init
@@ -74,9 +82,24 @@ let solve ?(accelerate = true) ?cache inst =
     in
     let schedule = Schedule.pack inst ~intervals ~fractions in
     { objective = f_star; schedule; milestones; search_range = (f_lo, f_hi) }
-  | Sx.Infeasible ->
-    assert false (* f_hi is feasible, so the range contains a solution *)
-  | Sx.Unbounded -> assert false (* F is bounded below by f_lo ≥ 0 *)
+  | None -> assert false
+
+let solve ?accelerate ?cache inst =
+  if not (Obs.Sink.enabled ()) then solve_untraced ?accelerate ?cache inst
+  else
+    Obs.Span.with_span "maxflow.solve"
+      ~attrs:
+        [
+          ("jobs", Obs.Sink.Int (Instance.num_jobs inst));
+          ("machines", Obs.Sink.Int (Instance.num_machines inst));
+        ]
+      (fun () ->
+        let r = solve_untraced ?accelerate ?cache inst in
+        let f_lo, f_hi = r.search_range in
+        Obs.Span.set_str "f_star" (Format.asprintf "%a" Rat.pp r.objective);
+        Obs.Span.set_str "f_lo" (Format.asprintf "%a" Rat.pp f_lo);
+        Obs.Span.set_str "f_hi" (Format.asprintf "%a" Rat.pp f_hi);
+        r)
 
 let solve_max_stretch inst = solve (Instance.stretch_weights inst)
 

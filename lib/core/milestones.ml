@@ -20,7 +20,11 @@ let compute inst =
       end
     done
   done;
-  List.sort_uniq Rat.compare !candidates
+  let ms = List.sort_uniq Rat.compare !candidates in
+  if Obs.Sink.enabled () then
+    Obs.Event.emit "milestones.computed"
+      ~attrs:[ ("count", Obs.Sink.Int (List.length ms)) ];
+  ms
 
 let count_bound inst =
   let n = Instance.num_jobs inst in

@@ -1,0 +1,94 @@
+(* Solver instrumentation over the global metric registry.
+
+   Every engine records one solve into the [lp.exact.*] or [lp.approx.*]
+   instrument family of [Obs.Registry.global] (exact vs approximate
+   arithmetic, as declared by the engine's field).  Consumers that used
+   to install an [Lp.Stats] hook now difference {!totals} snapshots
+   around the work they care about; per-solve detail is available by
+   installing an [Obs.Sink.callback] and reading the ["lp.solve"] spans
+   the engines emit when tracing is on. *)
+
+module R = Obs.Registry
+
+type handles = {
+  c_solves : R.counter;
+  c_warm : R.counter;
+  c_p1 : R.counter;
+  c_p2 : R.counter;
+  c_dual : R.counter;
+  h_seconds : R.histogram;
+}
+
+let make prefix =
+  let g = R.global in
+  {
+    c_solves = R.counter g (prefix ^ ".solves");
+    c_warm = R.counter g (prefix ^ ".solves_warm");
+    c_p1 = R.counter g (prefix ^ ".pivots_phase1");
+    c_p2 = R.counter g (prefix ^ ".pivots_phase2");
+    c_dual = R.counter g (prefix ^ ".pivots_dual");
+    h_seconds = R.histogram g (prefix ^ ".solve_seconds");
+  }
+
+let exact_h = make "lp.exact"
+let approx_h = make "lp.approx"
+let handles ~exact = if exact then exact_h else approx_h
+
+type totals = {
+  solves : int;
+  warm_solves : int;
+  pivots_phase1 : int;
+  pivots_phase2 : int;
+  pivots_dual : int;
+  seconds : float;
+}
+
+let totals_of h =
+  {
+    solves = R.count h.c_solves;
+    warm_solves = R.count h.c_warm;
+    pivots_phase1 = R.count h.c_p1;
+    pivots_phase2 = R.count h.c_p2;
+    pivots_dual = R.count h.c_dual;
+    seconds = R.hsum h.h_seconds;
+  }
+
+let exact_totals () = totals_of exact_h
+let approx_totals () = totals_of approx_h
+let totals_for ~exact = totals_of (handles ~exact)
+
+let combined () =
+  let e = exact_totals () and a = approx_totals () in
+  {
+    solves = e.solves + a.solves;
+    warm_solves = e.warm_solves + a.warm_solves;
+    pivots_phase1 = e.pivots_phase1 + a.pivots_phase1;
+    pivots_phase2 = e.pivots_phase2 + a.pivots_phase2;
+    pivots_dual = e.pivots_dual + a.pivots_dual;
+    seconds = e.seconds +. a.seconds;
+  }
+
+let total_pivots t = t.pivots_phase1 + t.pivots_phase2 + t.pivots_dual
+
+let diff ~before after =
+  {
+    solves = after.solves - before.solves;
+    warm_solves = after.warm_solves - before.warm_solves;
+    pivots_phase1 = after.pivots_phase1 - before.pivots_phase1;
+    pivots_phase2 = after.pivots_phase2 - before.pivots_phase2;
+    pivots_dual = after.pivots_dual - before.pivots_dual;
+    seconds = after.seconds -. before.seconds;
+  }
+
+let warm_solves ~exact = R.count (handles ~exact).c_warm
+
+let record ~exact ~warm ~pivots_phase1 ~pivots_phase2 ~pivots_dual ~seconds =
+  let h = handles ~exact in
+  R.incr h.c_solves;
+  if warm then R.incr h.c_warm;
+  R.add h.c_p1 pivots_phase1;
+  R.add h.c_p2 pivots_phase2;
+  R.add h.c_dual pivots_dual;
+  R.observe h.h_seconds seconds
+
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,55 @@
+(** Solver instrumentation over [Obs.Registry.global].
+
+    Each engine records one solve into the [lp.exact.*] or [lp.approx.*]
+    instrument family (counters for solves, warm solves and pivots per
+    phase; a histogram of per-solve wall seconds).  The milestone
+    searches drive both families: float probes land under [lp.approx],
+    their exact certifications under [lp.exact].
+
+    This module replaces the old [Lp.Stats] accumulators and its hook.
+    Aggregate consumers snapshot {!totals} before and after the work of
+    interest and {!diff} the two; per-solve consumers install an
+    [Obs.Sink.callback] and read the ["lp.solve"] spans emitted when
+    tracing is enabled. *)
+
+type totals = {
+  solves : int;
+  warm_solves : int;  (** solves where a supplied basis was reused *)
+  pivots_phase1 : int;
+  pivots_phase2 : int;
+  pivots_dual : int;  (** dual-simplex pivots (warm restarts only) *)
+  seconds : float;  (** total wall seconds across the solves *)
+}
+
+val exact_totals : unit -> totals
+(** Snapshot of the [lp.exact.*] instruments (process lifetime). *)
+
+val approx_totals : unit -> totals
+val totals_for : exact:bool -> totals
+
+val combined : unit -> totals
+(** Exact and approximate totals summed. *)
+
+val total_pivots : totals -> int
+
+val diff : before:totals -> totals -> totals
+(** Component-wise difference of two snapshots of the same family. *)
+
+val warm_solves : exact:bool -> int
+(** Current warm-solve count for one arithmetic — a cheap single-counter
+    read for callers (e.g. [Session]) that only need to detect whether a
+    solve they just issued went warm. *)
+
+val record :
+  exact:bool ->
+  warm:bool ->
+  pivots_phase1:int ->
+  pivots_phase2:int ->
+  pivots_dual:int ->
+  seconds:float ->
+  unit
+(** Fold one finished solve into its instrument family.  Called by the
+    engines; not meant for user code. *)
+
+val now : unit -> float
+(** [Unix.gettimeofday], shared so all engines time solves the same way. *)

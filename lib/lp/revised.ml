@@ -622,31 +622,40 @@ module Make (F : Linalg.Field.S) = struct
      basis.  Returns the outcome together with the final basis (a plain
      int array, safe to store and pass to a later [solve_prepared]). *)
   let solve_prepared ?warm prep : outcome * int array =
-    let t_start = Stats.now () in
-    let p1 = ref 0 and p2 = ref 0 and pd = ref 0 in
-    let warm_used = ref false in
-    let finish (outcome, st) =
-      Stats.record
-        {
-          Stats.exact = F.exact;
-          warm = !warm_used;
-          pivots_phase1 = !p1;
-          pivots_phase2 = !p2;
-          pivots_dual = !pd;
-          seconds = Stats.now () -. t_start;
-        };
-      (outcome, Array.copy st.basis)
+    let body () =
+      let t_start = Instrument.now () in
+      let p1 = ref 0 and p2 = ref 0 and pd = ref 0 in
+      let warm_used = ref false in
+      let finish (outcome, st) =
+        Instrument.record ~exact:F.exact ~warm:!warm_used ~pivots_phase1:!p1
+          ~pivots_phase2:!p2 ~pivots_dual:!pd
+          ~seconds:(Instrument.now () -. t_start);
+        Obs.Span.set_bool "warm" !warm_used;
+        Obs.Span.set_int "pivots_phase1" !p1;
+        Obs.Span.set_int "pivots_phase2" !p2;
+        Obs.Span.set_int "pivots_dual" !pd;
+        (outcome, Array.copy st.basis)
+      in
+      let attempt =
+        match warm with
+        | None -> None
+        | Some basis0 ->
+          (* [warm_solve] refactorizes B⁻¹ from the hint exactly once. *)
+          Obs.Span.set_bool "warm_attempted" true;
+          Obs.Span.set_int "refactorizations" 1;
+          warm_solve prep basis0 ~count2:p2 ~countd:pd
+      in
+      match attempt with
+      | Some result ->
+        warm_used := true;
+        finish result
+      | None -> finish (cold_solve prep ~count1:p1 ~count2:p2)
     in
-    let attempt =
-      match warm with
-      | None -> None
-      | Some basis0 -> warm_solve prep basis0 ~count2:p2 ~countd:pd
-    in
-    match attempt with
-    | Some result ->
-      warm_used := true;
-      finish result
-    | None -> finish (cold_solve prep ~count1:p1 ~count2:p2)
+    if not (Obs.Sink.enabled ()) then body ()
+    else
+      Obs.Span.with_span "lp.solve"
+        ~attrs:[ ("exact", Obs.Sink.Bool F.exact); ("engine", Obs.Sink.Str "revised") ]
+        body
 
   let solve (p : F.t Problem.t) : outcome =
     fst (solve_prepared (prepare p))

@@ -36,10 +36,9 @@ module Make (F : Linalg.Field.S) = struct
   let warm_hits t = t.warm_hits
 
   let solve t : outcome =
-    let before = Stats.copy (if F.exact then Stats.exact else Stats.approx) in
+    let warm_before = Instrument.warm_solves ~exact:F.exact in
     let outcome, basis = E.solve_prepared ?warm:t.basis t.prep in
-    let after = if F.exact then Stats.exact else Stats.approx in
-    if after.Stats.warm_solves > before.Stats.warm_solves then
+    if Instrument.warm_solves ~exact:F.exact > warm_before then
       t.warm_hits <- t.warm_hits + 1;
     t.solves <- t.solves + 1;
     t.basis <- Some basis;
@@ -49,7 +48,12 @@ module Make (F : Linalg.Field.S) = struct
      shape is unchanged. *)
   let resolve t (p : F.t Problem.t) : outcome =
     let prep = E.prepare p in
-    if E.shape prep <> E.shape t.prep then t.basis <- None;
+    if E.shape prep <> E.shape t.prep then begin
+      t.basis <- None;
+      if Obs.Sink.enabled () then
+        Obs.Event.emit "basis.invalidated"
+          ~attrs:[ ("exact", Obs.Sink.Bool F.exact) ]
+    end;
     t.prep <- prep;
     solve t
 

@@ -143,19 +143,15 @@ module Make (F : Linalg.Field.S) = struct
     in
     loop ()
 
-  let solve (p : F.t Problem.t) : outcome =
-    let t_start = Stats.now () in
+  let solve_untraced (p : F.t Problem.t) : outcome =
+    let t_start = Instrument.now () in
     let pivots1 = ref 0 and pivots2 = ref 0 in
     let record () =
-      Stats.record
-        {
-          Stats.exact = F.exact;
-          warm = false;
-          pivots_phase1 = !pivots1;
-          pivots_phase2 = !pivots2;
-          pivots_dual = 0;
-          seconds = Stats.now () -. t_start;
-        }
+      Instrument.record ~exact:F.exact ~warm:false ~pivots_phase1:!pivots1
+        ~pivots_phase2:!pivots2 ~pivots_dual:0
+        ~seconds:(Instrument.now () -. t_start);
+      Obs.Span.set_int "pivots_phase1" !pivots1;
+      Obs.Span.set_int "pivots_phase2" !pivots2
     in
     let n = p.Problem.num_vars in
     let constrs = Array.of_list p.Problem.constraints in
@@ -300,6 +296,18 @@ module Make (F : Linalg.Field.S) = struct
         in
         record ();
         Optimal { values; objective; duals })
+
+  let solve (p : F.t Problem.t) : outcome =
+    if not (Obs.Sink.enabled ()) then solve_untraced p
+    else
+      Obs.Span.with_span "lp.solve"
+        ~attrs:
+          [
+            ("exact", Obs.Sink.Bool F.exact);
+            ("engine", Obs.Sink.Str "tableau");
+            ("warm", Obs.Sink.Bool false);
+          ]
+        (fun () -> solve_untraced p)
 
   (* Check that [values] satisfies every constraint of [p] (within the
      field's tolerance) and is componentwise nonnegative. *)

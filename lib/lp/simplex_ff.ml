@@ -127,19 +127,15 @@ let optimize ?(count = ref 0) t ~allowed_up_to ~max_iters =
   in
   loop ()
 
-let solve (p : R.t Problem.t) : Sx.outcome =
-  let t_start = Stats.now () in
+let solve_untraced (p : R.t Problem.t) : Sx.outcome =
+  let t_start = Instrument.now () in
   let pivots1 = ref 0 and pivots2 = ref 0 in
   let record () =
-    Stats.record
-      {
-        Stats.exact = true;
-        warm = false;
-        pivots_phase1 = !pivots1;
-        pivots_phase2 = !pivots2;
-        pivots_dual = 0;
-        seconds = Stats.now () -. t_start;
-      }
+    Instrument.record ~exact:true ~warm:false ~pivots_phase1:!pivots1
+      ~pivots_phase2:!pivots2 ~pivots_dual:0
+      ~seconds:(Instrument.now () -. t_start);
+    Obs.Span.set_int "pivots_phase1" !pivots1;
+    Obs.Span.set_int "pivots_phase2" !pivots2
   in
   let n = p.Problem.num_vars in
   let constrs = Array.of_list p.Problem.constraints in
@@ -300,3 +296,15 @@ let solve (p : R.t Problem.t) : Sx.outcome =
       in
       record ();
       Sx.Optimal { values; objective; duals })
+
+let solve (p : R.t Problem.t) : Sx.outcome =
+  if not (Obs.Sink.enabled ()) then solve_untraced p
+  else
+    Obs.Span.with_span "lp.solve"
+      ~attrs:
+        [
+          ("exact", Obs.Sink.Bool true);
+          ("engine", Obs.Sink.Str "fraction_free");
+          ("warm", Obs.Sink.Bool false);
+        ]
+      (fun () -> solve_untraced p)

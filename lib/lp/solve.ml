@@ -45,7 +45,11 @@ let cache () : cache = Hashtbl.create 16
    changes shape-incompatibly — e.g. a machine failure rewrites the cost
    matrix, so bases keyed by the old columns would only mislead the
    crash-recovery logic of the first warm solve after the change. *)
-let cache_clear (c : cache) = Hashtbl.reset c
+let cache_clear (c : cache) =
+  if Obs.Sink.enabled () then
+    Obs.Event.emit "lp.cache.cleared"
+      ~attrs:[ ("bases", Obs.Sink.Int (Hashtbl.length c)) ];
+  Hashtbl.reset c
 
 let cache_store (c : cache) shape basis =
   if Hashtbl.length c >= cache_capacity && not (Hashtbl.mem c shape) then

@@ -1,0 +1,8 @@
+(** JSON text fragments shared by {!Sink} and {!Registry}. *)
+
+val escape : string -> string
+(** Escape a string for inclusion between double quotes in JSON. *)
+
+val float_repr : float -> string
+(** Render a float as a JSON number; every non-finite value becomes
+    [null] (JSON has no NaN or infinities). *)

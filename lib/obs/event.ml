@@ -1,0 +1,14 @@
+(* Instant events: a point in time, attached to the innermost open span.
+   The enabled check runs before any allocation, but callers that build
+   an [attrs] list should still guard the call site on [Sink.enabled]. *)
+
+let emit ?(attrs = []) name =
+  if Sink.enabled () then
+    Sink.emit
+      (Sink.Event
+         {
+           Sink.in_span = Span.current_id ();
+           ev_name = name;
+           at = Sink.elapsed ();
+           ev_attrs = List.rev attrs;
+         })

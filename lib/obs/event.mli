@@ -1,0 +1,10 @@
+(** Instant trace events.
+
+    An event marks a point in time — a fault injected, a milestone search
+    bracketed, a basis invalidated — and is attached to the innermost
+    open {!Span} (if any).  With the null sink installed the call returns
+    after one ref read; callers that construct an [attrs] list should
+    guard the whole call on {!Sink.enabled} to keep the disabled path
+    allocation-free. *)
+
+val emit : ?attrs:(string * Sink.value) list -> string -> unit

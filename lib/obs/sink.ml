@@ -1,0 +1,153 @@
+(* Trace sinks and the ambient tracer state.
+
+   A sink is where completed spans and instant events go.  [Null] is the
+   default and the fast path: every instrumentation site checks
+   [enabled ()] (one ref read and a tag test) before allocating anything,
+   so a process that never installs a sink pays nothing for being
+   instrumented.  The other sinks serialize each record to one JSON line
+   ([Jsonl], [Ring]) or hand the structured record to a callback
+   ([Callback], for in-process consumers such as the bench harness). *)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  t_start : float; (* seconds since process start *)
+  mutable t_stop : float;
+  mutable attrs : (string * value) list; (* reverse insertion order *)
+}
+
+type event = {
+  in_span : int option;
+  ev_name : string;
+  at : float;
+  ev_attrs : (string * value) list; (* reverse insertion order *)
+}
+
+type emitted = Span of span | Event of event
+
+type ring = {
+  capacity : int;
+  lines : string array;
+  mutable length : int;
+  mutable next : int;
+}
+
+type t =
+  | Null
+  | Jsonl of out_channel
+  | Ring of ring
+  | Callback of (emitted -> unit)
+
+let null = Null
+let jsonl oc = Jsonl oc
+let file path = Jsonl (open_out path)
+
+let ring ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Obs.Sink.ring: capacity must be positive";
+  Ring { capacity; lines = Array.make capacity ""; length = 0; next = 0 }
+
+let callback f = Callback f
+
+(* --- serialization -------------------------------------------------- *)
+
+let value_json = function
+  | Bool b -> if b then "true" else "false"
+  | Int i -> string_of_int i
+  | Float f -> Encode.float_repr f
+  | Str s -> "\"" ^ Encode.escape s ^ "\""
+
+let attrs_json attrs =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (Encode.escape k);
+      Buffer.add_string buf "\":";
+      Buffer.add_string buf (value_json v))
+    attrs;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let line_of = function
+  | Span s ->
+    Printf.sprintf
+      "{\"type\":\"span\",\"id\":%d,\"parent\":%s,\"name\":\"%s\",\"start\":%s,\"end\":%s,\"attrs\":%s}"
+      s.id
+      (match s.parent with None -> "null" | Some p -> string_of_int p)
+      (Encode.escape s.name)
+      (Encode.float_repr s.t_start)
+      (Encode.float_repr s.t_stop)
+      (attrs_json (List.rev s.attrs))
+  | Event e ->
+    Printf.sprintf
+      "{\"type\":\"event\",\"span\":%s,\"name\":\"%s\",\"at\":%s,\"attrs\":%s}"
+      (match e.in_span with None -> "null" | Some p -> string_of_int p)
+      (Encode.escape e.ev_name)
+      (Encode.float_repr e.at)
+      (attrs_json (List.rev e.ev_attrs))
+
+let attr (s : span) name = List.assoc_opt name s.attrs
+
+(* --- ambient tracer state ------------------------------------------- *)
+
+let installed = ref Null
+let epoch = Unix.gettimeofday ()
+let n_spans = ref 0
+let n_events = ref 0
+
+let enabled () = match !installed with Null -> false | _ -> true
+let current () = !installed
+let elapsed () = Unix.gettimeofday () -. epoch
+let emitted_spans () = !n_spans
+let emitted_events () = !n_events
+
+let ring_push r line =
+  r.lines.(r.next) <- line;
+  r.next <- (r.next + 1) mod r.capacity;
+  if r.length < r.capacity then r.length <- r.length + 1
+
+let ring_lines = function
+  | Ring r ->
+    List.init r.length (fun i ->
+        r.lines.((r.next - r.length + i + r.capacity) mod r.capacity))
+  | Null | Jsonl _ | Callback _ -> []
+
+let emit e =
+  (match e with Span _ -> incr n_spans | Event _ -> incr n_events);
+  match !installed with
+  | Null -> ()
+  | Jsonl oc ->
+    output_string oc (line_of e);
+    output_char oc '\n'
+  | Ring r -> ring_push r (line_of e)
+  | Callback f -> f e
+
+(* A [Jsonl] channel is owned by the tracer once installed: replacing or
+   uninstalling it flushes and closes the channel. *)
+let release = function
+  | Jsonl oc -> ( try flush oc; close_out_noerr oc with Sys_error _ -> ())
+  | Null | Ring _ | Callback _ -> ()
+
+let install s =
+  release !installed;
+  installed := s
+
+let uninstall () =
+  release !installed;
+  installed := Null
+
+let with_sink s f =
+  let saved = !installed in
+  installed := s;
+  Fun.protect
+    ~finally:(fun () ->
+      (match s with
+       | Jsonl oc -> ( try flush oc with Sys_error _ -> ())
+       | Null | Ring _ | Callback _ -> ());
+      installed := saved)
+    f

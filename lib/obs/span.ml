@@ -1,0 +1,65 @@
+(* Nested spans over the ambient sink.
+
+   The span stack is plain dynamic scoping: [with_span] pushes, runs the
+   body, pops and emits.  When no sink is installed [with_span] is just
+   [f ()] and the stack stays empty, which makes every [set_*] helper a
+   no-op that allocates nothing — the contract the hot solver paths rely
+   on. *)
+
+let next_id = ref 0
+let stack : Sink.span list ref = ref []
+
+let current_id () =
+  match !stack with [] -> None | s :: _ -> Some s.Sink.id
+
+let set_attr name v =
+  match !stack with
+  | [] -> ()
+  | s :: _ -> s.Sink.attrs <- (name, v) :: s.Sink.attrs
+
+let set_bool name b =
+  match !stack with
+  | [] -> ()
+  | s :: _ -> s.Sink.attrs <- (name, Sink.Bool b) :: s.Sink.attrs
+
+let set_int name i =
+  match !stack with
+  | [] -> ()
+  | s :: _ -> s.Sink.attrs <- (name, Sink.Int i) :: s.Sink.attrs
+
+let set_float name f =
+  match !stack with
+  | [] -> ()
+  | s :: _ -> s.Sink.attrs <- (name, Sink.Float f) :: s.Sink.attrs
+
+let set_str name v =
+  match !stack with
+  | [] -> ()
+  | s :: _ -> s.Sink.attrs <- (name, Sink.Str v) :: s.Sink.attrs
+
+let with_span ?(attrs = []) name f =
+  if not (Sink.enabled ()) then f ()
+  else begin
+    incr next_id;
+    let sp =
+      {
+        Sink.id = !next_id;
+        parent = current_id ();
+        name;
+        t_start = Sink.elapsed ();
+        t_stop = 0.;
+        attrs = List.rev attrs;
+      }
+    in
+    stack := sp :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match !stack with
+         | s :: rest when s == sp -> stack := rest
+         | _ -> stack := List.filter (fun s -> s != sp) !stack);
+        (* Wall-clock can step backwards; never emit a negative-length
+           span. *)
+        sp.Sink.t_stop <- Float.max sp.Sink.t_start (Sink.elapsed ());
+        Sink.emit (Sink.Span sp))
+      f
+  end

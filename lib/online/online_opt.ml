@@ -27,6 +27,8 @@ let sub_instance inst ~now ~active =
    see structurally identical deadline systems (same active-job count),
    so their feasibility probes resume from the previous plan's bases. *)
 let compute_plan ?cache inst ~now ~active =
+  Obs.Span.with_span "online_opt.plan" (fun () ->
+  Obs.Span.set_int "active_jobs" (List.length active);
   let jobs, sub = sub_instance inst ~now ~active in
   let r = Mf.solve ?cache sub in
   (* First epochal boundary after [now]: the earliest deadline at F*. *)
@@ -65,7 +67,7 @@ let compute_plan ?cache inst ~now ~active =
           row)
       spent;
     (!shares, Some horizon)
-  end
+  end)
 
 module Divisible = struct
   (* The solver session outlives any single decision: the basis cache is
@@ -82,6 +84,7 @@ module Divisible = struct
      change must run cold rather than chase a stale vertex. *)
   let on_platform_change st ~now:_ ~inst =
     st.inst <- inst;
+    Obs.Event.emit "basis.cache.cleared";
     Lp.Solve.cache_clear st.cache;
     `Adapted
 
@@ -113,6 +116,7 @@ module Lazy_divisible = struct
      shares may sit on machines that just went down. *)
   let on_platform_change st ~now:_ ~inst =
     st.inst <- inst;
+    Obs.Event.emit "basis.cache.cleared";
     Lp.Solve.cache_clear st.cache;
     st.cached <- None;
     st.dirty <- true;

@@ -4,6 +4,10 @@ module S = Sched_core.Schedule
 module Sim = Online.Sim
 module W = Gripps.Workload
 
+(* The engine records into [Obs.Registry] directly; [Serve.Metrics] is
+   only a compatibility alias for it. *)
+module Metrics = Obs.Registry
+
 type objective = [ `Flow | `Stretch ]
 
 type lost_work = [ `Lost | `Preserved ]
@@ -69,8 +73,9 @@ type t = {
   h_flow : Metrics.histogram;
   h_weighted : Metrics.histogram;
   h_stretch : Metrics.histogram;
-  (* Solver instrumentation, fed by the {!Lp.Stats} hook while a policy
-     decision is being computed (LP-free policies leave these at zero). *)
+  (* Solver instrumentation: per-decision deltas of the global LP
+     instruments ([Lp.Instrument]) attributed to this engine (LP-free
+     policies leave these at zero). *)
   c_lp_solves : Metrics.counter;
   c_lp_warm : Metrics.counter;
   c_lp_pivots1 : Metrics.counter;
@@ -350,18 +355,25 @@ let runner t =
 let decide t =
   let (Runner ((module P), state)) = runner t in
   (* Every LP solve triggered by the policy — exact or float, cold or
-     warm — is observed here, without the policy knowing about metrics. *)
+     warm — is accounted to this engine by differencing the global solver
+     instruments around the call, without the policy knowing about
+     metrics.  [lp_solve_seconds] gets one sample per LP-using decision
+     (the decision's total solver time), not one per solve. *)
+  let before = Lp.Instrument.combined () in
   let d =
-    Lp.Stats.with_hook
-      (fun (i : Lp.Stats.info) ->
-        Metrics.incr t.c_lp_solves;
-        if i.Lp.Stats.warm then Metrics.incr t.c_lp_warm;
-        Metrics.add t.c_lp_pivots1 i.Lp.Stats.pivots_phase1;
-        Metrics.add t.c_lp_pivots2 i.Lp.Stats.pivots_phase2;
-        Metrics.add t.c_lp_pivots_dual i.Lp.Stats.pivots_dual;
-        Metrics.observe t.h_lp_seconds i.Lp.Stats.seconds)
-      (fun () -> P.decide state ~now:t.now ~active:(views t))
+    Obs.Span.with_span "engine.decide" (fun () ->
+        Obs.Span.set_str "policy" P.name;
+        Obs.Span.set_int "active" (active t);
+        P.decide state ~now:t.now ~active:(views t))
   in
+  let delta = Lp.Instrument.(diff ~before (combined ())) in
+  Metrics.add t.c_lp_solves delta.Lp.Instrument.solves;
+  Metrics.add t.c_lp_warm delta.Lp.Instrument.warm_solves;
+  Metrics.add t.c_lp_pivots1 delta.Lp.Instrument.pivots_phase1;
+  Metrics.add t.c_lp_pivots2 delta.Lp.Instrument.pivots_phase2;
+  Metrics.add t.c_lp_pivots_dual delta.Lp.Instrument.pivots_dual;
+  if delta.Lp.Instrument.solves > 0 then
+    Metrics.observe t.h_lp_seconds delta.Lp.Instrument.seconds;
   Sim.check_decision ~where:"Serve.Engine" ~name:P.name (decision_instance t)
     ~up:(fun i -> W.machine_live t.overlay.(i))
     ~eligible:(fun j ->
@@ -514,6 +526,20 @@ let apply_fault t fault =
       end
   in
   if changed then begin
+    if Obs.Sink.enabled () then begin
+      let kind, machine =
+        match fault with
+        | Trace.Fail i -> ("fail", i)
+        | Trace.Recover i -> ("recover", i)
+      in
+      Obs.Event.emit "engine.fault"
+        ~attrs:
+          [
+            ("kind", Obs.Sink.Str kind);
+            ("machine", Obs.Sink.Int machine);
+            ("at", Obs.Sink.Str (Rat.to_string t.now));
+          ]
+    end;
     Metrics.set t.g_machines_up (float_of_int (machines_up t));
     platform_changed t
   end

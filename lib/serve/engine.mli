@@ -128,13 +128,19 @@ val find : t -> string -> int option
 val clock : t -> Clock.t
 val platform : t -> Gripps.Workload.platform
 
-val metrics : t -> Metrics.t
+val metrics : t -> Obs.Registry.t
 (** Live registry: counters [requests_submitted], [requests_completed],
     [decisions], [segments], [slices], [arrivals_coalesced],
     [policy_rebuilds], [machine_failures], [machine_recoveries],
     [slices_lost]; gauges [queue_depth], [machines_up]; histograms
     [flow_seconds], [weighted_flow_seconds], [stretch] (one sample per
-    completed request). *)
+    completed request).  Solver counters [lp_solves], [lp_solves_warm],
+    [lp_pivots_phase1], [lp_pivots_phase2], [lp_pivots_dual] attribute
+    per-decision deltas of the global [Lp.Instrument] totals to this
+    engine; the [lp_solve_seconds] histogram records one sample per
+    LP-using decision (that decision's total solver seconds), not one
+    per solve.  ({!Metrics.t} is an alias of [Obs.Registry.t], so the
+    legacy [Serve.Metrics] accessors keep working.) *)
 
 val schedule : t -> Sched_core.Schedule.t
 (** The slices materialized so far, over the instance of every submitted

@@ -1,178 +1,6 @@
-type counter = { mutable count : int }
+(* Deprecated alias: the implementation moved to [Obs.Registry] when the
+   observability subsystem unified the serving metrics with the solver
+   instrumentation.  Kept so existing callers (and the server protocol)
+   keep compiling; new code should use [Obs.Registry] directly. *)
 
-type gauge = { mutable value : float; mutable peak : float }
-
-type histogram = {
-  mutable buf : float array;
-  mutable len : int;
-  mutable sorted : bool;
-}
-
-type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
-
-type t = { mutable items : (string * instrument) list (* reverse creation order *) }
-
-let create () = { items = [] }
-
-let find_or_create t name make =
-  match List.assoc_opt name t.items with
-  | Some i -> i
-  | None ->
-    let i = make () in
-    t.items <- (name, i) :: t.items;
-    i
-
-let counter t name =
-  match find_or_create t name (fun () -> Counter { count = 0 }) with
-  | Counter c -> c
-  | _ -> invalid_arg (Printf.sprintf "Metrics.counter: %S is not a counter" name)
-
-let gauge t name =
-  match find_or_create t name (fun () -> Gauge { value = 0.; peak = 0. }) with
-  | Gauge g -> g
-  | _ -> invalid_arg (Printf.sprintf "Metrics.gauge: %S is not a gauge" name)
-
-let histogram t name =
-  match
-    find_or_create t name (fun () -> Histogram { buf = Array.make 64 0.; len = 0; sorted = true })
-  with
-  | Histogram h -> h
-  | _ -> invalid_arg (Printf.sprintf "Metrics.histogram: %S is not a histogram" name)
-
-let incr c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let count c = c.count
-
-let set g v =
-  g.value <- v;
-  if v > g.peak then g.peak <- v
-
-let value g = g.value
-let peak g = g.peak
-
-let observe h v =
-  if h.len = Array.length h.buf then begin
-    let bigger = Array.make (2 * h.len) 0. in
-    Array.blit h.buf 0 bigger 0 h.len;
-    h.buf <- bigger
-  end;
-  h.buf.(h.len) <- v;
-  h.len <- h.len + 1;
-  h.sorted <- false
-
-let samples h = h.len
-
-let ensure_sorted h =
-  if not h.sorted then begin
-    let live = Array.sub h.buf 0 h.len in
-    Array.sort compare live;
-    Array.blit live 0 h.buf 0 h.len;
-    h.sorted <- true
-  end
-
-let quantile h q =
-  if q < 0. || q > 1. then invalid_arg "Metrics.quantile: level outside [0, 1]";
-  if h.len = 0 then nan
-  else begin
-    ensure_sorted h;
-    (* Linear interpolation between closest order statistics (type 7). *)
-    let pos = q *. float_of_int (h.len - 1) in
-    let lo = int_of_float (Float.floor pos) in
-    let hi = Stdlib.min (lo + 1) (h.len - 1) in
-    let frac = pos -. float_of_int lo in
-    ((1. -. frac) *. h.buf.(lo)) +. (frac *. h.buf.(hi))
-  end
-
-let mean h =
-  if h.len = 0 then nan
-  else begin
-    let sum = ref 0. in
-    for i = 0 to h.len - 1 do
-      sum := !sum +. h.buf.(i)
-    done;
-    !sum /. float_of_int h.len
-  end
-
-let hmin h = if h.len = 0 then nan else (ensure_sorted h; h.buf.(0))
-let hmax h = if h.len = 0 then nan else (ensure_sorted h; h.buf.(h.len - 1))
-
-let ordered t = List.rev t.items
-
-let to_text t =
-  let buf = Buffer.create 512 in
-  List.iter
-    (fun (name, i) ->
-      match i with
-      | Counter c -> Buffer.add_string buf (Printf.sprintf "%-32s %d\n" name c.count)
-      | Gauge g ->
-        Buffer.add_string buf (Printf.sprintf "%-32s %g (peak %g)\n" name g.value g.peak)
-      | Histogram h ->
-        if h.len = 0 then Buffer.add_string buf (Printf.sprintf "%-32s empty\n" name)
-        else
-          Buffer.add_string buf
-            (Printf.sprintf
-               "%-32s count=%d min=%.3f mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f\n"
-               name h.len (hmin h) (mean h) (quantile h 0.5) (quantile h 0.95)
-               (quantile h 0.99) (hmax h)))
-    (ordered t);
-  Buffer.contents buf
-
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let json_float f =
-  (* JSON has no NaN or infinities; emitting a bare [inf] breaks every
-     consumer, so all non-finite values map to null. *)
-  if not (Float.is_finite f) then "null"
-  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
-  else Printf.sprintf "%.6g" f
-
-let to_json t =
-  let buf = Buffer.create 512 in
-  let section kind filter =
-    let first = ref true in
-    Buffer.add_string buf (Printf.sprintf "\"%s\":{" kind);
-    List.iter
-      (fun (name, i) ->
-        match filter i with
-        | None -> ()
-        | Some body ->
-          if not !first then Buffer.add_char buf ',';
-          first := false;
-          Buffer.add_string buf (Printf.sprintf "\"%s\":%s" (json_escape name) body))
-      (ordered t);
-    Buffer.add_char buf '}'
-  in
-  Buffer.add_char buf '{';
-  section "counters" (function Counter c -> Some (string_of_int c.count) | _ -> None);
-  Buffer.add_char buf ',';
-  section "gauges" (function
-    | Gauge g ->
-      Some (Printf.sprintf "{\"value\":%s,\"peak\":%s}" (json_float g.value) (json_float g.peak))
-    | _ -> None);
-  Buffer.add_char buf ',';
-  section "histograms" (function
-    | Histogram h ->
-      Some
-        (if h.len = 0 then "{\"count\":0}"
-         else
-           Printf.sprintf
-             "{\"count\":%d,\"min\":%s,\"mean\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s,\"max\":%s}"
-             h.len (json_float (hmin h)) (json_float (mean h))
-             (json_float (quantile h 0.5))
-             (json_float (quantile h 0.95))
-             (json_float (quantile h 0.99))
-             (json_float (hmax h)))
-    | _ -> None);
-  Buffer.add_char buf '}';
-  Buffer.contents buf
+include Obs.Registry

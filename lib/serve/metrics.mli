@@ -1,19 +1,20 @@
-(** Serving metrics: counters, gauges and quantile histograms.
+(** Deprecated alias for {!Obs.Registry}.
 
-    A registry owns named instruments in creation order.  Histograms keep
-    every sample (the serving engine observes one value per request —
-    thousands, not millions), so the quantiles reported are {e exact}
-    order statistics, not sketch approximations.  Reports dump as aligned
-    text (for humans and the [metrics] protocol command) or as a single
-    JSON object (for scrapers); both are stable under re-dumping. *)
+    The metrics implementation moved into the observability subsystem;
+    this module remains as a compatibility shim — every type is an alias,
+    so registries flow freely between the two names ([Engine.metrics]
+    returns an [Obs.Registry.t]).  New code should call [Obs.Registry]
+    directly. *)
 
-type t
-
-type counter
-type gauge
-type histogram
+type t = Obs.Registry.t
+type counter = Obs.Registry.counter
+type gauge = Obs.Registry.gauge
+type histogram = Obs.Registry.histogram
 
 val create : unit -> t
+
+val global : t
+(** [Obs.Registry.global], the process-wide default registry. *)
 
 val counter : t -> string -> counter
 (** Find-or-create; the same name always returns the same instrument. *)
@@ -46,6 +47,9 @@ val quantile : histogram -> float -> float
 
 val mean : histogram -> float
 (** [nan] on an empty histogram. *)
+
+val hsum : histogram -> float
+(** Sum of all samples; [0.] on an empty histogram. *)
 
 val hmin : histogram -> float
 val hmax : histogram -> float

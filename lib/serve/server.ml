@@ -1,8 +1,14 @@
 module Rat = Numeric.Rat
 
-type t = { engine : Engine.t }
+type t = {
+  engine : Engine.t;
+  (* Sink installed by [trace on] without a path: a ring buffer whose
+     recent records the [spans] command dumps.  [trace on PATH] streams to
+     a file instead and leaves this [None]. *)
+  mutable trace_ring : Obs.Sink.t option;
+}
 
-let create engine = { engine }
+let create engine = { engine; trace_ring = None }
 
 let tokens line =
   String.split_on_char ' ' line
@@ -50,6 +56,32 @@ let handle_line t line =
     let body = String.split_on_char '\n' (Metrics.to_text (Engine.metrics e)) in
     (List.filter (fun l -> l <> "") body @ [ "ok" ], `Continue)
   | [ "metrics"; "json" ] -> ([ Metrics.to_json (Engine.metrics e); "ok" ], `Continue)
+  | [ "trace"; "on" ] ->
+    let ring = Obs.Sink.ring () in
+    Obs.Sink.install ring;
+    t.trace_ring <- Some ring;
+    (okf "tracing to ring buffer (dump with spans)", `Continue)
+  | [ "trace"; "on"; path ] -> (
+    match Obs.Sink.file path with
+    | sink ->
+      Obs.Sink.install sink;
+      t.trace_ring <- None;
+      (okf "tracing to %s" path, `Continue)
+    | exception Sys_error msg -> (errf "%s" msg, `Continue))
+  | [ "trace"; "off" ] ->
+    Obs.Sink.uninstall ();
+    t.trace_ring <- None;
+    (okf "tracing off", `Continue)
+  | "trace" :: _ -> (errf "usage: trace on [PATH] | trace off", `Continue)
+  | [ "spans" ] ->
+    (* Always exactly one well-formed JSON line: the buffered records as
+       an array ([[]] when tracing is off or streaming to a file). *)
+    let lines =
+      match t.trace_ring with
+      | Some ring -> Obs.Sink.ring_lines ring
+      | None -> []
+    in
+    ([ "[" ^ String.concat "," lines ^ "]"; "ok" ], `Continue)
   | "tick" :: _ when not (Clock.is_virtual (Engine.clock e)) ->
     (errf "tick only makes sense on a virtual clock (the wall clock ticks itself)",
      `Continue)
@@ -69,7 +101,9 @@ let handle_line t line =
     with Invalid_argument msg -> (errf "%s" msg, `Continue))
   | [ "quit" ] -> (okf "bye", `Quit)
   | cmd :: _ ->
-    (errf "unknown command %S (try submit/status/metrics/fail/recover/tick/drain/quit)" cmd,
+    (errf
+       "unknown command %S (try submit/status/metrics/trace/spans/fail/recover/tick/drain/quit)"
+       cmd,
      `Continue)
 
 let run t ic oc =

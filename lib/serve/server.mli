@@ -10,6 +10,11 @@
     status                  ok now=T submitted=N active=A completed=C
                             up=U/M starved=S
     metrics [json]          dump the metrics registry, then ok
+    trace on [PATH]         start tracing: to an in-memory ring buffer,
+                            or as JSON lines to PATH
+    trace off               stop tracing (flushes and closes a file sink)
+    spans                   dump the ring-buffered trace records as one
+                            JSON array line ([] when not ring-tracing)
     fail MACHINE            take a machine down now; ok machine I down ...
     recover MACHINE         bring a machine back up; ok machine I up ...
     tick SECONDS            advance a virtual clock; err on a wall clock
@@ -17,6 +22,12 @@
                             (or only starved requests remain)
     quit                    ok bye, then the connection/loop ends
     v}
+
+    [metrics json] and [spans] each emit exactly one well-formed JSON
+    line before their [ok], whatever the engine state — an empty registry
+    dumps [{"counters":{},"gauges":{},"histograms":{}}], an empty or
+    absent ring dumps [[]].  [trace] installs the process-wide
+    [Obs.Sink], so traces cover every engine in the process.
 
     On a wall clock the server catches the engine up to the current date
     before executing each command, so [status] and [metrics] reflect real
