@@ -1,6 +1,6 @@
 # Convenience targets; everything real lives in dune.
 
-.PHONY: all build test bench bench-smoke trace-smoke check fmt clean
+.PHONY: all build test bench bench-smoke bench-speedup trace-smoke check fmt clean
 
 all: build
 
@@ -18,16 +18,23 @@ bench:
 bench-smoke:
 	dune exec bench/main.exe -- --json smoke
 
+# Fails if the parallel solver (jobs=2) diverges bitwise from the jobs=1
+# oracle on a small instance grid.  The full `speedup` experiment (jobs
+# 1/2/4/8 with timings and a BENCH_speedup.json envelope) runs under
+# plain `make bench`.
+bench-speedup:
+	dune exec bench/main.exe -- speedup-smoke
+
 # Fails if a --trace run emits anything that is not one JSON record per
 # line, or if the max-flow span tree loses its nesting or pivot counts.
 trace-smoke:
 	dune build bin/dlsched.exe
 	sh scripts/trace_smoke.sh _build/default/bin/dlsched.exe
 
-# What CI would run: full build + every test, the solve-count and trace
-# smoke checks, plus formatting when the formatter is installed
-# (ocamlformat is optional in the dev image).
-check: build test bench-smoke trace-smoke fmt
+# What CI would run: full build + every test, the solve-count, parallel
+# bit-equality and trace smoke checks, plus formatting when the formatter
+# is installed (ocamlformat is optional in the dev image).
+check: build test bench-smoke bench-speedup trace-smoke fmt
 
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \

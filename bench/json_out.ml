@@ -61,9 +61,11 @@ let rec emit buf = function
     Buffer.add_char buf '}'
 
 (* The schema version is bumped whenever the envelope or any experiment's
-   [data] layout changes incompatibly. *)
+   [data] layout changes incompatibly.  v3 added the [jobs] /
+   [recommended_domain_count] fields recording the domain-pool width the
+   numbers were measured under. *)
 let schema = "dlsched-bench"
-let version = 2
+let version = 3
 
 (* Trace summary attached to every envelope: spans/events emitted and wall
    seconds spent inside the LP engines since the previous [write] (or
@@ -100,6 +102,8 @@ let write ~experiment data =
           ("experiment", Str experiment);
           ("solver", Str (Lp.Solve.variant_name !Lp.Solve.variant));
           ("warm", Bool !Lp.Solve.warm);
+          ("jobs", Int (Par.Pool.jobs ()));
+          ("recommended_domain_count", Int (Domain.recommended_domain_count ()));
           ("trace", trace_summary ());
           ("data", data);
         ]

@@ -69,8 +69,24 @@ let setup_arg =
   let trace =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:trace_doc)
   in
-  let setup variant trace =
+  let jobs_doc =
+    "Width of the domain pool used for speculative feasibility probing \
+     (and for serving concurrent clients): $(docv) domains work in \
+     parallel, with results bit-identical at every width.  Defaults to \
+     the $(b,DLSCHED_JOBS) environment variable, else the hardware's \
+     recommended domain count.  $(b,--jobs 1) disables parallelism \
+     entirely." in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc:jobs_doc)
+  in
+  let setup variant trace jobs =
     Lp.Solve.variant := variant;
+    (match jobs with
+     | None -> ()
+     | Some n when n >= 1 -> Par.Pool.set_jobs n
+     | Some n ->
+       Format.eprintf "dlsched: --jobs %d: width must be >= 1@." n;
+       exit 2);
     match trace with
     | None -> ()
     | Some path ->
@@ -78,7 +94,7 @@ let setup_arg =
       (* Flush and close the file even on [exit 1/2] paths. *)
       at_exit Obs.Sink.uninstall
   in
-  Term.(const setup $ solver $ trace)
+  Term.(const setup $ solver $ trace $ jobs)
 
 (* --- solve ------------------------------------------------------- *)
 

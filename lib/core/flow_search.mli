@@ -11,7 +11,17 @@
 
     Exact probes return a payload (typically the probe's LP solution or
     schedule), and [first_feasible] returns the winning candidate's payload
-    along with its index — so the winner's LP is never solved twice. *)
+    along with its index — so the winner's LP is never solved twice.
+
+    {b Parallel probing.}  When the ambient pool width ([Par.Pool.jobs])
+    is above 1, the bisection generalizes to a k-section: each round
+    probes up to [jobs] interior candidates concurrently (float rounds
+    and exact fallback rounds alike), and the certification batch tests
+    both boundary candidates at once.  Because exact feasibility is
+    monotone, the boundary index — and hence the payload — is identical
+    at every width; only wall-clock and the number of speculative probes
+    change.  Width 1, a call from inside a pool task, or a candidate
+    array too small to split all take the sequential path unchanged. *)
 
 module Rat = Numeric.Rat
 

@@ -132,6 +132,23 @@ let deadline_system ?(divisible = true) inst ~deadlines =
     let lo, hi = intervals.(t) in
     Rat.compare lo (Instance.release inst j) >= 0 && Rat.compare hi deadlines.(j) <= 0
   in
+  (* The admissibility grid is the formulation's rational-comparison hot
+     spot (intervals × jobs cells, two Rat comparisons each); on large
+     systems the per-interval rows are tabulated on the domain pool.  The
+     table is a pure function of the instance and deadlines, so the
+     builder below consumes identical bits at every pool width. *)
+  let admissible =
+    let nt = Array.length intervals in
+    if nt * n < 512 then admissible
+    else begin
+      let rows =
+        Par.Pool.map_or_seq
+          (fun t -> Array.init n (fun j -> admissible t j))
+          (Array.init nt Fun.id)
+      in
+      fun t j -> rows.(t).(j)
+    end
+  in
   let vars = alpha_variables st inst ~num_intervals:(Array.length intervals) ~admissible in
   let add_capacity_constraints ~key ~name_of =
     Hashtbl.iter

@@ -6,9 +6,14 @@ module Rat = Numeric.Rat
    F = (o_k − o_j) / (1/w_j − 1/w_k). *)
 let compute inst =
   let n = Instance.num_jobs inst in
-  let candidates = ref [] in
-  let push f = if Rat.sign f > 0 then candidates := f :: !candidates in
-  for j = 0 to n - 1 do
+  (* One row of the (j, k) candidate grid; rows are independent, so large
+     instances generate them on the domain pool.  The final [sort_uniq]
+     makes the result insensitive to row order — the parallel and
+     sequential runs build the same candidate multiset and hence the same
+     sorted list. *)
+  let row j =
+    let acc = ref [] in
+    let push f = if Rat.sign f > 0 then acc := f :: !acc in
     let oj = Instance.flow_origin inst j and wj = Instance.weight inst j in
     for k = 0 to n - 1 do
       push (Rat.mul wj (Rat.sub (Instance.release inst k) oj));
@@ -18,9 +23,15 @@ let compute inst =
         if not (Rat.is_zero dslope) then
           push (Rat.div (Rat.sub (Instance.flow_origin inst k) oj) dslope)
       end
-    done
-  done;
-  let ms = List.sort_uniq Rat.compare !candidates in
+    done;
+    !acc
+  in
+  let rows =
+    if n >= 8 then Par.Pool.map_or_seq row (Array.init n Fun.id)
+    else Array.init n row
+  in
+  let candidates = Array.fold_left (fun acc r -> List.rev_append r acc) [] rows in
+  let ms = List.sort_uniq Rat.compare candidates in
   if Obs.Sink.enabled () then
     Obs.Event.emit "milestones.computed"
       ~attrs:[ ("count", Obs.Sink.Int (List.length ms)) ];

@@ -10,7 +10,12 @@
 
     This module absorbs what used to be [Serve.Metrics] and the ad-hoc
     [Lp.Stats] accumulators; [Serve.Metrics] survives as a thin alias for
-    compatibility. *)
+    compatibility.
+
+    Every operation is domain-safe: mutations and reports are serialized
+    by one module-wide lock, so concurrent pool workers may record into
+    the same instruments and a report rendered mid-run is a consistent
+    snapshot. *)
 
 type t
 

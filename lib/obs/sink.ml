@@ -95,16 +95,24 @@ let attr (s : span) name = List.assoc_opt name s.attrs
 
 (* --- ambient tracer state ------------------------------------------- *)
 
-let installed = ref Null
-let epoch = Unix.gettimeofday ()
-let n_spans = ref 0
-let n_events = ref 0
+(* Domain-safety: the installed sink lives in an [Atomic] (the [enabled]
+   fast path stays one load), emission counters are atomic, and the
+   actual write to a non-null sink — channel output, ring push, callback
+   invocation — happens under one process-wide mutex so concurrent
+   emitters produce whole, interleaving-free records.  Callbacks run
+   under that mutex and therefore must not emit. *)
 
-let enabled () = match !installed with Null -> false | _ -> true
-let current () = !installed
+let installed = Atomic.make Null
+let epoch = Unix.gettimeofday ()
+let n_spans = Atomic.make 0
+let n_events = Atomic.make 0
+let emit_mutex = Mutex.create ()
+
+let enabled () = match Atomic.get installed with Null -> false | _ -> true
+let current () = Atomic.get installed
 let elapsed () = Unix.gettimeofday () -. epoch
-let emitted_spans () = !n_spans
-let emitted_events () = !n_events
+let emitted_spans () = Atomic.get n_spans
+let emitted_events () = Atomic.get n_events
 
 let ring_push r line =
   r.lines.(r.next) <- line;
@@ -113,19 +121,26 @@ let ring_push r line =
 
 let ring_lines = function
   | Ring r ->
-    List.init r.length (fun i ->
-        r.lines.((r.next - r.length + i + r.capacity) mod r.capacity))
+    Mutex.protect emit_mutex (fun () ->
+        List.init r.length (fun i ->
+            r.lines.((r.next - r.length + i + r.capacity) mod r.capacity)))
   | Null | Jsonl _ | Callback _ -> []
 
 let emit e =
-  (match e with Span _ -> incr n_spans | Event _ -> incr n_events);
-  match !installed with
+  (match e with
+   | Span _ -> Atomic.incr n_spans
+   | Event _ -> Atomic.incr n_events);
+  match Atomic.get installed with
   | Null -> ()
-  | Jsonl oc ->
-    output_string oc (line_of e);
-    output_char oc '\n'
-  | Ring r -> ring_push r (line_of e)
-  | Callback f -> f e
+  | sink ->
+    Mutex.protect emit_mutex (fun () ->
+        match sink with
+        | Null -> ()
+        | Jsonl oc ->
+          output_string oc (line_of e);
+          output_char oc '\n'
+        | Ring r -> ring_push r (line_of e)
+        | Callback f -> f e)
 
 (* A [Jsonl] channel is owned by the tracer once installed: replacing or
    uninstalling it flushes and closes the channel. *)
@@ -134,20 +149,19 @@ let release = function
   | Null | Ring _ | Callback _ -> ()
 
 let install s =
-  release !installed;
-  installed := s
+  let old = Atomic.exchange installed s in
+  Mutex.protect emit_mutex (fun () -> release old)
 
-let uninstall () =
-  release !installed;
-  installed := Null
+let uninstall () = install Null
 
 let with_sink s f =
-  let saved = !installed in
-  installed := s;
+  let saved = Atomic.exchange installed s in
   Fun.protect
     ~finally:(fun () ->
       (match s with
-       | Jsonl oc -> ( try flush oc with Sys_error _ -> ())
+       | Jsonl oc ->
+         Mutex.protect emit_mutex (fun () ->
+             try flush oc with Sys_error _ -> ())
        | Null | Ring _ | Callback _ -> ());
-      installed := saved)
+      Atomic.set installed saved)
     f

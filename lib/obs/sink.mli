@@ -12,7 +12,12 @@
     - {!ring}: keep the serialized lines of the most recent records in a
       bounded in-memory buffer (the server's [spans] command dumps it);
     - {!callback}: hand each structured record to a function, for
-      in-process consumers such as the bench harness. *)
+      in-process consumers such as the bench harness.
+
+    Emission is domain-safe: the write to a non-null sink happens under a
+    process-wide lock, so records from concurrent pool workers never
+    interleave mid-line.  A {!callback} runs under that lock and
+    therefore must not itself emit spans or events. *)
 
 (** Attribute values attached to spans and events. *)
 type value = Bool of bool | Int of int | Float of float | Str of string

@@ -1,56 +1,69 @@
 (* Nested spans over the ambient sink.
 
-   The span stack is plain dynamic scoping: [with_span] pushes, runs the
-   body, pops and emits.  When no sink is installed [with_span] is just
-   [f ()] and the stack stays empty, which makes every [set_*] helper a
-   no-op that allocates nothing — the contract the hot solver paths rely
-   on. *)
+   The span stack is dynamic scoping *per domain*: [with_span] pushes
+   onto the calling domain's stack (domain-local storage), runs the body,
+   pops and emits.  Span ids come from one process-wide atomic counter,
+   so ids stay unique when several domains trace concurrently, and every
+   span records the domain that opened it as a [domain] attribute.
 
-let next_id = ref 0
-let stack : Sink.span list ref = ref []
+   A worker domain starts with an empty stack; [with_context] lets a
+   fork/join layer (Par.Pool) graft the tasks it runs onto the
+   submitter's innermost span, so a parallel probe's spans land inside
+   the search's span tree instead of floating as extra roots.
+
+   When no sink is installed [with_span] is just [f ()] and the stacks
+   stay empty, which makes every [set_*] helper a no-op that allocates
+   nothing — the contract the hot solver paths rely on. *)
+
+let next_id = Atomic.make 0
+
+let stack_key : Sink.span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+(* Inherited parent for spans opened while this domain's own stack is
+   empty (set by Par.Pool around each task). *)
+let ambient_key : int option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let stack () = Domain.DLS.get stack_key
 
 let current_id () =
-  match !stack with [] -> None | s :: _ -> Some s.Sink.id
+  match !(stack ()) with
+  | [] -> Domain.DLS.get ambient_key
+  | s :: _ -> Some s.Sink.id
+
+let context = current_id
+
+let with_context parent f =
+  let saved = Domain.DLS.get ambient_key in
+  Domain.DLS.set ambient_key parent;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_key saved) f
 
 let set_attr name v =
-  match !stack with
+  match !(stack ()) with
   | [] -> ()
   | s :: _ -> s.Sink.attrs <- (name, v) :: s.Sink.attrs
 
-let set_bool name b =
-  match !stack with
-  | [] -> ()
-  | s :: _ -> s.Sink.attrs <- (name, Sink.Bool b) :: s.Sink.attrs
-
-let set_int name i =
-  match !stack with
-  | [] -> ()
-  | s :: _ -> s.Sink.attrs <- (name, Sink.Int i) :: s.Sink.attrs
-
-let set_float name f =
-  match !stack with
-  | [] -> ()
-  | s :: _ -> s.Sink.attrs <- (name, Sink.Float f) :: s.Sink.attrs
-
-let set_str name v =
-  match !stack with
-  | [] -> ()
-  | s :: _ -> s.Sink.attrs <- (name, Sink.Str v) :: s.Sink.attrs
+let set_bool name b = set_attr name (Sink.Bool b)
+let set_int name i = set_attr name (Sink.Int i)
+let set_float name f = set_attr name (Sink.Float f)
+let set_str name v = set_attr name (Sink.Str v)
 
 let with_span ?(attrs = []) name f =
   if not (Sink.enabled ()) then f ()
   else begin
-    incr next_id;
+    let id = Atomic.fetch_and_add next_id 1 + 1 in
     let sp =
       {
-        Sink.id = !next_id;
+        Sink.id;
         parent = current_id ();
         name;
         t_start = Sink.elapsed ();
         t_stop = 0.;
-        attrs = List.rev attrs;
+        attrs =
+          ("domain", Sink.Int (Domain.self () :> int)) :: List.rev attrs;
       }
     in
+    let stack = stack () in
     stack := sp :: !stack;
     Fun.protect
       ~finally:(fun () ->

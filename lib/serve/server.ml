@@ -6,9 +6,14 @@ type t = {
      recent records the [spans] command dumps.  [trace on PATH] streams to
      a file instead and leaves this [None]. *)
   mutable trace_ring : Obs.Sink.t option;
+  (* Serializes command execution: the engine (and [trace_ring]) are
+     single-threaded objects, and concurrent socket sessions take this
+     lock around each command, so commands interleave per line — never
+     mid-solve. *)
+  lock : Mutex.t;
 }
 
-let create engine = { engine; trace_ring = None }
+let create engine = { engine; trace_ring = None; lock = Mutex.create () }
 
 let tokens line =
   String.split_on_char ' ' line
@@ -18,7 +23,7 @@ let tokens line =
 let okf fmt = Printf.ksprintf (fun s -> [ "ok " ^ s ]) fmt
 let errf fmt = Printf.ksprintf (fun s -> [ "err " ^ s ]) fmt
 
-let handle_line t line =
+let handle_line_unlocked t line =
   let e = t.engine in
   Engine.catch_up e;
   match tokens line with
@@ -106,6 +111,8 @@ let handle_line t line =
        cmd,
      `Continue)
 
+let handle_line t line = Mutex.protect t.lock (fun () -> handle_line_unlocked t line)
+
 let run t ic oc =
   let rec loop () =
     match In_channel.input_line ic with
@@ -118,42 +125,124 @@ let run t ic oc =
   in
   loop ()
 
+(* --- socket serving --------------------------------------------------- *)
+
+(* One connected client, served by its own domain.  The main loop owns the
+   descriptor: a session signals completion through [s_done] and never
+   closes [s_client] itself, so the reaper can join-then-close without a
+   use-after-close (or fd-reuse) race, and a forced shutdown can
+   [Unix.shutdown] a descriptor that is guaranteed still open to unblock a
+   session parked in [input_line]. *)
+type session = {
+  s_client : Unix.file_descr;
+  s_domain : unit Domain.t;
+  s_done : bool Atomic.t;
+}
+
+let session_loop t stop client s_done =
+  let ic = Unix.in_channel_of_descr client in
+  let oc = Unix.out_channel_of_descr client in
+  let rec loop () =
+    match In_channel.input_line ic with
+    | None -> ()
+    | Some line ->
+      let replies, verdict = handle_line t line in
+      (* Honor quit before writing: the farewell write may fail if the
+         client is already gone, but the daemon must still stop. *)
+      (match verdict with `Quit -> Atomic.set stop true | `Continue -> ());
+      List.iter (fun r -> output_string oc (r ^ "\n")) replies;
+      flush oc;
+      (match verdict with `Continue -> loop () | `Quit -> ())
+  in
+  Fun.protect
+    ~finally:(fun () -> Atomic.set s_done true)
+    (fun () ->
+      (* Any I/O failure — EPIPE surfacing as Sys_error or Unix_error, a
+         torn connection mid-line — ends this client's session only; the
+         accept loop keeps serving the next client. *)
+      try loop () with Sys_error _ | End_of_file | Unix.Unix_error _ -> ())
+
+let reap_finished sessions =
+  let finished, live = List.partition (fun s -> Atomic.get s.s_done) !sessions in
+  List.iter
+    (fun s ->
+      Domain.join s.s_domain;
+      (try Unix.shutdown s.s_client Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      (try Unix.close s.s_client with Unix.Unix_error _ -> ()))
+    finished;
+  sessions := live
+
+let shutdown_sessions sessions =
+  (* Hang up every client first — that turns a blocked [input_line] into
+     end-of-file — then join; joining first would deadlock on any idle
+     session. *)
+  List.iter
+    (fun s ->
+      try Unix.shutdown s.s_client Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    !sessions;
+  List.iter
+    (fun s ->
+      Domain.join s.s_domain;
+      try Unix.close s.s_client with Unix.Unix_error _ -> ())
+    !sessions;
+  sessions := []
+
 let run_socket t ~path =
   (* A client that disconnects mid-write must kill its session, not the
      daemon: without this, the first write after the hangup raises SIGPIPE
      and takes the whole process down. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let stop = Atomic.make false in
+  (* SIGTERM asks for the same orderly exit as [quit]: finish in-flight
+     commands, hang up the clients, remove the socket file. *)
+  let saved_sigterm =
+    try Some (Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set stop true)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
-  Unix.bind sock (Unix.ADDR_UNIX path);
+  (* Bind-then-rename: binding directly to [path] needs the old file
+     unlinked first, and between that unlink and the bind a concurrent
+     daemon's live socket can be destroyed.  Binding to a unique temporary
+     name and renaming it into place is atomic — whoever renames last owns
+     the name, and nobody's bound socket is ever unlinked by a peer. *)
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  (try Unix.unlink tmp with Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX tmp);
+  let inode = (Unix.lstat tmp).Unix.st_ino in
+  (try Unix.rename tmp path
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     (try Unix.unlink tmp with Unix.Unix_error _ -> ());
+     raise e);
   Unix.listen sock 8;
-  let quit = ref false in
+  let sessions = ref [] in
   Fun.protect
     ~finally:(fun () ->
+      shutdown_sessions sessions;
       (try Unix.close sock with Unix.Unix_error _ -> ());
-      try Unix.unlink path with Unix.Unix_error _ -> ())
+      (* Remove the socket file only while it is still ours: a daemon that
+         lost [path] to a later rename must not delete the winner's
+         socket. *)
+      (match Unix.lstat path with
+       | st -> if st.Unix.st_ino = inode then Unix.unlink path
+       | exception Unix.Unix_error _ -> ());
+      match saved_sigterm with
+      | Some prev -> (
+        try Sys.set_signal Sys.sigterm prev with Invalid_argument _ | Sys_error _ -> ())
+      | None -> ())
     (fun () ->
-      while not !quit do
-        let client, _ = Unix.accept sock in
-        let ic = Unix.in_channel_of_descr client in
-        let oc = Unix.out_channel_of_descr client in
-        let rec session () =
-          match In_channel.input_line ic with
-          | None -> ()
-          | Some line ->
-            let replies, verdict = handle_line t line in
-            (* Honor quit before writing: the farewell write may fail if
-               the client is already gone, but the loop must still end. *)
-            (match verdict with `Quit -> quit := true | `Continue -> ());
-            List.iter (fun r -> output_string oc (r ^ "\n")) replies;
-            flush oc;
-            (match verdict with `Continue -> session () | `Quit -> ())
-        in
-        (* Any I/O failure — EPIPE surfacing as Sys_error or Unix_error,
-           a torn connection mid-line — ends this client's session only;
-           the accept loop keeps serving the next client. *)
-        (try session () with
-         | Sys_error _ | End_of_file | Unix.Unix_error _ -> ());
-        (try Unix.shutdown client Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-        try Unix.close client with Unix.Unix_error _ -> ()
+      while not (Atomic.get stop) do
+        (* Poll-accept so the loop notices [stop] (quit from a session,
+           SIGTERM) within 100ms even with no connection activity. *)
+        (match Unix.select [ sock ] [] [] 0.1 with
+         | [], _, _ -> ()
+         | _ :: _, _, _ ->
+           let client, _ = Unix.accept sock in
+           let s_done = Atomic.make false in
+           let s_domain =
+             Domain.spawn (fun () -> session_loop t stop client s_done)
+           in
+           sessions := { s_client = client; s_domain; s_done } :: !sessions
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        reap_finished sessions
       done)

@@ -38,16 +38,24 @@ type t
 val create : Engine.t -> t
 
 val handle_line : t -> string -> string list * [ `Continue | `Quit ]
-(** Execute one command; pure protocol logic, no I/O — the unit the
-    scripted tests drive. *)
+(** Execute one command; protocol logic only, no I/O — the unit the
+    scripted tests drive.  Serialized on the server's internal lock, so
+    concurrent sessions interleave whole commands, never partial engine
+    updates. *)
 
 val run : t -> in_channel -> out_channel -> unit
 (** Serve until [quit] or end of input, one command per line. *)
 
 val run_socket : t -> path:string -> unit
-(** Bind a Unix-domain socket at [path] (replacing any stale file) and
-    serve connections sequentially until a client sends [quit].  The
-    socket file is removed on exit.  SIGPIPE is ignored for the process
-    and per-client I/O errors are contained: a client that vanishes
-    mid-session (even mid-write) only ends its own session, the daemon
-    keeps accepting. *)
+(** Bind a Unix-domain socket at [path] (atomically replacing any stale
+    file: the socket is bound under a temporary name and renamed into
+    place, so a racing daemon can never unlink a peer's live socket) and
+    serve until a client sends [quit] or the process receives SIGTERM.
+    Each connection is served by its own domain, with commands serialized
+    on the engine lock, so an idle client never blocks another client's
+    session.  On exit every client is hung up, all sessions are joined,
+    and the socket file is removed — but only if it is still this
+    daemon's (a later daemon that took over the name keeps its socket).
+    SIGPIPE is ignored for the process and per-client I/O errors are
+    contained: a client that vanishes mid-session (even mid-write) only
+    ends its own session, the daemon keeps accepting. *)

@@ -1,0 +1,315 @@
+(* Tests for the parallel execution subsystem (lib/par) and the layers it
+   threads through: the pool's determinism contract (results committed by
+   input index, smallest-index exception, left-to-right reduction), the
+   nesting rules, and the end-to-end oracle checks that the parallel
+   k-section search and [Max_flow.solve] are bit-identical to the
+   sequential jobs=1 paths. *)
+
+module R = Numeric.Rat
+module I = Sched_core.Instance
+module S = Sched_core.Schedule
+module Fs = Sched_core.Flow_search
+module Mf = Sched_core.Max_flow
+module P = Par.Pool
+
+let ri = R.of_int
+
+(* All pool use in this file is scoped with [with_jobs] so the tests do
+   not depend on DLSCHED_JOBS or the host's core count. *)
+
+(* ------------------------------------------------------------------ *)
+(* Pool combinators                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_matches_array_map () =
+  let input = Array.init 201 (fun i -> i - 7) in
+  let f x = (x * x) - (3 * x) + 1 in
+  let expected = Array.map f input in
+  List.iter
+    (fun w ->
+      let got = P.with_jobs w (fun () -> P.map f input) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d" w)
+        expected got)
+    [ 1; 2; 4; 8 ]
+
+let test_map_empty_and_singleton () =
+  P.with_jobs 4 (fun () ->
+      Alcotest.(check (array int)) "empty" [||] (P.map (fun x -> x + 1) [||]);
+      Alcotest.(check (array int)) "singleton" [| 42 |] (P.map (fun x -> x * 2) [| 21 |]))
+
+(* Results must be committed by input index even when later tasks finish
+   first: give early indices the most spinning to do. *)
+let test_ordering_under_uneven_work () =
+  let spin n =
+    let acc = ref 0 in
+    for i = 1 to n do
+      acc := !acc + (i mod 13)
+    done;
+    !acc
+  in
+  let input = Array.init 64 Fun.id in
+  let f i =
+    let (_ : int) = spin ((64 - i) * 2000) in
+    i * 10
+  in
+  let got = P.with_jobs 4 (fun () -> P.map f input) in
+  Alcotest.(check (array int)) "index order" (Array.map (fun i -> i * 10) input) got
+
+let test_exception_smallest_index_wins () =
+  P.with_jobs 4 (fun () ->
+      let f i = if i >= 5 then failwith (string_of_int i) else i in
+      (match P.map f (Array.init 16 Fun.id) with
+      | (_ : int array) -> Alcotest.fail "expected Failure"
+      | exception Failure msg ->
+        Alcotest.(check string) "first raising index" "5" msg);
+      (* The pool survives a raising batch and stays usable. *)
+      Alcotest.(check (array int))
+        "pool usable after exception"
+        [| 0; 1; 4; 9 |]
+        (P.map (fun i -> i * i) (Array.init 4 Fun.id)))
+
+let test_nested_map_rejected () =
+  List.iter
+    (fun w ->
+      P.with_jobs w (fun () ->
+          let verdicts =
+            P.map
+              (fun i ->
+                let flagged = P.in_parallel_task () in
+                let rejected =
+                  match P.map (fun x -> x) [| i; i + 1 |] with
+                  | (_ : int array) -> false
+                  | exception Invalid_argument _ -> true
+                in
+                flagged && rejected)
+              (Array.init 6 Fun.id)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "nested map rejected at jobs=%d" w)
+            true
+            (Array.for_all Fun.id verdicts)))
+    [ 1; 4 ]
+
+let test_map_or_seq_falls_back_in_task () =
+  P.with_jobs 4 (fun () ->
+      (* At top level it is a plain parallel map... *)
+      Alcotest.(check (array int))
+        "top level" [| 1; 2; 3 |]
+        (P.map_or_seq (fun x -> x + 1) [| 0; 1; 2 |]);
+      (* ...and inside a task it quietly runs sequentially. *)
+      let sums =
+        P.map
+          (fun i -> Array.fold_left ( + ) 0 (P.map_or_seq (fun x -> x * i) [| 1; 2; 3 |]))
+          (Array.init 5 Fun.id)
+      in
+      Alcotest.(check (array int)) "inside task" [| 0; 6; 12; 18; 24 |] sums)
+
+(* The reduction folds mapped values left to right on the caller; float
+   rounding order — and hence the bits of the result — must not depend on
+   the width. *)
+let test_map_reduce_fold_order () =
+  let input = Array.init 1000 Fun.id in
+  let mapf i = 1.0 /. float_of_int (i + 1) in
+  let seq = Array.fold_left (fun acc i -> acc +. mapf i) 0.0 input in
+  List.iter
+    (fun w ->
+      let got =
+        P.with_jobs w (fun () ->
+            P.map_reduce ~map:mapf ~reduce:( +. ) ~init:0.0 input)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "bitwise equal at jobs=%d" w)
+        true
+        (Int64.equal (Int64.bits_of_float seq) (Int64.bits_of_float got)))
+    [ 1; 2; 4; 8 ]
+
+let test_with_jobs_scopes_and_restores () =
+  let outside = P.jobs () in
+  P.with_jobs 3 (fun () ->
+      Alcotest.(check int) "inside" 3 (P.jobs ());
+      P.with_jobs 1 (fun () -> Alcotest.(check int) "nested" 1 (P.jobs ()));
+      Alcotest.(check int) "restored inner" 3 (P.jobs ()));
+  Alcotest.(check int) "restored outer" outside (P.jobs ());
+  (match P.set_jobs 0 with
+  | () -> Alcotest.fail "set_jobs 0 should raise"
+  | exception Invalid_argument _ -> ())
+
+let test_shutdown_then_reuse () =
+  P.with_jobs 4 (fun () ->
+      let a = P.map (fun i -> i + 1) (Array.init 10 Fun.id) in
+      P.shutdown ();
+      let b = P.map (fun i -> i + 1) (Array.init 10 Fun.id) in
+      Alcotest.(check (array int)) "same after shutdown" a b);
+  P.shutdown ()
+
+(* ------------------------------------------------------------------ *)
+(* Tracing across domains                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Spans opened inside worker tasks must attach to the submitter's open
+   span (context grafting), get process-unique ids, and carry a [domain]
+   attribute; the callback sink runs under the emit lock so a plain list
+   ref needs no extra synchronization. *)
+let test_worker_spans_graft () =
+  let spans = ref [] in
+  let sink =
+    Obs.Sink.callback (function
+      | Obs.Sink.Span s -> spans := s :: !spans
+      | Obs.Sink.Event _ -> ())
+  in
+  Obs.Sink.with_sink sink (fun () ->
+      P.with_jobs 4 (fun () ->
+          let (_ : int array) =
+            Obs.Span.with_span "root" (fun () ->
+                P.map
+                  (fun i -> Obs.Span.with_span "task" (fun () -> i * 2))
+                  (Array.init 12 Fun.id))
+          in
+          ()));
+  let all = !spans in
+  let root =
+    match List.filter (fun s -> s.Obs.Sink.name = "root") all with
+    | [ s ] -> s
+    | _ -> Alcotest.fail "expected exactly one root span"
+  in
+  let tasks = List.filter (fun s -> s.Obs.Sink.name = "task") all in
+  Alcotest.(check int) "one span per task" 12 (List.length tasks);
+  List.iter
+    (fun s ->
+      Alcotest.(check (option int))
+        "task parented under root" (Some root.Obs.Sink.id) s.Obs.Sink.parent;
+      match Obs.Sink.attr s "domain" with
+      | Some (Obs.Sink.Int _) -> ()
+      | _ -> Alcotest.fail "task span missing domain attribute")
+    tasks;
+  let ids = List.map (fun s -> s.Obs.Sink.id) all in
+  Alcotest.(check int)
+    "span ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel search oracle: synthetic monotone predicates               *)
+(* ------------------------------------------------------------------ *)
+
+(* A random monotone exact predicate with a deliberately unreliable
+   approximation (the float LP stand-in): the k-section certification must
+   land on the same boundary index and payload at any width. *)
+let search_case_gen =
+  let open QCheck.Gen in
+  let* n = int_range 2 40 in
+  let* boundary = int_range 0 (n - 1) in
+  let* flips = list_size (int_range 0 8) (int_range 0 (n - 1)) in
+  return (n, boundary, flips)
+
+let arbitrary_search_case =
+  QCheck.make search_case_gen ~print:(fun (n, b, flips) ->
+      Printf.sprintf "n=%d boundary=%d flips=[%s]" n b
+        (String.concat ";" (List.map string_of_int flips)))
+
+let prop_first_feasible_width_independent =
+  QCheck.Test.make ~name:"first_feasible jobs=4 = jobs=1 (index and payload)"
+    ~count:60 arbitrary_search_case (fun (n, boundary, flips) ->
+      let candidates = Array.init n (fun i -> ri (i + 1)) in
+      let index_of v = int_of_float (R.to_float v) - 1 in
+      let exact v =
+        if index_of v >= boundary then Some ("pay:" ^ R.to_string v) else None
+      in
+      (* Noisy, possibly non-monotone approximation: correct verdict except
+         at the flipped indices. *)
+      let approx v =
+        let i = index_of v in
+        let base = i >= boundary in
+        if List.mem i flips then not base else base
+      in
+      let run w = P.with_jobs w (fun () -> Fs.first_feasible ~exact ~approx candidates) in
+      let i1, p1 = run 1 in
+      let i4, p4 = run 4 in
+      i1 = boundary && i4 = boundary && String.equal p1 p4)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end oracle: Max_flow at jobs=1 vs jobs=4                     *)
+(* ------------------------------------------------------------------ *)
+
+let instance_gen =
+  let open QCheck.Gen in
+  let* n = int_range 2 6 in
+  let* m = int_range 1 3 in
+  let* releases = array_size (return n) (int_range 0 8) in
+  let* weights = array_size (return n) (int_range 1 4) in
+  let* costs = array_size (return m) (array_size (return n) (int_range 0 6)) in
+  (* Entry 0 means unavailable; make sure each job can run somewhere. *)
+  let* fallback = array_size (return n) (int_range 1 6) in
+  let costs =
+    Array.mapi
+      (fun i row ->
+        Array.mapi
+          (fun j c ->
+            let orphan = Array.for_all (fun r -> r.(j) = 0) costs in
+            if i = 0 && orphan then fallback.(j) else c)
+          row)
+      costs
+  in
+  return
+    (I.make
+       ~releases:(Array.map R.of_int releases)
+       ~weights:(Array.map R.of_int weights)
+       (Array.map
+          (Array.map (fun c -> if c = 0 then None else Some (R.of_int c)))
+          costs))
+
+let arbitrary_instance =
+  QCheck.make instance_gen ~print:(fun i -> Format.asprintf "%a" I.pp i)
+
+let same_slices a b =
+  let la = S.slices a and lb = S.slices b in
+  List.length la = List.length lb
+  && List.for_all2
+       (fun (x : S.slice) (y : S.slice) ->
+         x.machine = y.machine && x.job = y.job
+         && R.equal x.start y.start
+         && R.equal x.stop y.stop)
+       la lb
+
+let prop_max_flow_width_independent =
+  QCheck.Test.make ~name:"Max_flow.solve bit-identical at jobs=4 vs jobs=1"
+    ~count:25 arbitrary_instance (fun inst ->
+      let r1 = P.with_jobs 1 (fun () -> Mf.solve inst) in
+      let r4 = P.with_jobs 4 (fun () -> Mf.solve inst) in
+      let lo1, hi1 = r1.Mf.search_range and lo4, hi4 = r4.Mf.search_range in
+      R.equal r1.Mf.objective r4.Mf.objective
+      && R.equal lo1 lo4 && R.equal hi1 hi4
+      && List.length r1.Mf.milestones = List.length r4.Mf.milestones
+      && List.for_all2 R.equal r1.Mf.milestones r4.Mf.milestones
+      && same_slices r1.Mf.schedule r4.Mf.schedule)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches Array.map at every width" `Quick
+            test_map_matches_array_map;
+          Alcotest.test_case "empty and singleton inputs" `Quick
+            test_map_empty_and_singleton;
+          Alcotest.test_case "results committed by input index" `Quick
+            test_ordering_under_uneven_work;
+          Alcotest.test_case "smallest-index exception wins" `Quick
+            test_exception_smallest_index_wins;
+          Alcotest.test_case "nested map is rejected at any width" `Quick
+            test_nested_map_rejected;
+          Alcotest.test_case "map_or_seq degrades inside tasks" `Quick
+            test_map_or_seq_falls_back_in_task;
+          Alcotest.test_case "map_reduce folds in index order" `Quick
+            test_map_reduce_fold_order;
+          Alcotest.test_case "with_jobs scopes and restores" `Quick
+            test_with_jobs_scopes_and_restores;
+          Alcotest.test_case "shutdown then reuse" `Quick test_shutdown_then_reuse;
+        ] );
+      ("tracing", [ Alcotest.test_case "worker spans graft onto submitter tree" `Quick test_worker_spans_graft ]);
+      ( "oracle",
+        [ qt prop_first_feasible_width_independent; qt prop_max_flow_width_independent ] );
+    ]
