@@ -1,6 +1,6 @@
 # Convenience targets; everything real lives in dune.
 
-.PHONY: all build test bench bench-smoke bench-speedup trace-smoke check fmt clean
+.PHONY: all build test bench bench-smoke bench-numeric bench-speedup trace-smoke check fmt clean
 
 all: build
 
@@ -18,6 +18,13 @@ bench:
 bench-smoke:
 	dune exec bench/main.exe -- --json smoke
 
+# Fails if the tagged numeric representation stops keeping solver
+# arithmetic on the machine-word fast path (hit-rate floor) or perturbs
+# the exact pivot sequence (ceiling) — see bench/numeric_budget.txt.
+# --json drops a BENCH_numeric.json envelope (CI uploads it).
+bench-numeric:
+	dune exec bench/main.exe -- --json numeric
+
 # Fails if the parallel solver (jobs=2) diverges bitwise from the jobs=1
 # oracle on a small instance grid.  The full `speedup` experiment (jobs
 # 1/2/4/8 with timings and a BENCH_speedup.json envelope) runs under
@@ -34,7 +41,7 @@ trace-smoke:
 # What CI would run: full build + every test, the solve-count, parallel
 # bit-equality and trace smoke checks, plus formatting when the formatter
 # is installed (ocamlformat is optional in the dev image).
-check: build test bench-smoke bench-speedup trace-smoke fmt
+check: build test bench-smoke bench-numeric bench-speedup trace-smoke fmt
 
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \

@@ -63,9 +63,10 @@ let rec emit buf = function
 (* The schema version is bumped whenever the envelope or any experiment's
    [data] layout changes incompatibly.  v3 added the [jobs] /
    [recommended_domain_count] fields recording the domain-pool width the
-   numbers were measured under. *)
+   numbers were measured under; v4 added the [rat] block (numeric-tower
+   fast-path tallies over the experiment's slice). *)
 let schema = "dlsched-bench"
-let version = 3
+let version = 4
 
 (* Trace summary attached to every envelope: spans/events emitted and wall
    seconds spent inside the LP engines since the previous [write] (or
@@ -74,6 +75,41 @@ let version = 3
 let last_spans = ref 0
 let last_events = ref 0
 let last_solver_s = ref 0.
+let last_rat_small = ref 0
+let last_rat_big = ref 0
+let last_rat_promoted = ref 0
+let last_rat_demoted = ref 0
+
+(* Numeric-tower summary, differenced the same way as the trace block:
+   each envelope reports the rational-arithmetic traffic of its own
+   experiment, not the process lifetime.  Read straight from
+   [Numeric.Counters] (the live refs), not the registry mirror, so the
+   numbers are current even when the slice ends outside a solve. *)
+let rat_summary () =
+  let small = Numeric.Counters.small_ops () in
+  let big = Numeric.Counters.big_ops () in
+  let promoted = Numeric.Counters.promotions () in
+  let demoted = Numeric.Counters.demotions () in
+  let d_small = small - !last_rat_small and d_big = big - !last_rat_big in
+  let hit_rate =
+    if d_small + d_big = 0 then 1.0
+    else float_of_int d_small /. float_of_int (d_small + d_big)
+  in
+  let d =
+    Obj
+      [
+        ("small_ops", Int d_small);
+        ("big_ops", Int d_big);
+        ("promotions", Int (promoted - !last_rat_promoted));
+        ("demotions", Int (demoted - !last_rat_demoted));
+        ("hit_rate", Float hit_rate);
+      ]
+  in
+  last_rat_small := small;
+  last_rat_big := big;
+  last_rat_promoted := promoted;
+  last_rat_demoted := demoted;
+  d
 
 let trace_summary () =
   let spans = Obs.Sink.emitted_spans () in
@@ -105,6 +141,7 @@ let write ~experiment data =
           ("jobs", Int (Par.Pool.jobs ()));
           ("recommended_domain_count", Int (Domain.recommended_domain_count ()));
           ("trace", trace_summary ());
+          ("rat", rat_summary ());
           ("data", data);
         ]
     in

@@ -556,6 +556,122 @@ let run_smoke () =
   Printf.printf "solve budget respected.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Numeric tower: fast-path hit rate and micro-latency                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Exercises the tagged Rat representation (DESIGN §10) two ways: raw
+   ns/op on machine-word vs limb-representation operands, and the
+   fast-path hit rate over the same deterministic workload the solve
+   budget uses.  The checked-in floors/ceilings in
+   bench/numeric_budget.txt turn the hit rate into a regression gate: a
+   change that silently sends solver arithmetic to the limb path fails
+   `make check` here even if it stays value-correct. *)
+let numeric_budget_file = "bench/numeric_budget.txt"
+
+let run_numeric () =
+  section "Numeric tower: small-word fast path (vs bench/numeric_budget.txt)";
+  (* Micro: median-free single-batch timing is noisy but only printed for
+     orientation; the gate below uses counted operations, not time. *)
+  let iters = 200_000 in
+  let time_ns_per_op f =
+    let t0 = Lp.Instrument.now () in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (Lp.Instrument.now () -. t0) *. 1e9 /. float_of_int iters
+  in
+  let sa = R.of_ints 355 113 and sb = R.of_ints 22 7 in
+  let big_digits = String.make 45 '7' and big_digits' = String.make 41 '3' in
+  let ba = R.make (Numeric.Bigint.of_string big_digits) (Numeric.Bigint.of_string big_digits') in
+  let bb = R.make (Numeric.Bigint.of_string big_digits') (Numeric.Bigint.of_string "1234567891234567891") in
+  let micro =
+    [
+      ("rat-add-small", time_ns_per_op (fun () -> R.add sa sb));
+      ("rat-mul-small", time_ns_per_op (fun () -> R.mul sa sb));
+      ("rat-compare-small", time_ns_per_op (fun () -> R.compare sa sb));
+      ("rat-add-big", time_ns_per_op (fun () -> R.add ba bb));
+      ("rat-mul-big", time_ns_per_op (fun () -> R.mul ba bb));
+    ]
+  in
+  Printf.printf "%-24s %12s\n" "micro" "ns/op";
+  List.iter (fun (k, ns) -> Printf.printf "%-24s %12.1f\n" k ns) micro;
+  (* Hit rate over the budget workload (same seed and instances as the
+     smoke check, sequential width). *)
+  let rng = Gripps.Prng.create 109 in
+  let insts =
+    List.map
+      (fun (n, m) -> random_instance rng ~jobs:n ~machines:m)
+      [ (4, 2); (6, 3); (8, 3); (10, 4) ]
+  in
+  let b_small = Numeric.Counters.small_ops () in
+  let b_big = Numeric.Counters.big_ops () in
+  let b_promoted = Numeric.Counters.promotions () in
+  let b_demoted = Numeric.Counters.demotions () in
+  let b_ex = Lp.Instrument.exact_totals () in
+  let _, seconds =
+    Par.Pool.with_jobs 1 (fun () ->
+        time_it (fun () ->
+            List.iter
+              (fun inst ->
+                ignore (Sched_core.Max_flow.solve inst);
+                ignore (Sched_core.Makespan.solve inst))
+              insts))
+  in
+  let d_ex = Lp.Instrument.diff ~before:b_ex (Lp.Instrument.exact_totals ()) in
+  let small = Numeric.Counters.small_ops () - b_small in
+  let big = Numeric.Counters.big_ops () - b_big in
+  let promoted = Numeric.Counters.promotions () - b_promoted in
+  let demoted = Numeric.Counters.demotions () - b_demoted in
+  let hit_rate =
+    if small + big = 0 then 1.0
+    else float_of_int small /. float_of_int (small + big)
+  in
+  Printf.printf
+    "workload: %d rat ops (%d small, %d big), %d promotions, %d demotions\n"
+    (small + big) small big promoted demoted;
+  Printf.printf "fast-path hit rate: %.2f%%  (exact solver: %.4fs, %d pivots)\n"
+    (hit_rate *. 100.) d_ex.Lp.Instrument.seconds
+    (Lp.Instrument.total_pivots d_ex);
+  let budget = read_budget numeric_budget_file in
+  let hit_pct = int_of_float (Float.round (hit_rate *. 10_000.)) in
+  let measured =
+    (* basis-point floor so the text file stays integer-only *)
+    [ ("min_hit_rate_bp", hit_pct, false); ("exact_pivots", Lp.Instrument.total_pivots d_ex, true) ]
+  in
+  let ok = ref true in
+  Printf.printf "%-24s %10s %10s %8s\n" "metric" "measured" "budget" "ok";
+  List.iter
+    (fun (key, v, ceiling) ->
+      match Hashtbl.find_opt budget key with
+      | None ->
+        ok := false;
+        Printf.printf "%-24s %10d %10s %8s\n" key v "missing" "FAIL"
+      | Some b ->
+        let pass = if ceiling then v <= b else v >= b in
+        if not pass then ok := false;
+        Printf.printf "%-24s %10d %10s %8s\n" key v
+          ((if ceiling then "<= " else ">= ") ^ string_of_int b)
+          (if pass then "ok" else "FAIL"))
+    measured;
+  Json_out.write ~experiment:"numeric"
+    (Json_out.Obj
+       [
+         ("passed", Json_out.Bool !ok);
+         ("hit_rate", Json_out.Float hit_rate);
+         ("small_ops", Json_out.Int small);
+         ("big_ops", Json_out.Int big);
+         ("promotions", Json_out.Int promoted);
+         ("demotions", Json_out.Int demoted);
+         ("exact_solver_seconds", Json_out.Float d_ex.Lp.Instrument.seconds);
+         ("exact_pivots", Json_out.Int (Lp.Instrument.total_pivots d_ex));
+         ("workload_seconds", Json_out.Float seconds);
+         ( "micro_ns",
+           Json_out.Obj (List.map (fun (k, ns) -> (k, Json_out.Float ns)) micro) );
+       ]);
+  if not !ok then failwith "numeric: fast-path budget violated (see table above)";
+  Printf.printf "numeric fast-path budget respected.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Parallel search: speedup and bit-equality across pool widths        *)
 (* ------------------------------------------------------------------ *)
 
@@ -907,6 +1023,7 @@ let experiments =
     ("search", run_search);
     ("warmstart", run_warmstart);
     ("smoke", run_smoke);
+    ("numeric", run_numeric);
     ("speedup", run_speedup);
     ("speedup-smoke", run_speedup_smoke);
     ("uniform", run_uniform);

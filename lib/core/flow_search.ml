@@ -152,10 +152,29 @@ let first_feasible_par ~width ~exact ~approx candidates =
   (idx, payload)
 
 let first_feasible_untraced ~exact ~approx candidates =
+  let n = Array.length candidates in
   let width = Par.Pool.jobs () in
-  if width <= 1 || Par.Pool.in_parallel_task () || Array.length candidates <= 2
+  if
+    width <= 1
+    || Par.Pool.in_parallel_task ()
+    || n <= 2
+    (* [task_ns:infinity] asks only the width question: can this host
+       run more than one probe at a time at all?  False on any
+       single-core machine, whatever [--jobs] says, without measuring
+       anything. *)
+    || not (Par.Pool.worthwhile ~tasks:n ~task_ns:Float.infinity)
   then first_feasible_seq ~exact ~approx candidates
-  else first_feasible_par ~width ~exact ~approx candidates
+  else begin
+    (* Time one float probe (the bisection's first midpoint; probes are
+       pure, so the verdict can be discarded) and batch the search only
+       when a probe amortizes the pool's dispatch cost. *)
+    let t0 = Obs.Sink.elapsed () in
+    ignore (approx candidates.((n - 1) / 2));
+    let t1 = Obs.Sink.elapsed () in
+    if Par.Pool.worthwhile ~tasks:n ~task_ns:((t1 -. t0) *. 1e9) then
+      first_feasible_par ~width ~exact ~approx candidates
+    else first_feasible_seq ~exact ~approx candidates
+  end
 
 let first_feasible ~exact ~approx candidates =
   if not (Obs.Sink.enabled ()) then

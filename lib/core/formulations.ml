@@ -139,14 +139,24 @@ let deadline_system ?(divisible = true) inst ~deadlines =
      builder below consumes identical bits at every pool width. *)
   let admissible =
     let nt = Array.length intervals in
-    if nt * n < 512 then admissible
+    if nt * n < 512 || not (Par.Pool.worthwhile ~tasks:nt ~task_ns:Float.infinity)
+    then admissible
     else begin
-      let rows =
-        Par.Pool.map_or_seq
-          (fun t -> Array.init n (fun j -> admissible t j))
-          (Array.init nt Fun.id)
-      in
-      fun t j -> rows.(t).(j)
+      let row t = Array.init n (fun j -> admissible t j) in
+      (* Time one interval row; tabulate on the pool only when a row
+         amortizes its dispatch cost, otherwise evaluate cells lazily as
+         before (identical bits either way). *)
+      let t0 = Obs.Sink.elapsed () in
+      let r0 = row 0 in
+      let t1 = Obs.Sink.elapsed () in
+      if Par.Pool.worthwhile ~tasks:(nt - 1) ~task_ns:((t1 -. t0) *. 1e9) then begin
+        let rows =
+          Array.append [| r0 |]
+            (Par.Pool.map_or_seq row (Array.init (nt - 1) (fun t -> t + 1)))
+        in
+        fun t j -> rows.(t).(j)
+      end
+      else admissible
     end
   in
   let vars = alpha_variables st inst ~num_intervals:(Array.length intervals) ~admissible in

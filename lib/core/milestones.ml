@@ -27,8 +27,20 @@ let compute inst =
     !acc
   in
   let rows =
-    if n >= 8 then Par.Pool.map_or_seq row (Array.init n Fun.id)
-    else Array.init n row
+    if n < 8 || not (Par.Pool.worthwhile ~tasks:n ~task_ns:Float.infinity) then
+      Array.init n row
+    else begin
+      (* Time row 0 on the calling domain; pool the remaining rows only
+         if a row amortizes the pool's per-task dispatch cost.  The
+         timed row is reused, so no work is repeated either way. *)
+      let t0 = Obs.Sink.elapsed () in
+      let r0 = row 0 in
+      let t1 = Obs.Sink.elapsed () in
+      if Par.Pool.worthwhile ~tasks:(n - 1) ~task_ns:((t1 -. t0) *. 1e9) then
+        Array.append [| r0 |]
+          (Par.Pool.map_or_seq row (Array.init (n - 1) (fun i -> i + 1)))
+      else Array.init n (fun j -> if j = 0 then r0 else row j)
+    end
   in
   let candidates = Array.fold_left (fun acc r -> List.rev_append r acc) [] rows in
   let ms = List.sort_uniq Rat.compare candidates in

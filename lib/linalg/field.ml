@@ -40,6 +40,11 @@ module type S = sig
   val pp : Format.formatter -> t -> unit
 end
 
+(* Inherits the tagged two-representation fast path (DESIGN.md §10): as
+   long as a solve's rationals fit a machine word, every field operation
+   below stays allocation-light native arithmetic, promoting to limbs
+   only on overflow.  Nothing here needs to know which representation a
+   value is in. *)
 module Rational : S with type t = Numeric.Rat.t = struct
   include Numeric.Rat
 

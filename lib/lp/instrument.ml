@@ -82,6 +82,27 @@ let diff ~before after =
 
 let warm_solves ~exact = R.count (handles ~exact).c_warm
 
+(* Numeric fast-path telemetry.  [Numeric.Counters] keeps plain refs on
+   the arithmetic hot path (the numeric library cannot depend on [obs]);
+   this is the bridge that mirrors them into the registry as the
+   [rat.*] counter family.  Registry counters are monotonic, so each
+   sync adds the delta against what the registry already holds. *)
+
+let c_rat_small = R.counter R.global "rat.small_ops"
+let c_rat_big = R.counter R.global "rat.big_ops"
+let c_rat_promotions = R.counter R.global "rat.promotions"
+let c_rat_demotions = R.counter R.global "rat.demotions"
+
+let sync_rat_counters () =
+  let mirror c v =
+    let d = v - R.count c in
+    if d > 0 then R.add c d
+  in
+  mirror c_rat_small (Numeric.Counters.small_ops ());
+  mirror c_rat_big (Numeric.Counters.big_ops ());
+  mirror c_rat_promotions (Numeric.Counters.promotions ());
+  mirror c_rat_demotions (Numeric.Counters.demotions ())
+
 let record ~exact ~warm ~pivots_phase1 ~pivots_phase2 ~pivots_dual ~seconds =
   let h = handles ~exact in
   R.incr h.c_solves;
@@ -89,6 +110,7 @@ let record ~exact ~warm ~pivots_phase1 ~pivots_phase2 ~pivots_dual ~seconds =
   R.add h.c_p1 pivots_phase1;
   R.add h.c_p2 pivots_phase2;
   R.add h.c_dual pivots_dual;
-  R.observe h.h_seconds seconds
+  R.observe h.h_seconds seconds;
+  sync_rat_counters ()
 
 let now () = Unix.gettimeofday ()

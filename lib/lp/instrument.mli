@@ -53,3 +53,13 @@ val record :
 
 val now : unit -> float
 (** [Unix.gettimeofday], shared so all engines time solves the same way. *)
+
+val sync_rat_counters : unit -> unit
+(** Mirror the numeric tower's fast-path tallies ([Numeric.Counters])
+    into [Obs.Registry.global] as the [rat.small_ops] / [rat.big_ops] /
+    [rat.promotions] / [rat.demotions] counters.  Runs automatically at
+    the end of every {!record}; callers that want the counters current
+    outside any solve (e.g. a metrics dump at shutdown) may call it
+    directly.  Registry counters are monotonic, so a [Counters.reset]
+    only stalls the mirrored values until the live tallies catch back
+    up. *)

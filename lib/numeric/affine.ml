@@ -5,7 +5,9 @@ let const c = { const = c; slope = Rat.zero }
 let var = { const = Rat.zero; slope = Rat.one }
 let zero = const Rat.zero
 
-let eval f x = Rat.add f.const (Rat.mul f.slope x)
+(* Constants are common (milestone endpoints, zero rows): skip the
+   multiply so a big [x] never forces [const] through the limb path. *)
+let eval f x = if Rat.is_zero f.slope then f.const else Rat.add f.const (Rat.mul f.slope x)
 
 let add f g = { const = Rat.add f.const g.const; slope = Rat.add f.slope g.slope }
 let sub f g = { const = Rat.sub f.const g.const; slope = Rat.sub f.slope g.slope }

@@ -1,39 +1,26 @@
-(* Tagged two-representation signed integers.
+(* Reference implementation: the always-big numeric substrate that
+   [Bigint] used before it grew the tagged small-word fast path.  Kept
+   verbatim, limb representation for every value, as the differential
+   oracle the qcheck suites run the tagged tower against — a fast-path
+   bug (overflow check, promotion, demotion) shows up as a divergence
+   from this module on random arithmetic expression trees.  Test-only:
+   nothing outside test/ may depend on it.
 
-   A value is either [S n] — a native 63-bit int — or [B big], the
-   sign-magnitude limb representation (little-endian, base 2^30) this
-   module has always used.  The representation is canonical:
+   Sign-magnitude arbitrary-precision integers, limbs in base 2^30.
 
-   - [S n] holds every value in [-max_int, max_int].  [min_int] is
-     excluded so that [neg]/[abs] can never overflow a small word and
-     every checked operation can treat a wrapped [min_int] as overflow;
-   - [B big] holds exactly the values outside that range (magnitude of
-     63 bits or more), with [big.sign] in {-1, 0, 1}, no trailing zero
-     limb, and [sign = 0] iff the magnitude is empty.
+   Invariants:
+   - [sign] is -1, 0 or 1;
+   - [mag] is little-endian, each limb in [0, 2^30), no trailing zero limb;
+   - [sign = 0] iff [mag] is empty.
 
-   Canonical tagging is what keeps [equal]/[compare]/[hash] cheap and
-   structural sharing sound: one value has one representation, so the
-   polymorphic structural equality used by containers still coincides
-   with numeric equality.  ([promote] deliberately builds non-canonical
-   [B] values for the representation-independence tests; every
-   observation below remains value-correct on them.)
+   Base 2^30 is chosen so that a limb product plus carries stays below
+   2^62, within OCaml's 63-bit native [int]. *)
 
-   Small arithmetic is overflow-checked — sign-algebra for add/sub, a
-   divide-back test for mul — and falls through to the limb path on
-   overflow; limb results that fit back in a machine word are demoted
-   by the [make] smart constructor.  Base 2^30 is chosen so that a limb
-   product plus carries stays below 2^62, within OCaml's 63-bit native
-   [int]. *)
-
-type big = { bsign : int; mag : int array }
-type t = S of int | B of big
+type t = { sign : int; mag : int array }
 
 let limb_bits = 30
 let base = 1 lsl limb_bits
 let mask = base - 1
-
-(* Largest magnitude a small word may carry: max_int = 2^62 - 1. *)
-let small_max = max_int
 
 (* ------------------------------------------------------------------ *)
 (* Magnitude primitives (arrays of limbs, no sign)                    *)
@@ -283,175 +270,78 @@ let mag_num_bits m =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Representation plumbing                                             *)
+(* Signed layer                                                        *)
 (* ------------------------------------------------------------------ *)
 
-(* Decompose |n| into limbs; n may be any native int except min_int. *)
-let mag_of_abs n =
-  let n = Stdlib.abs n in
-  if n = 0 then mag_zero
-  else if n < base then [| n |]
-  else if n < base * base then [| n land mask; n lsr limb_bits |]
-  else [| n land mask; (n lsr limb_bits) land mask; n lsr (2 * limb_bits) |]
-
-let big_of_small n =
-  { bsign = (if n > 0 then 1 else if n < 0 then -1 else 0); mag = mag_of_abs n }
-
-let to_big = function S n -> big_of_small n | B b -> b
-
-(* Native value of a magnitude known to span at most 63 bits. *)
-let mag_to_native m = Array.fold_right (fun limb acc -> (acc lsl limb_bits) lor limb) m 0
-
-let big_to_int_opt b =
-  (* A native int holds 62 magnitude bits, plus min_int = -2^62 exactly. *)
-  if mag_num_bits b.mag > 63 then None
-  else begin
-    let v = mag_to_native b.mag in
-    if v >= 0 then Some (if b.bsign < 0 then -v else v)
-    else if b.bsign < 0 && v = min_int then Some min_int
-    else None (* magnitude overflowed the native range *)
-  end
-
-(* Smart constructor for limb-path results: normalizes the magnitude and
-   demotes to [S] whenever the value fits a machine word.  Every
-   limb-representation result flows through here, so canonical tagging
-   is an invariant, not a convention. *)
-let make bsign mag =
+let make sign mag =
   let mag = mag_normalize mag in
-  if mag_is_zero mag then S 0
-  else if mag_num_bits mag <= 62 then begin
-    (* <= 62 magnitude bits always fits [-max_int, max_int]. *)
-    let v = mag_to_native mag in
-    S (if bsign < 0 then -v else v)
-  end
-  else B { bsign; mag }
+  if mag_is_zero mag then { sign = 0; mag = mag_zero } else { sign; mag }
 
-let zero = S 0
-let one = S 1
-let two = S 2
-let minus_one = S (-1)
+let zero = { sign = 0; mag = mag_zero }
+let one = { sign = 1; mag = [| 1 |] }
+let two = { sign = 1; mag = [| 2 |] }
+let minus_one = { sign = -1; mag = [| 1 |] }
 
-let is_small = function S _ -> true | B _ -> false
+let sign x = x.sign
+let is_zero x = x.sign = 0
 
-let promote = function
-  | S n -> B (big_of_small n)
-  | B _ as x -> x
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then { x with sign = 1 } else x
 
 let of_int n =
-  if n = min_int then
+  if n = 0 then zero
+  else if n = min_int then
     (* |min_int| = 2^62 does not fit positively in an int; hard-code it. *)
-    B { bsign = -1; mag = [| 0; 0; 4 |] }
-  else S n
+    { sign = -1; mag = [| 0; 0; 4 |] }
+  else begin
+    let s = if n < 0 then -1 else 1 in
+    let n = Stdlib.abs n in
+    let rec limbs n = if n = 0 then [] else (n land mask) :: limbs (n lsr limb_bits) in
+    { sign = s; mag = Array.of_list (limbs n) }
+  end
 
-let sign = function S n -> compare n 0 | B b -> b.bsign
-let is_zero = function S n -> n = 0 | B b -> b.bsign = 0
-
-let neg = function
-  | S n -> S (-n) (* min_int is never S, so negation cannot overflow *)
-  | B b -> if b.bsign = 0 then S 0 else B { b with bsign = -b.bsign }
-
-let abs = function
-  | S n -> S (Stdlib.abs n)
-  | B b -> if b.bsign < 0 then B { b with bsign = 1 } else B b
-
-let to_int_opt = function S n -> Some n | B b -> big_to_int_opt b
+let to_int_opt x =
+  (* A native int holds 62 magnitude bits, plus min_int = -2^62 exactly. *)
+  if mag_num_bits x.mag > 63 then None
+  else begin
+    let v = Array.fold_right (fun limb acc -> (acc lsl limb_bits) lor limb) x.mag 0 in
+    if v >= 0 then Some (if x.sign < 0 then -v else v)
+    else if x.sign < 0 && v = min_int then Some min_int
+    else None (* magnitude overflowed the native range *)
+  end
 
 let to_int_exn x =
   match to_int_opt x with
   | Some n -> n
   | None -> failwith "Bigint.to_int_exn: value out of native int range"
 
-let big_compare a b =
-  if a.bsign <> b.bsign then Stdlib.compare a.bsign b.bsign
-  else if a.bsign >= 0 then mag_compare a.mag b.mag
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then mag_compare a.mag b.mag
   else mag_compare b.mag a.mag
 
-let compare a b =
-  match (a, b) with
-  | S a, S b -> Stdlib.compare a b
-  | B a, B b -> big_compare a b
-  (* Mixed tags go through the limb comparison so that non-canonical
-     (promoted) values still compare by value. *)
-  | (S _ as a), (B _ as b) | (B _ as a), (S _ as b) ->
-    big_compare (to_big a) (to_big b)
+let equal a b = a.sign = b.sign && a.mag = b.mag
 
-let equal a b =
-  match (a, b) with
-  | S a, S b -> a = b
-  | B a, B b -> a.bsign = b.bsign && a.mag = b.mag
-  | S s, B b | B b, S s -> (
-    (* Canonically impossible; value-correct for promoted operands. *)
-    match big_to_int_opt b with Some v -> v = s | None -> false)
+let hash x = Hashtbl.hash (x.sign, x.mag)
 
-(* Representation-independent: a promoted small word hashes exactly like
-   its [S] form, so both representations of one value collide in any
-   [Hashtbl]. *)
-let hash = function
-  | S n -> Hashtbl.hash n
-  | B b -> (
-    match big_to_int_opt b with
-    | Some n -> Hashtbl.hash n
-    | None -> Hashtbl.hash (b.bsign, b.mag))
-
-let num_bits = function
-  | S n ->
-    let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
-    bits (Stdlib.abs n) 0
-  | B b -> mag_num_bits b.mag
-
-(* ------------------------------------------------------------------ *)
-(* Arithmetic                                                          *)
-(* ------------------------------------------------------------------ *)
-
-let big_add (a : big) (b : big) : t =
-  if a.bsign = 0 then make b.bsign b.mag
-  else if b.bsign = 0 then make a.bsign a.mag
-  else if a.bsign = b.bsign then make a.bsign (mag_add a.mag b.mag)
-  else begin
-    let c = mag_compare a.mag b.mag in
-    if c = 0 then S 0
-    else if c > 0 then make a.bsign (mag_sub a.mag b.mag)
-    else make b.bsign (mag_sub b.mag a.mag)
-  end
+let num_bits x = mag_num_bits x.mag
 
 let add a b =
-  match (a, b) with
-  | S a, S b ->
-    let s = a + b in
-    (* No wrap iff the operands' signs differ or the sum keeps a's sign;
-       a true sum of exactly min_int must still leave the small range. *)
-    if (a lxor b < 0 || a lxor s >= 0) && s <> min_int then S s
-    else big_add (big_of_small a) (big_of_small b)
-  | a, b -> big_add (to_big a) (to_big b)
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (mag_add a.mag b.mag)
+  else begin
+    let c = mag_compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (mag_sub a.mag b.mag)
+    else make b.sign (mag_sub b.mag a.mag)
+  end
 
-let sub a b =
-  match (a, b) with
-  | S a, S b ->
-    let d = a - b in
-    if (a lxor b >= 0 || a lxor d >= 0) && d <> min_int then S d
-    else big_add (big_of_small a) (big_of_small (-b))
-  | a, b -> big_add (to_big a) (neg b |> to_big)
+let sub a b = add a (neg b)
 
 let mul a b =
-  match (a, b) with
-  | S a, S b ->
-    if a = 0 || b = 0 then S 0
-    else if Stdlib.abs a lor Stdlib.abs b < 1 lsl 31 then
-      (* Both magnitudes below 2^31: the product is below 2^62. *)
-      S (a * b)
-    else begin
-      let r = a * b in
-      (* Divide-back overflow test; r = min_int is rejected first both
-         because it is outside the small range and because it would make
-         the division itself overflow at b = -1. *)
-      if r <> min_int && r / b = a then S r
-      else
-        make (if a lxor b < 0 then -1 else 1) (mag_mul (mag_of_abs a) (mag_of_abs b))
-    end
-  | a, b ->
-    let a = to_big a and b = to_big b in
-    if a.bsign = 0 || b.bsign = 0 then S 0
-    else make (a.bsign * b.bsign) (mag_mul a.mag b.mag)
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (mag_mul a.mag b.mag)
 
 let succ x = add x one
 let pred x = sub x one
@@ -460,35 +350,21 @@ let mul_int a n = mul a (of_int n)
 let add_int a n = add a (of_int n)
 
 let divmod a b =
-  match (a, b) with
-  | S _, S 0 -> raise Division_by_zero
-  | S a, S b ->
-    (* a is never min_int, so native division cannot overflow; OCaml's
-       (/) and (mod) already have the truncated-toward-zero semantics
-       this function promises. *)
-    (S (a / b), S (a mod b))
-  | a, b ->
-    let a = to_big a and b = to_big b in
-    if b.bsign = 0 then raise Division_by_zero;
-    if a.bsign = 0 then (S 0, S 0)
-    else begin
-      let q, r = mag_divmod a.mag b.mag in
-      (make (a.bsign * b.bsign) q, make a.bsign r)
-    end
+  if b.sign = 0 then raise Division_by_zero;
+  if a.sign = 0 then (zero, zero)
+  else begin
+    let q, r = mag_divmod a.mag b.mag in
+    (make (a.sign * b.sign) q, make a.sign r)
+  end
 
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
-let gcd a b =
-  match (a, b) with
-  | S a, S b ->
-    let rec go a b = if b = 0 then a else go b (a mod b) in
-    S (go (Stdlib.abs a) (Stdlib.abs b))
-  | a, b ->
-    (* Euclid on tagged values: one [rem] against a big operand drops
-       the working pair back into machine words almost immediately. *)
-    let rec go a b = if is_zero b then a else go b (rem a b) in
-    go (abs a) (abs b)
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a
+  else if is_zero a then b
+  else gcd b (rem a b)
 
 let pow x k =
   if k < 0 then invalid_arg "Bigint.pow: negative exponent";
@@ -503,39 +379,29 @@ let pow x k =
 
 let shift_left x s =
   if s < 0 then invalid_arg "Bigint.shift_left: negative shift";
-  if is_zero x || s = 0 then x
-  else
-    match x with
-    | S n when s <= 62 && Stdlib.abs n <= small_max asr s -> S (n lsl s)
-    | _ ->
-      let b = to_big x in
-      let limbs = s / limb_bits and bits = s mod limb_bits in
-      let shifted = mag_shift_left_small b.mag bits in
-      let mag =
-        if limbs = 0 then shifted
-        else Array.append (Array.make limbs 0) shifted
-      in
-      make b.bsign mag
+  if x.sign = 0 || s = 0 then x
+  else begin
+    let limbs = s / limb_bits and bits = s mod limb_bits in
+    let shifted = mag_shift_left_small x.mag bits in
+    let mag =
+      if limbs = 0 then shifted
+      else Array.append (Array.make limbs 0) shifted
+    in
+    make x.sign mag
+  end
 
 let shift_right x s =
   if s < 0 then invalid_arg "Bigint.shift_right: negative shift";
-  if is_zero x || s = 0 then x
-  else
-    match x with
-    | S n ->
-      (* Magnitude shift: truncation toward zero, unlike native [asr]
-         which rounds toward negative infinity. *)
-      if s > 62 then S 0
-      else if n >= 0 then S (n lsr s)
-      else S (-(Stdlib.abs n lsr s))
-    | B b ->
-      let limbs = s / limb_bits and bits = s mod limb_bits in
-      let l = Array.length b.mag in
-      if limbs >= l then S 0
-      else begin
-        let dropped = Array.sub b.mag limbs (l - limbs) in
-        make b.bsign (mag_shift_right_small dropped bits)
-      end
+  if x.sign = 0 || s = 0 then x
+  else begin
+    let limbs = s / limb_bits and bits = s mod limb_bits in
+    let l = Array.length x.mag in
+    if limbs >= l then zero
+    else begin
+      let dropped = Array.sub x.mag limbs (l - limbs) in
+      make x.sign (mag_shift_right_small dropped bits)
+    end
+  end
 
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
@@ -547,42 +413,37 @@ let max a b = if compare a b >= 0 then a else b
 let chunk_pow = 9
 let chunk_base = 1_000_000_000 (* 10^9 < 2^30 *)
 
-let to_string = function
-  | S n -> string_of_int n
-  | B b ->
-    if b.bsign = 0 then "0"
-    else begin
-      let buf = Buffer.create 32 in
-      let rec chunks m acc =
-        if mag_is_zero m then acc
-        else begin
-          let q, r = mag_divmod_small m chunk_base in
-          chunks q (r :: acc)
-        end
-      in
-      (match chunks b.mag [] with
-       | [] -> assert false
-       | first :: rest ->
-         if b.bsign < 0 then Buffer.add_char buf '-';
-         Buffer.add_string buf (string_of_int first);
-         List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
-      Buffer.contents buf
-    end
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec chunks m acc =
+      if mag_is_zero m then acc
+      else begin
+        let q, r = mag_divmod_small m chunk_base in
+        chunks q (r :: acc)
+      end
+    in
+    (match chunks x.mag [] with
+     | [] -> assert false
+     | first :: rest ->
+       if x.sign < 0 then Buffer.add_char buf '-';
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
 
-let of_string s0 =
-  let fail msg = invalid_arg (Printf.sprintf "Bigint.of_string: %S: %s" s0 msg) in
-  if s0 = "" then fail "empty string";
-  if String.trim s0 <> s0 then fail "surrounding whitespace";
-  let s = String.concat "" (String.split_on_char '_' s0) in
+let of_string s =
+  let s = String.concat "" (String.split_on_char '_' s) in
   let len = String.length s in
-  if len = 0 then fail "no digits";
-  let bsign, start =
+  if len = 0 then invalid_arg "Bigint.of_string: empty string";
+  let sign, start =
     match s.[0] with
     | '-' -> (-1, 1)
     | '+' -> (1, 1)
     | _ -> (1, 0)
   in
-  if start >= len then fail "no digits";
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
   let mag = ref mag_zero in
   let i = ref start in
   while !i < len do
@@ -592,7 +453,7 @@ let of_string s0 =
     for j = !i to upto - 1 do
       match s.[j] with
       | '0' .. '9' as c -> chunk := (!chunk * 10) + (Char.code c - Char.code '0')
-      | c -> fail (Printf.sprintf "invalid character %C" c)
+      | _ -> invalid_arg "Bigint.of_string: invalid digit"
     done;
     let scale =
       let rec p k acc = if k = 0 then acc else p (k - 1) (acc * 10) in
@@ -601,23 +462,17 @@ let of_string s0 =
     mag := mag_add_small (mag_mul_small !mag scale) !chunk;
     i := upto
   done;
-  make bsign !mag
+  make sign !mag
 
-let to_float = function
-  | S n -> float_of_int n
-  | B b ->
-    let f =
-      Array.fold_right
-        (fun limb acc -> (acc *. float_of_int base) +. float_of_int limb)
-        b.mag 0.0
-    in
-    if b.bsign < 0 then -.f else f
+let to_float x =
+  let f = Array.fold_right (fun limb acc -> (acc *. float_of_int base) +. float_of_int limb) x.mag 0.0 in
+  if x.sign < 0 then -.f else f
 
 let of_float f =
   if Float.is_nan f || Float.abs f = Float.infinity then
     invalid_arg "Bigint.of_float: not finite";
   let f = Float.trunc f in
-  if Float.abs f < 1.0 then S 0
+  if Float.abs f < 1.0 then zero
   else begin
     let m, e = Float.frexp f in
     (* f = m * 2^e with 0.5 <= |m| < 1; scale the 53-bit mantissa out. *)

@@ -1,20 +1,10 @@
-(** Arbitrary-precision signed integers with a native-int fast path.
-
-    This module is the arithmetic substrate of the exact simplex solver: the
-    optimal maximum weighted flow of the paper is a rational number whose
-    numerator and denominator can exceed native integers, and the milestone
-    binary search requires exact comparisons.  The sealed build environment
-    provides neither [zarith] nor [num], so we implement the classical
-    sign–magnitude representation with little-endian limbs in base 2{^30}
-    (products of two limbs fit in OCaml's 63-bit native [int]).
-
-    Values carry one of two representations: a single machine word for
-    everything in [[-max_int, max_int]] (overflow-checked arithmetic,
-    transparent promotion to limbs on overflow), or the limb form beyond
-    that.  Tagging is canonical — limb results that fit a machine word are
-    demoted on construction — and [equal]/[compare]/[hash] are value-based
-    across both representations, so the choice of representation is never
-    observable.  See DESIGN §10.
+(** Test-only reference integers: the always-big implementation that
+    [Bigint] used before the tagged small-word fast path, kept verbatim
+    (every value in limb representation, no native-int shortcut).  The
+    qcheck oracle in [test_numeric] evaluates random arithmetic
+    expression trees through both this module and the tagged [Bigint]
+    and requires bit-identical decimal renderings — any divergence is a
+    fast-path bug.  Nothing outside test/ may depend on this module.
 
     All functions are pure; values are immutable. *)
 
@@ -61,19 +51,6 @@ val hash : t -> int
 
 val num_bits : t -> int
 (** Number of bits of the magnitude; [num_bits zero = 0]. *)
-
-val is_small : t -> bool
-(** [true] iff the value currently holds the native-int representation.
-    Diagnostic only: canonical values in [[-max_int, max_int]] are always
-    small, and [promote] is the only way to construct a big-tagged value
-    in that range. *)
-
-val promote : t -> t
-(** Re-tag a small value into the limb representation without changing
-    its value.  Test hook: lets the representation-independence suites
-    construct the non-canonical form that arithmetic never produces.
-    [equal]/[compare]/[hash] treat the result identically to the
-    original. *)
 
 (** {1 Arithmetic} *)
 

@@ -1,60 +1,262 @@
-(* Normalized rationals over Bigint: den > 0, gcd (num, den) = 1. *)
+(* Normalized rationals with a machine-word fast path.
+
+   A value is either [S (num, den)] — both components native ints, with
+   den > 0, gcd (num, den) = 1, zero as [S (0, 1)], and [min_int]
+   excluded from both slots so negation and division can never trap —
+   or [L {bnum; bden}], the same normalization invariants over
+   [Bigint.t].  Tagging is canonical: every arithmetic result whose
+   reduced components fit machine words is built as [S], so one value
+   has one representation ([promote] is the deliberate, test-only
+   exception, and [equal]/[compare]/[hash] stay value-based across
+   tags to keep even that unobservable).
+
+   Small arithmetic overflow-checks every intermediate 63-bit product
+   and sum ([Overflow] aborts the attempt) and redoes the operation on
+   the limb path; limb results are demoted on construction.  [Counters]
+   records which path each operation took — the exact LP pipeline is
+   dominated by tiny coefficients, so the small-path hit rate is the
+   number that justifies this entire design (see DESIGN §10). *)
 
 module B = Bigint
+module C = Counters
 
-type t = { num : B.t; den : B.t }
+type t = S of int * int | L of { bnum : B.t; bden : B.t }
 
-let make num den =
+exception Overflow
+
+(* Checked native add: no wrap iff operand signs differ or the sum
+   keeps the left operand's sign; a true sum of [min_int] must also
+   leave the small range. *)
+let add_chk a b =
+  let s = a + b in
+  if (a lxor b < 0 || a lxor s >= 0) && s <> min_int then s else raise Overflow
+
+(* Checked native mul: both magnitudes below 2^31 cannot overflow;
+   otherwise divide back.  [r = min_int] is rejected before the
+   division both because it is outside the small range and because
+   [min_int / -1] itself traps. *)
+let mul_chk a b =
+  if a = 0 || b = 0 then 0
+  else if Stdlib.abs a lor Stdlib.abs b < 1 lsl 31 then a * b
+  else begin
+    let r = a * b in
+    if r <> min_int && r / b = a then r else raise Overflow
+  end
+
+(* gcd on nonnegative native ints. *)
+let rec igcd a b = if b = 0 then a else igcd b (a mod b)
+
+let zero = S (0, 1)
+let one = S (1, 1)
+let two = S (2, 1)
+let minus_one = S (-1, 1)
+
+let is_small = function S _ -> true | L _ -> false
+
+(* Both components as bigints, for the limb path. *)
+let parts = function
+  | S (n, d) -> (B.of_int n, B.of_int d)
+  | L { bnum; bden } -> (bnum, bden)
+
+(* Normalize a small pair; requires d <> 0 and neither component
+   [min_int]. *)
+let norm_small n d =
+  if n = 0 then zero
+  else begin
+    let n, d = if d < 0 then (-n, -d) else (n, d) in
+    let g = igcd (Stdlib.abs n) d in
+    S (n / g, d / g)
+  end
+
+(* Normalize a bigint pair; demotes to [S] when the reduced components
+   fit machine words — this is the single point where values leave the
+   limb representation. *)
+let make_big num den =
   if B.is_zero den then raise Division_by_zero;
-  if B.is_zero num then { num = B.zero; den = B.one }
+  if B.is_zero num then zero
   else begin
     let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
     let g = B.gcd num den in
-    if B.equal g B.one then { num; den }
-    else { num = B.div num g; den = B.div den g }
+    let num, den =
+      if B.equal g B.one then (num, den) else (B.div num g, B.div den g)
+    in
+    match (B.to_int_opt num, B.to_int_opt den) with
+    | Some n, Some d when n <> min_int && d <> min_int ->
+      C.note_demotion ();
+      S (n, d)
+    | _ -> L { bnum = num; bden = den }
   end
 
-let zero = { num = B.zero; den = B.one }
-let one = { num = B.one; den = B.one }
-let two = { num = B.two; den = B.one }
-let minus_one = { num = B.minus_one; den = B.one }
+let make num den =
+  if B.is_zero den then raise Division_by_zero;
+  match (B.to_int_opt num, B.to_int_opt den) with
+  | Some n, Some d when n <> min_int && d <> min_int -> norm_small n d
+  | _ -> make_big num den
 
-let of_bigint n = { num = n; den = B.one }
-let of_int n = of_bigint (B.of_int n)
-let of_ints a b = make (B.of_int a) (B.of_int b)
+let of_bigint n =
+  match B.to_int_opt n with
+  | Some v when v <> min_int -> S (v, 1)
+  | _ -> L { bnum = n; bden = B.one }
 
-let num x = x.num
-let den x = x.den
-let sign x = B.sign x.num
-let is_zero x = B.is_zero x.num
-let is_integer x = B.equal x.den B.one
+let of_int n = if n = min_int then of_bigint (B.of_int n) else S (n, 1)
 
-let equal a b = B.equal a.num b.num && B.equal a.den b.den
+let of_ints a b =
+  if b = 0 then raise Division_by_zero;
+  if a = min_int || b = min_int then make (B.of_int a) (B.of_int b)
+  else norm_small a b
+
+let promote = function
+  | S (n, d) -> L { bnum = B.promote (B.of_int n); bden = B.promote (B.of_int d) }
+  | L _ as x -> x
+
+let num = function S (n, _) -> B.of_int n | L { bnum; _ } -> bnum
+let den = function S (_, d) -> B.of_int d | L { bden; _ } -> bden
+let sign = function S (n, _) -> Stdlib.compare n 0 | L { bnum; _ } -> B.sign bnum
+let is_zero = function S (n, _) -> n = 0 | L { bnum; _ } -> B.is_zero bnum
+
+let is_integer = function
+  | S (_, d) -> d = 1
+  | L { bden; _ } -> B.equal bden B.one
+
+(* Mixed tags only arise from [promote]; compare by value so even those
+   are indistinguishable from their canonical form. *)
+let equal a b =
+  match (a, b) with
+  | S (an, ad), S (bn, bd) -> an = bn && ad = bd
+  | L a, L b -> B.equal a.bnum b.bnum && B.equal a.bden b.bden
+  | S (n, d), L { bnum; bden } | L { bnum; bden }, S (n, d) ->
+    B.equal bnum (B.of_int n) && B.equal bden (B.of_int d)
+
+let big_compare a b =
+  let an, ad = parts a and bn, bd = parts b in
+  B.compare (B.mul an bd) (B.mul bn ad)
 
 let compare a b =
-  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den (dens > 0) *)
-  B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+  match (a, b) with
+  | S (an, ad), S (bn, bd) ->
+    let sa = Stdlib.compare an 0 and sb = Stdlib.compare bn 0 in
+    if sa <> sb then begin
+      C.note_small ();
+      Stdlib.compare sa sb
+    end
+    else begin
+      (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den
+         (dens > 0) *)
+      try
+        let l = mul_chk an bd and r = mul_chk bn ad in
+        C.note_small ();
+        Stdlib.compare l r
+      with Overflow ->
+        C.note_promotion ();
+        C.note_big ();
+        big_compare a b
+    end
+  | _ ->
+    C.note_big ();
+    big_compare a b
 
-let hash x = Hashtbl.hash (B.hash x.num, B.hash x.den)
+(* [Bigint.hash] of a machine-word value is [Hashtbl.hash] of that
+   word, so the two arms agree on promoted values by construction. *)
+let hash = function
+  | S (n, d) -> Hashtbl.hash (Hashtbl.hash n, Hashtbl.hash d)
+  | L { bnum; bden } -> Hashtbl.hash (B.hash bnum, B.hash bden)
 
-let neg x = { x with num = B.neg x.num }
-let abs x = { x with num = B.abs x.num }
+let neg = function
+  | S (n, d) -> S (-n, d)
+  | L { bnum; bden } -> L { bnum = B.neg bnum; bden }
+
+let abs = function
+  | S (n, d) -> S (Stdlib.abs n, d)
+  | L { bnum; bden } -> L { bnum = B.abs bnum; bden }
+
+let big_add a b =
+  let an, ad = parts a and bn, bd = parts b in
+  make_big (B.add (B.mul an bd) (B.mul bn ad)) (B.mul ad bd)
+
+(* Knuth's fraction addition (TAOCP 4.5.1): pre-reducing by
+   g = gcd (ad, bd) keeps the intermediates roughly half the width of
+   the naive cross-multiplication, and the final gcd shrinks to
+   gcd (t, g).  When g = 1 the result is already in lowest terms. *)
+let small_add an ad bn bd =
+  if an = 0 then S (bn, bd)
+  else if bn = 0 then S (an, ad)
+  else if ad = bd then begin
+    let n = add_chk an bn in
+    if n = 0 then zero
+    else begin
+      let g = igcd (Stdlib.abs n) ad in
+      S (n / g, ad / g)
+    end
+  end
+  else begin
+    let g = igcd ad bd in
+    if g = 1 then begin
+      let n = add_chk (mul_chk an bd) (mul_chk bn ad) in
+      if n = 0 then zero else S (n, mul_chk ad bd)
+    end
+    else begin
+      let ad' = ad / g and bd' = bd / g in
+      let t = add_chk (mul_chk an bd') (mul_chk bn ad') in
+      if t = 0 then zero
+      else begin
+        let g2 = igcd (Stdlib.abs t) g in
+        S (t / g2, mul_chk ad' (bd / g2))
+      end
+    end
+  end
 
 let add a b =
-  if is_zero a then b
-  else if is_zero b then a
-  else make (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+  match (a, b) with
+  | S (an, ad), S (bn, bd) -> (
+    try
+      let r = small_add an ad bn bd in
+      C.note_small ();
+      r
+    with Overflow ->
+      C.note_promotion ();
+      C.note_big ();
+      big_add a b)
+  | a, b ->
+    C.note_big ();
+    if is_zero a then b else if is_zero b then a else big_add a b
 
 let sub a b = add a (neg b)
 
-let mul a b =
-  if is_zero a || is_zero b then zero
-  else make (B.mul a.num b.num) (B.mul a.den b.den)
+let big_mul a b =
+  let an, ad = parts a and bn, bd = parts b in
+  make_big (B.mul an bn) (B.mul ad bd)
 
-let inv x =
-  if is_zero x then raise Division_by_zero;
-  if B.sign x.num < 0 then { num = B.neg x.den; den = B.neg x.num }
-  else { num = x.den; den = x.num }
+let mul a b =
+  match (a, b) with
+  | S (an, ad), S (bn, bd) -> (
+    try
+      let r =
+        if an = 0 || bn = 0 then zero
+        else begin
+          (* Cross-reduce before multiplying: with both input pairs
+             coprime, (an/g1)(bn/g2) and (ad/g2)(bd/g1) are coprime,
+             so no final gcd is needed. *)
+          let g1 = igcd (Stdlib.abs an) bd and g2 = igcd (Stdlib.abs bn) ad in
+          S (mul_chk (an / g1) (bn / g2), mul_chk (ad / g2) (bd / g1))
+        end
+      in
+      C.note_small ();
+      r
+    with Overflow ->
+      C.note_promotion ();
+      C.note_big ();
+      big_mul a b)
+  | a, b ->
+    C.note_big ();
+    if is_zero a || is_zero b then zero else big_mul a b
+
+let inv = function
+  | S (0, _) -> raise Division_by_zero
+  | S (n, d) -> if n > 0 then S (d, n) else S (-d, -n)
+  | L { bnum; bden } ->
+    if B.is_zero bnum then raise Division_by_zero;
+    if B.sign bnum < 0 then L { bnum = B.neg bden; bden = B.neg bnum }
+    else L { bnum = bden; bden = bnum }
 
 let div a b = mul a (inv b)
 
@@ -64,7 +266,9 @@ let max a b = if compare a b >= 0 then a else b
 let mul_int x n = mul x (of_int n)
 let div_int x n = div x (of_int n)
 
-let to_float x = B.to_float x.num /. B.to_float x.den
+let to_float = function
+  | S (n, d) -> float_of_int n /. float_of_int d
+  | L { bnum; bden } -> B.to_float bnum /. B.to_float bden
 
 let of_float f =
   if Float.is_nan f || Float.abs f = Float.infinity then
@@ -78,13 +282,21 @@ let of_float f =
     else make mantissa (B.shift_left B.one (-shift))
   end
 
-let floor x =
-  let q, r = B.divmod x.num x.den in
-  if B.sign r < 0 then B.pred q else q
+let floor = function
+  | S (n, d) ->
+    let q = n / d in
+    B.of_int (if n mod d < 0 then q - 1 else q)
+  | L { bnum; bden } ->
+    let q, r = B.divmod bnum bden in
+    if B.sign r < 0 then B.pred q else q
 
-let ceil x =
-  let q, r = B.divmod x.num x.den in
-  if B.sign r > 0 then B.succ q else q
+let ceil = function
+  | S (n, d) ->
+    let q = n / d in
+    B.of_int (if n mod d > 0 then q + 1 else q)
+  | L { bnum; bden } ->
+    let q, r = B.divmod bnum bden in
+    if B.sign r > 0 then B.succ q else q
 
 (* Best approximation with bounded denominator, by the Stern–Brocot walk:
    continued-fraction convergents interleaved with the last admissible
@@ -92,15 +304,15 @@ let ceil x =
 let approx ~max_den x =
   if max_den < 1 then invalid_arg "Rat.approx: max_den must be at least 1";
   let bound = B.of_int max_den in
-  if B.compare x.den bound <= 0 then x
+  if B.compare (den x) bound <= 0 then x
   else begin
     let target = abs x in
     (* Convergents p/q of the continued fraction of |x|. *)
-    let rec walk num den p0 q0 p1 q1 =
+    let rec walk n d p0 q0 p1 q1 =
       (* invariant: p1/q1 is the latest convergent, q1 <= bound *)
-      if B.is_zero den then (p1, q1)
+      if B.is_zero d then (p1, q1)
       else begin
-        let a, r = B.divmod num den in
+        let a, r = B.divmod n d in
         let p2 = B.add (B.mul a p1) p0 and q2 = B.add (B.mul a q1) q0 in
         if B.compare q2 bound > 0 then begin
           (* The full step overshoots: take the best semiconvergent
@@ -113,43 +325,54 @@ let approx ~max_den x =
             let conv = make p1 q1 and semi = make ps qs in
             (* Semiconvergents closer than the previous convergent require
                k > a/2; comparing distances directly is simplest. *)
-            if compare (abs (sub semi target)) (abs (sub conv target)) < 0 then (ps, qs)
+            if compare (abs (sub semi target)) (abs (sub conv target)) < 0 then
+              (ps, qs)
             else (p1, q1)
           end
         end
-        else walk den r p1 q1 p2 q2
+        else walk d r p1 q1 p2 q2
       end
     in
     (* Seeds: p_{-2}/q_{-2} = 0/1 and p_{-1}/q_{-1} = 1/0, so the first
        step yields the convergent a0/1 (and 1 ≤ max_den, so the walk never
        returns the formal 1/0). *)
-    let p, q = walk (B.abs x.num) x.den B.zero B.one B.one B.zero in
+    let p, q = walk (B.abs (num x)) (den x) B.zero B.one B.one B.zero in
     let r = make p q in
     if sign x < 0 then neg r else r
   end
 
-let to_string x =
-  if is_integer x then B.to_string x.num
-  else B.to_string x.num ^ "/" ^ B.to_string x.den
+let to_string = function
+  | S (n, 1) -> string_of_int n
+  | S (n, d) -> string_of_int n ^ "/" ^ string_of_int d
+  | L { bnum; bden } ->
+    if B.equal bden B.one then B.to_string bnum
+    else B.to_string bnum ^ "/" ^ B.to_string bden
 
 let of_string s =
+  let fail msg = invalid_arg (Printf.sprintf "Rat.of_string: %S: %s" s msg) in
+  if s = "" then fail "empty string";
+  if String.trim s <> s then fail "surrounding whitespace";
+  let parse what part =
+    if part = "" then fail ("missing " ^ what);
+    try B.of_string part with Invalid_argument _ -> fail ("malformed " ^ what)
+  in
   match String.index_opt s '/' with
   | Some i ->
-    let n = B.of_string (String.sub s 0 i) in
-    let d = B.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    let n = parse "numerator" (String.sub s 0 i) in
+    let d = parse "denominator" (String.sub s (i + 1) (String.length s - i - 1)) in
     make n d
-  | None ->
-    (match String.index_opt s '.' with
-     | None -> of_bigint (B.of_string s)
-     | Some i ->
-       let int_part = String.sub s 0 i in
-       let frac_part = String.sub s (i + 1) (String.length s - i - 1) in
-       if frac_part = "" then of_bigint (B.of_string int_part)
-       else begin
-         let digits = String.length frac_part in
-         let whole = B.of_string (int_part ^ frac_part) in
-         make whole (B.pow (B.of_int 10) digits)
-       end)
+  | None -> (
+    match String.index_opt s '.' with
+    | None -> of_bigint (parse "number" s)
+    | Some i ->
+      let int_part = String.sub s 0 i in
+      let frac_part = String.sub s (i + 1) (String.length s - i - 1) in
+      if frac_part = "" then of_bigint (parse "number" int_part)
+      else begin
+        let digits = String.length frac_part in
+        let whole = parse "number" (int_part ^ frac_part) in
+        make whole (B.pow (B.of_int 10) digits)
+      end)
 
 let pp fmt x = Format.pp_print_string fmt (to_string x)
 

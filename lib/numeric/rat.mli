@@ -1,10 +1,20 @@
-(** Arbitrary-precision rational numbers.
+(** Arbitrary-precision rational numbers with a machine-word fast path.
 
     Values are kept normalized: the denominator is positive, numerator and
     denominator are coprime, and zero is represented as [0/1].  Release
     dates, weights, processing times, LP coefficients and the optimal
     maximum weighted flow are all values of this type: the milestone search
-    of the paper (Section 4.3.2) is only correct under exact comparison. *)
+    of the paper (Section 4.3.2) is only correct under exact comparison.
+
+    Internally a rational whose reduced numerator and denominator both fit
+    native ints is carried as two machine words; arithmetic on that form is
+    overflow-checked and transparently promoted to the limb representation
+    ([Bigint]) when a 63-bit intermediate would wrap, and limb results are
+    demoted back on construction.  The representation is canonical and
+    never observable — results are bit-identical to the always-big
+    implementation (enforced by a differential qcheck oracle against
+    [Bigint_ref]).  [Counters] tallies fast-path hits, promotions and
+    demotions; see DESIGN §10. *)
 
 type t
 
@@ -44,7 +54,20 @@ val is_zero : t -> bool
 val is_integer : t -> bool
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
 val hash : t -> int
+(** Representation-independent: a value hashes the same whether it holds
+    the machine-word or the limb form, so both collide in one hash
+    table. *)
+
+val is_small : t -> bool
+(** [true] iff the value currently holds the machine-word representation.
+    Diagnostic only. *)
+
+val promote : t -> t
+(** Re-tag a machine-word value into the limb representation without
+    changing its value.  Test hook for the representation-independence
+    suites; [equal]/[compare]/[hash] treat the result identically. *)
 
 (** {1 Arithmetic} *)
 

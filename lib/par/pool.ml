@@ -239,3 +239,38 @@ let map_or_seq f input =
 
 let map_reduce ~map:fm ~reduce ~init input =
   Array.fold_left reduce init (map fm input)
+
+(* --- dispatch-overhead gate ------------------------------------------ *)
+
+(* Per-task dispatch cost of the live pool, measured once per width and
+   cached.  (width, nanoseconds per task.) *)
+let measured_overhead : (int * float) option ref = ref None
+
+let overhead_ns () =
+  let width = jobs () in
+  match !measured_overhead with
+  | Some (w, ns) when w = width -> ns
+  | _ ->
+    (* Publish a batch of no-op tasks and average the wall time: that is
+       exactly the cost a caller pays per task before any useful work
+       happens (index handoff, slot commit, condition-variable traffic).
+       Width <= 1 runs the sequential path and measures (near) zero. *)
+    let tasks = 256 in
+    let input = Array.init tasks Fun.id in
+    let t0 = Obs.Sink.elapsed () in
+    ignore (map ignore input);
+    let t1 = Obs.Sink.elapsed () in
+    let ns = Float.max 1.0 ((t1 -. t0) *. 1e9 /. float_of_int tasks) in
+    measured_overhead := Some (width, ns);
+    ns
+
+let worthwhile ~tasks ~task_ns =
+  tasks > 1
+  && (not (in_parallel_task ()))
+  (* More configured jobs than cores is pure oversubscription: the
+     effective width is what the hardware can actually run. *)
+  && Stdlib.min (jobs ()) (Domain.recommended_domain_count ()) > 1
+  (* A task must amortize its own dispatch several times over before
+     splitting can win; below that the sequential path is faster even
+     with idle cores available. *)
+  && task_ns >= 4.0 *. overhead_ns ()

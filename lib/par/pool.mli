@@ -67,6 +67,27 @@ val map_reduce :
 (** [map_reduce ~map ~reduce ~init a]: map through the pool, then fold
     the results left to right in index order on the calling domain. *)
 
+val overhead_ns : unit -> float
+(** Measured per-task dispatch cost of the pool at the current width, in
+    nanoseconds — the price of handing one task to the pool and
+    committing its result, before any useful work.  Measured once per
+    width (a short batch of no-op tasks) and cached; at width 1 it
+    measures the sequential path, i.e. (near) zero.  The first call at a
+    given width creates the pool. *)
+
+val worthwhile : tasks:int -> task_ns:float -> bool
+(** [worthwhile ~tasks ~task_ns] decides whether handing [tasks] pieces
+    of work of roughly [task_ns] nanoseconds each to the pool can beat
+    running them sequentially.  False when the effective width
+    [min (jobs ()) (Domain.recommended_domain_count ())] is 1 (notably:
+    any single-core host, regardless of [--jobs]) — checked {e before}
+    any measurement, so gated callers never create a pool there — when
+    called from inside a pool task, or when [task_ns] does not amortize
+    the measured {!overhead_ns} several times over.  Callers time one
+    representative task sequentially and gate the rest on the answer;
+    both branches are bit-identical by the determinism contract, so the
+    gate affects time only. *)
+
 val shutdown : unit -> unit
 (** Join and discard the live pool, if any.  The next {!map} recreates
     one on demand; width configuration is unaffected.  Tests use this to

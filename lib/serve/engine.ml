@@ -82,6 +82,12 @@ type t = {
   c_lp_pivots2 : Metrics.counter;
   c_lp_pivots_dual : Metrics.counter;
   h_lp_seconds : Metrics.histogram;
+  (* Numeric-tower fast-path telemetry, same per-decision delta scheme
+     (DESIGN.md §10). *)
+  c_rat_small : Metrics.counter;
+  c_rat_big : Metrics.counter;
+  c_rat_promoted : Metrics.counter;
+  c_rat_demoted : Metrics.counter;
 }
 
 let bug fmt = Printf.ksprintf (fun s -> failwith ("Serve.Engine: " ^ s)) fmt
@@ -143,6 +149,10 @@ let create ?(batch_window = Rat.zero) ?(objective = `Stretch) ?(lost_work = `Los
     c_lp_pivots2 = Metrics.counter metrics "lp_pivots_phase2";
       c_lp_pivots_dual = Metrics.counter metrics "lp_pivots_dual";
       h_lp_seconds = Metrics.histogram metrics "lp_solve_seconds";
+      c_rat_small = Metrics.counter metrics "rat.small_ops";
+      c_rat_big = Metrics.counter metrics "rat.big_ops";
+      c_rat_promoted = Metrics.counter metrics "rat.promotions";
+      c_rat_demoted = Metrics.counter metrics "rat.demotions";
     }
   in
   Metrics.set t.g_machines_up (float_of_int m);
@@ -360,6 +370,9 @@ let decide t =
      metrics.  [lp_solve_seconds] gets one sample per LP-using decision
      (the decision's total solver time), not one per solve. *)
   let before = Lp.Instrument.combined () in
+  let module NC = Numeric.Counters in
+  let rat_small0 = NC.small_ops () and rat_big0 = NC.big_ops () in
+  let rat_promoted0 = NC.promotions () and rat_demoted0 = NC.demotions () in
   let d =
     Obs.Span.with_span "engine.decide" (fun () ->
         Obs.Span.set_str "policy" P.name;
@@ -374,6 +387,10 @@ let decide t =
   Metrics.add t.c_lp_pivots_dual delta.Lp.Instrument.pivots_dual;
   if delta.Lp.Instrument.solves > 0 then
     Metrics.observe t.h_lp_seconds delta.Lp.Instrument.seconds;
+  Metrics.add t.c_rat_small (NC.small_ops () - rat_small0);
+  Metrics.add t.c_rat_big (NC.big_ops () - rat_big0);
+  Metrics.add t.c_rat_promoted (NC.promotions () - rat_promoted0);
+  Metrics.add t.c_rat_demoted (NC.demotions () - rat_demoted0);
   Sim.check_decision ~where:"Serve.Engine" ~name:P.name (decision_instance t)
     ~up:(fun i -> W.machine_live t.overlay.(i))
     ~eligible:(fun j ->

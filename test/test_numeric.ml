@@ -403,6 +403,464 @@ let prop_rat_approx_best =
            (List.init max_den (fun d -> d + 1)))
 
 (* ------------------------------------------------------------------ *)
+(* Differential oracle: tagged Bigint vs the always-big reference      *)
+(* ------------------------------------------------------------------ *)
+
+(* [Bigint_ref] is the pre-fast-path implementation, kept verbatim.
+   Random arithmetic expression trees are evaluated through both
+   modules; the decimal renderings must be bit-identical, and the
+   tagged result must be canonically represented (small iff it fits a
+   machine word).  Division and gcd guard a zero divisor by replacing
+   it with one — structurally, so both evaluators see the same tree. *)
+
+module BR = Numeric.Bigint_ref
+
+type bexpr =
+  | BLeaf of string
+  | BNeg of bexpr
+  | BAbs of bexpr
+  | BAdd of bexpr * bexpr
+  | BSub of bexpr * bexpr
+  | BMul of bexpr * bexpr
+  | BQuot of bexpr * bexpr
+  | BRem of bexpr * bexpr
+  | BGcd of bexpr * bexpr
+  | BShl of bexpr * int
+  | BShr of bexpr * int
+
+let rec bexpr_print = function
+  | BLeaf s -> s
+  | BNeg e -> "(neg " ^ bexpr_print e ^ ")"
+  | BAbs e -> "(abs " ^ bexpr_print e ^ ")"
+  | BAdd (a, b) -> "(+ " ^ bexpr_print a ^ " " ^ bexpr_print b ^ ")"
+  | BSub (a, b) -> "(- " ^ bexpr_print a ^ " " ^ bexpr_print b ^ ")"
+  | BMul (a, b) -> "(* " ^ bexpr_print a ^ " " ^ bexpr_print b ^ ")"
+  | BQuot (a, b) -> "(quot " ^ bexpr_print a ^ " " ^ bexpr_print b ^ ")"
+  | BRem (a, b) -> "(rem " ^ bexpr_print a ^ " " ^ bexpr_print b ^ ")"
+  | BGcd (a, b) -> "(gcd " ^ bexpr_print a ^ " " ^ bexpr_print b ^ ")"
+  | BShl (e, s) -> Printf.sprintf "(shl %s %d)" (bexpr_print e) s
+  | BShr (e, s) -> Printf.sprintf "(shr %s %d)" (bexpr_print e) s
+
+let rec beval_tagged = function
+  | BLeaf s -> B.of_string s
+  | BNeg e -> B.neg (beval_tagged e)
+  | BAbs e -> B.abs (beval_tagged e)
+  | BAdd (a, b) -> B.add (beval_tagged a) (beval_tagged b)
+  | BSub (a, b) -> B.sub (beval_tagged a) (beval_tagged b)
+  | BMul (a, b) -> B.mul (beval_tagged a) (beval_tagged b)
+  | BQuot (a, b) ->
+    let d = beval_tagged b in
+    B.div (beval_tagged a) (if B.is_zero d then B.one else d)
+  | BRem (a, b) ->
+    let d = beval_tagged b in
+    B.rem (beval_tagged a) (if B.is_zero d then B.one else d)
+  | BGcd (a, b) -> B.gcd (beval_tagged a) (beval_tagged b)
+  | BShl (e, s) -> B.shift_left (beval_tagged e) s
+  | BShr (e, s) -> B.shift_right (beval_tagged e) s
+
+let rec beval_ref = function
+  | BLeaf s -> BR.of_string s
+  | BNeg e -> BR.neg (beval_ref e)
+  | BAbs e -> BR.abs (beval_ref e)
+  | BAdd (a, b) -> BR.add (beval_ref a) (beval_ref b)
+  | BSub (a, b) -> BR.sub (beval_ref a) (beval_ref b)
+  | BMul (a, b) -> BR.mul (beval_ref a) (beval_ref b)
+  | BQuot (a, b) ->
+    let d = beval_ref b in
+    BR.div (beval_ref a) (if BR.is_zero d then BR.one else d)
+  | BRem (a, b) ->
+    let d = beval_ref b in
+    BR.rem (beval_ref a) (if BR.is_zero d then BR.one else d)
+  | BGcd (a, b) -> BR.gcd (beval_ref a) (beval_ref b)
+  | BShl (e, s) -> BR.shift_left (beval_ref e) s
+  | BShr (e, s) -> BR.shift_right (beval_ref e) s
+
+(* Leaves concentrate on the overflow frontier of the 63-bit fast path:
+   max_int, min_int, 2^31 (the cheap-multiply threshold) and 2^62
+   neighbours, plus moderate and genuinely big random literals. *)
+let bleaf_pool =
+  [ "0"; "1"; "-1"; "2"; "-2";
+    string_of_int max_int; string_of_int min_int;
+    string_of_int (max_int - 1); string_of_int (-max_int);
+    string_of_int (1 lsl 31); string_of_int ((1 lsl 31) - 1);
+    string_of_int (-(1 lsl 31)); string_of_int ((1 lsl 31) + 1);
+    "4611686018427387904"; "-4611686018427387904"; "4611686018427387905";
+    "9223372036854775807"; "-9223372036854775808" ]
+
+let bleaf_gen =
+  let open QCheck.Gen in
+  frequency
+    [ (3, oneofl bleaf_pool);
+      (3, map string_of_int (int_range (-1_000_000_000) 1_000_000_000));
+      ( 2,
+        let* digits = int_range 1 45 in
+        let* sign = bool in
+        let* s = string_size ~gen:(char_range '0' '9') (return digits) in
+        return ((if sign then "-" else "") ^ "1" ^ s) ) ]
+
+let bexpr_gen =
+  let open QCheck.Gen in
+  sized_size (int_range 0 24)
+  @@ QCheck.Gen.fix (fun self n ->
+         if n <= 0 then map (fun s -> BLeaf s) bleaf_gen
+         else begin
+           let sub = self (n / 2) in
+           frequency
+             [ (1, map (fun s -> BLeaf s) bleaf_gen);
+               (1, map (fun e -> BNeg e) sub);
+               (1, map (fun e -> BAbs e) sub);
+               (3, map2 (fun a b -> BAdd (a, b)) sub sub);
+               (3, map2 (fun a b -> BSub (a, b)) sub sub);
+               (3, map2 (fun a b -> BMul (a, b)) sub sub);
+               (2, map2 (fun a b -> BQuot (a, b)) sub sub);
+               (2, map2 (fun a b -> BRem (a, b)) sub sub);
+               (1, map2 (fun a b -> BGcd (a, b)) sub sub);
+               (1, map2 (fun e s -> BShl (e, s)) sub (int_range 0 70));
+               (1, map2 (fun e s -> BShr (e, s)) sub (int_range 0 70)) ]
+         end)
+
+let arbitrary_bexpr = QCheck.make ~print:bexpr_print bexpr_gen
+
+(* Canonical tagging: small iff the value fits a machine word other than
+   min_int (which the small representation excludes). *)
+let canonically_tagged v =
+  B.is_small v
+  = (match B.to_int_opt v with Some n -> n <> min_int | None -> false)
+
+let prop_bigint_oracle =
+  QCheck.Test.make ~name:"tagged Bigint = always-big reference on expression trees"
+    ~count:1000 arbitrary_bexpr (fun e ->
+      let t = beval_tagged e and r = beval_ref e in
+      String.equal (B.to_string t) (BR.to_string r) && canonically_tagged t)
+
+(* ------------------------------------------------------------------ *)
+(* Differential oracle: tagged Rat vs a reference over Bigint_ref      *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal always-big rational — the pre-refactor [Rat] restated over
+   [Bigint_ref].  Only what the oracle needs. *)
+module RRef = struct
+  type t = { num : BR.t; den : BR.t }
+
+  let make num den =
+    if BR.is_zero den then raise Division_by_zero;
+    if BR.is_zero num then { num = BR.zero; den = BR.one }
+    else begin
+      let num, den =
+        if BR.sign den < 0 then (BR.neg num, BR.neg den) else (num, den)
+      in
+      let g = BR.gcd num den in
+      if BR.equal g BR.one then { num; den }
+      else { num = BR.div num g; den = BR.div den g }
+    end
+
+  let one = { num = BR.one; den = BR.one }
+  let is_zero x = BR.is_zero x.num
+  let neg x = { x with num = BR.neg x.num }
+  let add a b = make (BR.add (BR.mul a.num b.den) (BR.mul b.num a.den)) (BR.mul a.den b.den)
+  let sub a b = add a (neg b)
+  let mul a b = make (BR.mul a.num b.num) (BR.mul a.den b.den)
+
+  let inv x =
+    if is_zero x then raise Division_by_zero;
+    if BR.sign x.num < 0 then { num = BR.neg x.den; den = BR.neg x.num }
+    else { num = x.den; den = x.num }
+
+  let div a b = mul a (inv b)
+  let compare a b = BR.compare (BR.mul a.num b.den) (BR.mul b.num a.den)
+
+  let to_string x =
+    if BR.equal x.den BR.one then BR.to_string x.num
+    else BR.to_string x.num ^ "/" ^ BR.to_string x.den
+end
+
+type rexpr =
+  | RLeaf of string * string
+  | RNeg of rexpr
+  | RInv of rexpr
+  | RAdd of rexpr * rexpr
+  | RSub of rexpr * rexpr
+  | RMul of rexpr * rexpr
+  | RDiv of rexpr * rexpr
+
+let rec rexpr_print = function
+  | RLeaf (n, d) -> n ^ "/" ^ d
+  | RNeg e -> "(neg " ^ rexpr_print e ^ ")"
+  | RInv e -> "(inv " ^ rexpr_print e ^ ")"
+  | RAdd (a, b) -> "(+ " ^ rexpr_print a ^ " " ^ rexpr_print b ^ ")"
+  | RSub (a, b) -> "(- " ^ rexpr_print a ^ " " ^ rexpr_print b ^ ")"
+  | RMul (a, b) -> "(* " ^ rexpr_print a ^ " " ^ rexpr_print b ^ ")"
+  | RDiv (a, b) -> "(/ " ^ rexpr_print a ^ " " ^ rexpr_print b ^ ")"
+
+let rec reval_tagged = function
+  | RLeaf (n, d) -> R.make (B.of_string n) (B.of_string d)
+  | RNeg e -> R.neg (reval_tagged e)
+  | RInv e ->
+    let x = reval_tagged e in
+    R.inv (if R.is_zero x then R.one else x)
+  | RAdd (a, b) -> R.add (reval_tagged a) (reval_tagged b)
+  | RSub (a, b) -> R.sub (reval_tagged a) (reval_tagged b)
+  | RMul (a, b) -> R.mul (reval_tagged a) (reval_tagged b)
+  | RDiv (a, b) ->
+    let d = reval_tagged b in
+    R.div (reval_tagged a) (if R.is_zero d then R.one else d)
+
+let rec reval_ref = function
+  | RLeaf (n, d) -> RRef.make (BR.of_string n) (BR.of_string d)
+  | RNeg e -> RRef.neg (reval_ref e)
+  | RInv e ->
+    let x = reval_ref e in
+    RRef.inv (if RRef.is_zero x then RRef.one else x)
+  | RAdd (a, b) -> RRef.add (reval_ref a) (reval_ref b)
+  | RSub (a, b) -> RRef.sub (reval_ref a) (reval_ref b)
+  | RMul (a, b) -> RRef.mul (reval_ref a) (reval_ref b)
+  | RDiv (a, b) ->
+    let d = reval_ref b in
+    RRef.div (reval_ref a) (if RRef.is_zero d then RRef.one else d)
+
+let rleaf_gen =
+  let open QCheck.Gen in
+  let* n = bleaf_gen in
+  let* d =
+    frequency
+      [ (4, map string_of_int (int_range 1 1_000_000));
+        (1, return (string_of_int max_int));
+        ( 1,
+          let* digits = int_range 1 30 in
+          let* s = string_size ~gen:(char_range '0' '9') (return digits) in
+          return ("1" ^ s) ) ]
+  in
+  return (n, d)
+
+let rexpr_gen =
+  let open QCheck.Gen in
+  sized_size (int_range 0 16)
+  @@ QCheck.Gen.fix (fun self n ->
+         if n <= 0 then map (fun (a, b) -> RLeaf (a, b)) rleaf_gen
+         else begin
+           let sub = self (n / 2) in
+           frequency
+             [ (1, map (fun (a, b) -> RLeaf (a, b)) rleaf_gen);
+               (1, map (fun e -> RNeg e) sub);
+               (1, map (fun e -> RInv e) sub);
+               (3, map2 (fun a b -> RAdd (a, b)) sub sub);
+               (3, map2 (fun a b -> RSub (a, b)) sub sub);
+               (3, map2 (fun a b -> RMul (a, b)) sub sub);
+               (2, map2 (fun a b -> RDiv (a, b)) sub sub) ]
+         end)
+
+let arbitrary_rexpr = QCheck.make ~print:rexpr_print rexpr_gen
+
+let rat_canonically_tagged v =
+  let fits b = match B.to_int_opt b with Some n -> n <> min_int | None -> false in
+  R.is_small v = (fits (R.num v) && fits (R.den v))
+
+let prop_rat_oracle =
+  QCheck.Test.make ~name:"tagged Rat = always-big reference on expression trees"
+    ~count:600 arbitrary_rexpr (fun e ->
+      let t = reval_tagged e and r = reval_ref e in
+      String.equal (R.to_string t) (RRef.to_string r) && rat_canonically_tagged t)
+
+let prop_rat_oracle_compare =
+  QCheck.Test.make ~name:"tagged Rat compare agrees with reference" ~count:400
+    (QCheck.pair arbitrary_rexpr arbitrary_rexpr)
+    (fun (ea, eb) ->
+      let c = R.compare (reval_tagged ea) (reval_tagged eb) in
+      let cr = RRef.compare (reval_ref ea) (reval_ref eb) in
+      (c > 0) = (cr > 0) && (c < 0) = (cr < 0))
+
+(* ------------------------------------------------------------------ *)
+(* Overflow frontier of the small-word fast path                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_small_overflow_boundaries () =
+  (* Sums and products that land exactly on, just under and just over
+     the machine-word range; each compared against string arithmetic
+     done by the limb path. *)
+  Alcotest.(check string) "max_int stays small" (string_of_int max_int)
+    (B.to_string (B.of_int max_int));
+  Alcotest.(check bool) "max_int is small" true (B.is_small (B.of_int max_int));
+  Alcotest.(check bool) "min_int is big" false (B.is_small (B.of_int min_int));
+  Alcotest.(check string) "min_int prints" (string_of_int min_int)
+    (B.to_string (B.of_int min_int));
+  Alcotest.(check string) "max_int + 1" "4611686018427387904"
+    (B.to_string (B.add (B.of_int max_int) B.one));
+  Alcotest.(check string) "-max_int - 1" "-4611686018427387904"
+    (B.to_string (B.sub (B.of_int (-max_int)) B.one));
+  Alcotest.(check bool) "true sum of min_int is big" false
+    (B.is_small (B.add (B.of_int (-max_int)) B.minus_one));
+  Alcotest.(check string) "neg min_int" "4611686018427387904"
+    (B.to_string (B.neg (B.of_int min_int)));
+  Alcotest.(check string) "abs min_int" "4611686018427387904"
+    (B.to_string (B.abs (B.of_int min_int)));
+  Alcotest.(check string) "min_int / -1" "4611686018427387904"
+    (B.to_string (B.div (B.of_int min_int) (B.of_int (-1))));
+  Alcotest.(check string) "2^31 * 2^31" "4611686018427387904"
+    (B.to_string (B.mul (B.of_int (1 lsl 31)) (B.of_int (1 lsl 31))));
+  Alcotest.(check string) "(2^31-1)^2 stays small" "4611686014132420609"
+    (B.to_string (B.mul (B.of_int ((1 lsl 31) - 1)) (B.of_int ((1 lsl 31) - 1))));
+  Alcotest.(check bool) "(2^31-1)^2 is small" true
+    (B.is_small (B.mul (B.of_int ((1 lsl 31) - 1)) (B.of_int ((1 lsl 31) - 1))));
+  (* A big difference that collapses back into the small range must be
+     demoted (canonical tagging). *)
+  let big = B.add (B.of_int max_int) B.one in
+  Alcotest.(check bool) "collapse demotes" true (B.is_small (B.sub big B.one));
+  Alcotest.(check string) "collapse value" (string_of_int max_int)
+    (B.to_string (B.sub big B.one))
+
+let test_rat_overflow_promotes () =
+  let before = Numeric.Counters.promotions () in
+  let m = R.of_int max_int in
+  let r = R.mul m m in
+  Alcotest.(check bool) "promotion counted" true
+    (Numeric.Counters.promotions () > before);
+  Alcotest.(check string) "max_int^2 exact"
+    "21267647932558653957237540927630737409" (R.to_string r);
+  Alcotest.(check bool) "promoted result is big" false (R.is_small r);
+  (* And the big result collapses back to a small value when divided. *)
+  let q = R.div r m in
+  Alcotest.(check bool) "quotient demoted" true (R.is_small q);
+  Alcotest.(check rat) "quotient value" m q;
+  let small_before = Numeric.Counters.small_ops () in
+  ignore (R.add (R.of_ints 1 2) (R.of_ints 1 3));
+  Alcotest.(check bool) "small op counted" true
+    (Numeric.Counters.small_ops () > small_before)
+
+(* ------------------------------------------------------------------ *)
+(* Representation independence: small and promoted forms coincide      *)
+(* ------------------------------------------------------------------ *)
+
+module RTbl = Hashtbl.Make (struct
+  type t = R.t
+
+  let equal = R.equal
+  let hash = R.hash
+end)
+
+let test_representation_independence () =
+  let samples =
+    [ R.zero; R.one; R.minus_one; R.of_ints 1 2; R.of_ints (-7) 3;
+      R.of_ints 355 113; R.of_int max_int; R.of_ints max_int (max_int - 2) ]
+  in
+  List.iter
+    (fun x ->
+      let px = R.promote x in
+      let label = R.to_string x in
+      Alcotest.(check bool) (label ^ ": small") true (R.is_small x);
+      Alcotest.(check bool) (label ^ ": promoted is big") false (R.is_small px);
+      Alcotest.(check bool) (label ^ ": equal") true (R.equal x px);
+      Alcotest.(check int) (label ^ ": compare") 0 (R.compare x px);
+      Alcotest.(check int) (label ^ ": hash") (R.hash x) (R.hash px);
+      Alcotest.(check string) (label ^ ": prints alike") (R.to_string x)
+        (R.to_string px))
+    samples;
+  (* Both representations of one value must collide in one table. *)
+  let tbl = RTbl.create 16 in
+  List.iter (fun x -> RTbl.replace tbl x (R.to_string x)) samples;
+  List.iter
+    (fun x ->
+      match RTbl.find_opt tbl (R.promote x) with
+      | Some s ->
+        Alcotest.(check string) ("lookup via promoted " ^ s) (R.to_string x) s
+      | None -> Alcotest.fail ("promoted " ^ R.to_string x ^ " missed the table"))
+    samples;
+  Alcotest.(check int) "no duplicate buckets" (List.length samples)
+    (RTbl.length tbl);
+  (* Same story one layer down, on Bigint. *)
+  List.iter
+    (fun n ->
+      let x = B.of_int n in
+      let px = B.promote x in
+      Alcotest.(check bool) (string_of_int n ^ ": equal") true (B.equal x px);
+      Alcotest.(check int) (string_of_int n ^ ": compare") 0 (B.compare x px);
+      Alcotest.(check int) (string_of_int n ^ ": hash") (B.hash x) (B.hash px))
+    [ 0; 1; -1; 42; 1 lsl 30; max_int; -max_int ]
+
+(* ------------------------------------------------------------------ *)
+(* of_string hardening                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let raises_invalid_arg ~prefix f =
+  match f () with
+  | _ -> false
+  | exception Invalid_argument msg ->
+    String.length msg >= String.length prefix
+    && String.equal (String.sub msg 0 (String.length prefix)) prefix
+
+let test_bigint_of_string_rejects () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "Bigint rejects %S" s)
+        true
+        (raises_invalid_arg ~prefix:"Bigint.of_string" (fun () -> B.of_string s)))
+    [ ""; "-"; "+"; " 1"; "1 "; "\t42"; "12a3"; "1.5"; "--3"; "_"; "12 34" ]
+
+let test_rat_of_string_rejects () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "Rat rejects %S" s)
+        true
+        (raises_invalid_arg ~prefix:"Rat.of_string" (fun () -> R.of_string s)))
+    [ ""; "-"; "1/"; "/2"; " 1/2"; "1/2 "; "1//2"; "abc"; "1/-"; "."; "1/2/3";
+      "1.2.3"; "--1/2" ]
+
+let test_rat_of_string_valid () =
+  (* The hardened parser must keep accepting everything it used to. *)
+  List.iter
+    (fun (s, expect) ->
+      Alcotest.(check rat) (Printf.sprintf "parses %S" s) expect (R.of_string s))
+    [ ("22/7", R.of_ints 22 7); ("-22/7", R.of_ints (-22) 7);
+      ("1.25", R.of_ints 5 4); ("-0.5", R.of_ints (-1) 2);
+      (".5", R.of_ints 1 2); ("1.", R.of_int 1); ("-17", R.of_int (-17));
+      ("1_000", R.of_int 1000); ("6/4", R.of_ints 3 2); ("0/9", R.zero) ];
+  Alcotest.check_raises "1/0 divides by zero" Division_by_zero (fun () ->
+      ignore (R.of_string "1/0"))
+
+(* ------------------------------------------------------------------ *)
+(* approx bounds on big operands; of_float dyadic roundtrips           *)
+(* ------------------------------------------------------------------ *)
+
+let prop_rat_approx_bound_big =
+  (* The denominator bound must hold for values whose components live on
+     the limb path too, and the result must never be further from x than
+     the trivial candidate round(x·d)/d for any sampled d. *)
+  QCheck.Test.make ~name:"approx respects max_den on big operands" ~count:200
+    (QCheck.pair arbitrary_rexpr (QCheck.int_range 1 997))
+    (fun (e, max_den) ->
+      QCheck.assume (max_den >= 1);
+      let x = reval_tagged e in
+      let a = R.approx ~max_den x in
+      let dist y = R.abs (R.sub x y) in
+      B.compare (R.den a) (B.of_int max_den) <= 0
+      && List.for_all
+           (fun d ->
+             let num = R.floor (R.add (R.mul_int x d) (R.of_ints 1 2)) in
+             R.compare (dist a) (dist (R.make num (B.of_int d))) <= 0)
+           (List.filter (fun d -> d >= 1) [ 1; 2; 3; max_den / 2; max_den ]))
+
+let dyadic_gen =
+  let open QCheck.Gen in
+  let* n = int_range (-(1 lsl 50)) (1 lsl 50) in
+  let* k = int_range 0 60 in
+  return (R.make (B.of_int n) (B.shift_left B.one k))
+
+let prop_of_float_dyadic_roundtrip =
+  QCheck.Test.make ~name:"of_float (to_float x) = x for dyadic x" ~count:500
+    (QCheck.make ~print:R.to_string dyadic_gen)
+    (fun x -> R.equal x (R.of_float (R.to_float x)))
+
+let prop_to_float_of_float_roundtrip =
+  QCheck.Test.make ~name:"to_float (of_float f) = f" ~count:500
+    (QCheck.make ~print:string_of_float
+       QCheck.Gen.(
+         let* m = int_range (-(1 lsl 53)) (1 lsl 53) in
+         let* e = int_range (-200) 200 in
+         return (Float.ldexp (float_of_int m) e)))
+    (fun f -> Float.equal (R.to_float (R.of_float f)) f)
+
+(* ------------------------------------------------------------------ *)
 (* Affine tests                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -489,6 +947,29 @@ let () =
             prop_rat_add_inverse; prop_rat_mul_inverse; prop_rat_normalized;
             prop_rat_compare_total_order; prop_rat_to_float_order;
             prop_rat_string_roundtrip; prop_rat_approx_best
+          ] );
+      ( "tagged-oracle",
+        qsuite [ prop_bigint_oracle; prop_rat_oracle; prop_rat_oracle_compare ] );
+      ( "tagged-unit",
+        [ Alcotest.test_case "small overflow boundaries" `Quick
+            test_small_overflow_boundaries;
+          Alcotest.test_case "promotion/demotion counters" `Quick
+            test_rat_overflow_promotes;
+          Alcotest.test_case "representation independence" `Quick
+            test_representation_independence
+        ] );
+      ( "of-string-hardening",
+        [ Alcotest.test_case "bigint rejects malformed" `Quick
+            test_bigint_of_string_rejects;
+          Alcotest.test_case "rat rejects malformed" `Quick
+            test_rat_of_string_rejects;
+          Alcotest.test_case "rat still accepts valid" `Quick
+            test_rat_of_string_valid
+        ] );
+      ( "approx-and-floats",
+        qsuite
+          [ prop_rat_approx_bound_big; prop_of_float_dyadic_roundtrip;
+            prop_to_float_of_float_roundtrip
           ] );
       ( "affine",
         [ Alcotest.test_case "eval" `Quick test_affine_eval;
