@@ -1,6 +1,6 @@
 # Convenience targets; everything real lives in dune.
 
-.PHONY: all build test bench bench-smoke bench-numeric bench-speedup trace-smoke check fmt clean
+.PHONY: all build test bench bench-smoke bench-numeric bench-speedup trace-smoke bench-durability crash-smoke check fmt clean
 
 all: build
 
@@ -38,10 +38,24 @@ trace-smoke:
 	dune build bin/dlsched.exe
 	sh scripts/trace_smoke.sh _build/default/bin/dlsched.exe
 
+# Fails unless a serve run resumed after kill -9 (WAL + snapshot + torn
+# log tail) finishes with status/metrics bit-identical to an
+# uninterrupted run.  The in-process equivalent (crash at a random event
+# index, qcheck) runs under `dune runtest`.
+crash-smoke:
+	dune build bin/dlsched.exe
+	sh scripts/crash_smoke.sh _build/default/bin/dlsched.exe
+
+# WAL overhead + in-process crash/resume identity; drops a
+# BENCH_durability.json envelope (CI uploads it).
+bench-durability:
+	dune exec bench/main.exe -- --json durability
+
 # What CI would run: full build + every test, the solve-count, parallel
-# bit-equality and trace smoke checks, plus formatting when the formatter
-# is installed (ocamlformat is optional in the dev image).
-check: build test bench-smoke bench-numeric bench-speedup trace-smoke fmt
+# bit-equality, trace and crash-recovery smoke checks, plus formatting
+# when the formatter is installed (ocamlformat is optional in the dev
+# image).
+check: build test bench-smoke bench-numeric bench-speedup trace-smoke crash-smoke fmt
 
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \

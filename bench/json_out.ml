@@ -64,9 +64,12 @@ let rec emit buf = function
    [data] layout changes incompatibly.  v3 added the [jobs] /
    [recommended_domain_count] fields recording the domain-pool width the
    numbers were measured under; v4 added the [rat] block (numeric-tower
-   fast-path tallies over the experiment's slice). *)
+   fast-path tallies over the experiment's slice); v5 scoped the [trace] /
+   [rat] deltas to the experiment proper ([mark] at experiment start, so
+   work done between two [write]s no longer leaks into the next
+   envelope). *)
 let schema = "dlsched-bench"
-let version = 4
+let version = 5
 
 (* Trace summary attached to every envelope: spans/events emitted and wall
    seconds spent inside the LP engines since the previous [write] (or
@@ -127,6 +130,21 @@ let trace_summary () =
   last_events := events;
   last_solver_s := solver_s;
   d
+
+(* Rebase every differenced baseline to "now".  The harness calls this as
+   each experiment starts; without it the [trace]/[rat] blocks of an
+   envelope also absorb whatever ran between the previous experiment's
+   [write] and this one (setup, warmups, experiments that don't write
+   JSON), crediting foreign solver seconds and rational ops to the wrong
+   experiment. *)
+let mark () =
+  last_spans := Obs.Sink.emitted_spans ();
+  last_events := Obs.Sink.emitted_events ();
+  last_solver_s := (Lp.Instrument.combined ()).Lp.Instrument.seconds;
+  last_rat_small := Numeric.Counters.small_ops ();
+  last_rat_big := Numeric.Counters.big_ops ();
+  last_rat_promoted := Numeric.Counters.promotions ();
+  last_rat_demoted := Numeric.Counters.demotions ()
 
 let write ~experiment data =
   if !enabled then begin

@@ -964,6 +964,127 @@ let run_faults () =
   Json_out.write ~experiment:"faults" (Json_out.List (List.rev !json_rows))
 
 (* ------------------------------------------------------------------ *)
+(* Durability: WAL overhead and recovery fidelity                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_durability () =
+  section "Durability: write-ahead log overhead and recovery fidelity";
+  Printf.printf
+    "Poisson GriPPS trace driven through the serving engine three ways:\n\
+     bare, write-ahead logged (fsync per event, snapshot every 50), and\n\
+     crashed at the midpoint then resumed.  The resumed state must match\n\
+     the uninterrupted logged run bit for bit.\n";
+  let count = 150 in
+  let trace = Serve.Trace.poisson ~seed:42 ~machines:4 ~banks:3 ~rate:0.3 ~count () in
+  let policy = (module Online.Policies.Mct : Online.Sim.POLICY) in
+  let submit_entry engine (e : Serve.Trace.entry) =
+    ignore
+      (Serve.Engine.submit engine ~id:e.Serve.Trace.id
+         ~arrival:e.Serve.Trace.request.W.arrival ~bank:e.Serve.Trace.request.W.bank
+         ~num_motifs:e.Serve.Trace.request.W.num_motifs ())
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  let tmp name =
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dlsched-bench-%s-%d" name (Unix.getpid ()))
+    in
+    rm_rf dir;
+    dir
+  in
+  let wal_counter name = Obs.Registry.counter Obs.Registry.global name in
+  let counts () =
+    List.map
+      (fun n -> (n, Serve.Metrics.count (wal_counter n)))
+      [ "wal.appends"; "wal.append_bytes"; "wal.fsyncs"; "wal.records_replayed";
+        "wal.snapshots"; "wal.snapshot_bytes" ]
+  in
+  (* Bare run: no durability. *)
+  let bare, bare_s =
+    time_it (fun () ->
+        let e = Serve.Engine.create ~clock:(Serve.Clock.virtual_ ()) ~policy trace.Serve.Trace.platform in
+        List.iter (submit_entry e) trace.Serve.Trace.entries;
+        Serve.Engine.drain e;
+        e)
+  in
+  (* Logged run: every event fsync'd, checkpoint every 50 records. *)
+  let dir_oracle = tmp "durability-oracle" in
+  let before = counts () in
+  let (oracle, oracle_handle), logged_s =
+    time_it (fun () ->
+        let e = Serve.Engine.create ~clock:(Serve.Clock.virtual_ ()) ~policy trace.Serve.Trace.platform in
+        let h = Serve.Snapshot.arm ~snapshot_every:50 ~dir:dir_oracle e in
+        List.iter (submit_entry e) trace.Serve.Trace.entries;
+        Serve.Engine.drain e;
+        (e, h))
+  in
+  Serve.Snapshot.close oracle_handle;
+  let logged = List.map2 (fun (n, b) (_, a) -> (n, a - b)) before (counts ()) in
+  let logged_count n = List.assoc n logged in
+  (* Crash at the midpoint, resume, finish. *)
+  let dir_crash = tmp "durability-crash" in
+  let half = count / 2 in
+  let firsts = List.filteri (fun i _ -> i < half) trace.Serve.Trace.entries in
+  let rests = List.filteri (fun i _ -> i >= half) trace.Serve.Trace.entries in
+  let e0 = Serve.Engine.create ~clock:(Serve.Clock.virtual_ ()) ~policy trace.Serve.Trace.platform in
+  let h0 = Serve.Snapshot.arm ~snapshot_every:50 ~dir:dir_crash e0 in
+  List.iter (submit_entry e0) firsts;
+  (* kill -9: the process vanishes; nothing is flushed beyond the WAL. *)
+  Serve.Snapshot.close h0;
+  let (h1, e1), resume_s =
+    time_it (fun () ->
+        Serve.Snapshot.resume ~snapshot_every:50 ~dir:dir_crash
+          ~clock:(Serve.Clock.virtual_ ()) ~policies:[ policy ] ())
+  in
+  List.iter (submit_entry e1) rests;
+  Serve.Engine.drain e1;
+  Serve.Snapshot.close h1;
+  let dump e =
+    Serve.Snapshot.state_to_string ~seq:0 ~platform:trace.Serve.Trace.platform
+      (Serve.Engine.dump e)
+  in
+  let identical = dump e1 = dump oracle in
+  let bare_done = Serve.Engine.completed bare = count in
+  rm_rf dir_oracle;
+  rm_rf dir_crash;
+  Printf.printf "%-28s %12s\n" "run" "seconds";
+  Printf.printf "%-28s %12.4f\n" "bare" bare_s;
+  Printf.printf "%-28s %12.4f\n" "write-ahead logged" logged_s;
+  Printf.printf "%-28s %12.4f\n" "resume (restore+replay)" resume_s;
+  Printf.printf
+    "logged: %d appends, %d bytes, %d fsyncs, %d snapshots (%d bytes); overhead %.2fx\n"
+    (logged_count "wal.appends")
+    (logged_count "wal.append_bytes")
+    (logged_count "wal.fsyncs")
+    (logged_count "wal.snapshots")
+    (logged_count "wal.snapshot_bytes")
+    (logged_s /. Float.max 1e-9 bare_s);
+  Printf.printf "resumed state %s the uninterrupted run\n"
+    (if identical then "IDENTICAL to" else "DIVERGES from");
+  if not (identical && bare_done) then exit 1;
+  Json_out.write ~experiment:"durability"
+    (Json_out.Obj
+       [
+         ("passed", Json_out.Bool identical);
+         ("requests", Json_out.Int count);
+         ("bare_seconds", Json_out.Float bare_s);
+         ("logged_seconds", Json_out.Float logged_s);
+         ("resume_seconds", Json_out.Float resume_s);
+         ("overhead_ratio", Json_out.Float (logged_s /. Float.max 1e-9 bare_s));
+         ("appends", Json_out.Int (logged_count "wal.appends"));
+         ("append_bytes", Json_out.Int (logged_count "wal.append_bytes"));
+         ("fsyncs", Json_out.Int (logged_count "wal.fsyncs"));
+         ("snapshots", Json_out.Int (logged_count "wal.snapshots"));
+         ("snapshot_bytes", Json_out.Int (logged_count "wal.snapshot_bytes"));
+         ("resume_identical", Json_out.Bool identical);
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1029,6 +1150,7 @@ let experiments =
     ("uniform", run_uniform);
     ("serve", run_serve);
     ("faults", run_faults);
+    ("durability", run_durability);
     ("micro", run_micro)
   ]
 
@@ -1084,7 +1206,12 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f ->
+        (* Scope the envelope's trace/rat deltas to this experiment: work
+           done by earlier experiments (or between writes) must not leak
+           into this one's BENCH_*.json. *)
+        Json_out.mark ();
+        f ()
       | None ->
         Printf.eprintf "unknown experiment %S; available: %s\n" name
           (String.concat ", " (List.map fst experiments));

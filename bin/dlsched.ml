@@ -406,20 +406,31 @@ let trace_cmd =
 
 (* --- replay / serve ------------------------------------------------- *)
 
+(* Every policy the CLI knows, keyed by the policy's own name — the same
+   name a durability snapshot records, so `serve --resume` resolves the
+   snapshot's policy from this one list. *)
+let all_policies : (module Online.Sim.POLICY) list =
+  [ (module Online.Policies.Mct);
+    (module Online.Policies.Fcfs);
+    (module Online.Policies.Srpt);
+    (module Online.Policies.Evd);
+    (module Online.Policies.Fair);
+    (module Online.Online_opt.Divisible);
+    (module Online.Online_opt.Lazy_divisible) ]
+
 let policy_arg =
-  let doc = "Scheduling policy: mct, fcfs, srpt, evd, fair, online-opt or \
-             online-opt-lazy." in
+  let keyed =
+    List.map
+      (fun m ->
+        let module P = (val m : Online.Sim.POLICY) in
+        (P.name, m))
+      all_policies
+  in
+  let doc =
+    "Scheduling policy: " ^ String.concat ", " (List.map fst keyed) ^ "."
+  in
   Arg.(value
-       & opt (enum [ ("mct", (module Online.Policies.Mct : Online.Sim.POLICY));
-                     ("fcfs", (module Online.Policies.Fcfs : Online.Sim.POLICY));
-                     ("srpt", (module Online.Policies.Srpt : Online.Sim.POLICY));
-                     ("evd", (module Online.Policies.Evd : Online.Sim.POLICY));
-                     ("fair", (module Online.Policies.Fair : Online.Sim.POLICY));
-                     ("online-opt",
-                      (module Online.Online_opt.Divisible : Online.Sim.POLICY));
-                     ("online-opt-lazy",
-                      (module Online.Online_opt.Lazy_divisible : Online.Sim.POLICY)) ])
-           (module Online.Policies.Mct : Online.Sim.POLICY)
+       & opt (enum keyed) (module Online.Policies.Mct : Online.Sim.POLICY)
        & info [ "policy"; "p" ] ~doc)
 
 let batch_arg =
@@ -509,41 +520,100 @@ let serve_cmd =
                file instead of generating a random one." in
     Arg.(value & opt (some file) None & info [ "platform" ] ~docv:"TRACE" ~doc)
   in
+  let wal_arg =
+    let doc = "Arm crash safety: append every event to a write-ahead log under \
+               $(docv) (fsync'd before it is applied) and write snapshots there \
+               on the `snapshot` command." in
+    Arg.(value & opt (some string) None & info [ "wal" ] ~docv:"DIR" ~doc)
+  in
+  let resume_arg =
+    let doc = "Recover a crashed server from the durability directory $(docv): \
+               restore the latest snapshot, replay the log tail, and keep \
+               logging there.  The platform and policy come from the snapshot; \
+               --platform/--policy/--seed are ignored." in
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"DIR" ~doc)
+  in
+  let snapshot_every_arg =
+    let doc = "With --wal/--resume: automatically checkpoint after every $(docv) \
+               logged events (0 = only on the `snapshot` command)." in
+    Arg.(value & opt int 0 & info [ "snapshot-every" ] ~docv:"N" ~doc)
+  in
   let run () socket clock platform_from machines banks replication seed policy batch
-      lost_work =
+      lost_work wal resume snapshot_every =
     (* A disconnecting client must never kill the daemon with SIGPIPE —
        writes to a dead peer surface as exceptions the session loop eats. *)
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-    let platform =
-      match platform_from with
-      | Some file -> (load_trace file).Serve.Trace.platform
-      | None ->
-        Gripps.Workload.random_platform (Gripps.Prng.create seed) ~machines ~banks
-          ~replication
-    in
     let clock =
       match clock with `Wall -> Serve.Clock.wall () | `Virtual -> Serve.Clock.virtual_ ()
     in
-    let engine =
-      Serve.Engine.create ~batch_window:(Gripps.Workload.quantize batch) ~lost_work
-        ~clock ~policy platform
+    let durability, engine =
+      match resume with
+      | Some dir ->
+        (match wal with
+         | Some d when d <> dir ->
+           Format.eprintf
+             "dlsched: --wal %s conflicts with --resume %s (a resumed server keeps \
+              logging into the directory it recovered from)@."
+             d dir;
+           exit 2
+         | _ -> ());
+        let handle, engine =
+          or_die
+            (fun () ->
+              Serve.Snapshot.resume ~snapshot_every ~dir ~clock
+                ~policies:all_policies ())
+            ()
+        in
+        Format.eprintf "dlsched serve: resumed from %s (seq %d, now=%s, %d/%d \
+                        requests completed)@."
+          dir
+          (Serve.Engine.last_seq engine)
+          (R.to_string (Serve.Engine.now engine))
+          (Serve.Engine.completed engine)
+          (Serve.Engine.submitted engine);
+        (Some handle, engine)
+      | None ->
+        let platform =
+          match platform_from with
+          | Some file -> (load_trace file).Serve.Trace.platform
+          | None ->
+            Gripps.Workload.random_platform (Gripps.Prng.create seed) ~machines ~banks
+              ~replication
+        in
+        let engine =
+          Serve.Engine.create ~batch_window:(Gripps.Workload.quantize batch) ~lost_work
+            ~clock ~policy platform
+        in
+        let durability =
+          Option.map
+            (fun dir ->
+              let h = or_die (fun () -> Serve.Snapshot.arm ~snapshot_every ~dir engine) () in
+              Format.eprintf "dlsched serve: write-ahead log armed at %s@." dir;
+              h)
+            wal
+        in
+        (durability, engine)
     in
+    let platform = Serve.Engine.platform engine in
     let server = Serve.Server.create engine in
     Format.eprintf "dlsched serve: %d machines, %d banks; commands: \
-                    submit/status/metrics/trace/spans/fail/recover/tick/drain/quit@."
+                    submit/status/metrics/trace/spans/fail/recover/tick/drain/snapshot/quit@."
       (Array.length platform.Gripps.Workload.speeds)
       (Array.length platform.Gripps.Workload.bank_sizes);
-    match socket with
-    | Some path ->
-      Format.eprintf "listening on %s@." path;
-      Serve.Server.run_socket server ~path
-    | None -> Serve.Server.run server stdin stdout
+    Fun.protect
+      ~finally:(fun () -> Option.iter Serve.Snapshot.close durability)
+      (fun () ->
+        match socket with
+        | Some path ->
+          Format.eprintf "listening on %s@." path;
+          Serve.Server.run_socket server ~path
+        | None -> Serve.Server.run server stdin stdout)
   in
   let doc = "Run the scheduler as a daemon speaking a newline-delimited command              protocol on stdin/stdout or a Unix socket." in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ setup_arg $ socket $ clock $ platform_from $ trace_machines
           $ trace_banks $ trace_replication $ trace_seed $ policy_arg $ batch_arg
-          $ lost_work_arg)
+          $ lost_work_arg $ wal_arg $ resume_arg $ snapshot_every_arg)
 
 let () =
   let doc = "exact schedulers for divisible requests on heterogeneous databanks" in

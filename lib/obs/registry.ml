@@ -127,6 +127,55 @@ let hmax h = Mutex.protect lock (fun () -> hmax_unlocked h)
 
 let ordered_unlocked t = List.rev t.items
 
+(* --- snapshot / restore ----------------------------------------------- *)
+
+type dump_item =
+  | Dump_counter of int
+  | Dump_gauge of { value : float; peak : float }
+  | Dump_histogram of float array
+
+let dump t =
+  Mutex.protect lock (fun () ->
+      List.rev_map
+        (fun (name, i) ->
+          ( name,
+            match i with
+            | Counter c -> Dump_counter c.count
+            | Gauge g -> Dump_gauge { value = g.value; peak = g.peak }
+            | Histogram h -> Dump_histogram (Array.sub h.buf 0 h.len) ))
+        t.items)
+
+let load t items =
+  List.iter
+    (fun (name, item) ->
+      match item with
+      | Dump_counter n -> (
+        match find_or_create t name (fun () -> Counter { count = 0 }) with
+        | Counter c -> Mutex.protect lock (fun () -> c.count <- n)
+        | _ -> invalid_arg (Printf.sprintf "Registry.load: %S is not a counter" name))
+      | Dump_gauge { value; peak } -> (
+        match find_or_create t name (fun () -> Gauge { value = 0.; peak = 0. }) with
+        | Gauge g ->
+          Mutex.protect lock (fun () ->
+              g.value <- value;
+              g.peak <- peak)
+        | _ -> invalid_arg (Printf.sprintf "Registry.load: %S is not a gauge" name))
+      | Dump_histogram samples -> (
+        match
+          find_or_create t name (fun () ->
+              Histogram { buf = Array.make 64 0.; len = 0; sorted = true })
+        with
+        | Histogram h ->
+          Mutex.protect lock (fun () ->
+              let n = Array.length samples in
+              (* Keep a non-empty backing array: [observe] doubles the
+                 capacity when full, and doubling 0 would stay 0. *)
+              h.buf <- (if n = 0 then Array.make 64 0. else Array.copy samples);
+              h.len <- n;
+              h.sorted <- false)
+        | _ -> invalid_arg (Printf.sprintf "Registry.load: %S is not a histogram" name)))
+    items
+
 let to_text t =
   Mutex.protect lock (fun () ->
       let buf = Buffer.create 512 in

@@ -71,6 +71,29 @@ val hsum : histogram -> float
 val hmin : histogram -> float
 val hmax : histogram -> float
 
+(** {1 Snapshot / restore}
+
+    A registry can be dumped to a plain value and loaded back exactly —
+    the serving layer's durability subsystem persists engine metrics this
+    way.  Histograms dump {e every} sample in buffer order, so a loaded
+    registry reproduces not just the same quantiles but the same report
+    text bit for bit. *)
+
+type dump_item =
+  | Dump_counter of int
+  | Dump_gauge of { value : float; peak : float }
+  | Dump_histogram of float array  (** samples, in insertion order *)
+
+val dump : t -> (string * dump_item) list
+(** Every instrument with its current contents, in creation order. *)
+
+val load : t -> (string * dump_item) list -> unit
+(** Find-or-create each named instrument and overwrite its contents.
+    Instruments present in the registry but absent from the dump are left
+    untouched.
+    @raise Invalid_argument if a name already exists with a different
+    instrument kind. *)
+
 (** {1 Reports} *)
 
 val to_text : t -> string

@@ -1,23 +1,72 @@
-type t = Virtual of float ref | Wall
+(* Wall time is monotonized: [Unix.gettimeofday] may step backwards (NTP
+   slew, manual resets), and both the engine's catch-up and the sleep loop
+   below assume time only moves forward.  The wall record tracks an
+   additive [offset] that absorbs every observed backwards step, so [now]
+   never regresses, and [advance_to] credits each completed sleep to the
+   monotonic view, so the loop terminates after one full sleep instead of
+   chasing a receding target. *)
+
+type wall = {
+  src : unit -> float;  (* raw clock, normally Unix.gettimeofday *)
+  sleep : float -> unit;  (* may raise Unix_error (EINTR, _, _) *)
+  mutable offset : float;  (* monotonic correction added to [src ()] *)
+  mutable last : float;  (* last value [now] returned *)
+}
+
+type t = Virtual of float ref | Wall of wall
 
 let virtual_ ?(start = 0.) () = Virtual (ref start)
-let wall () = Wall
 
-let now = function
-  | Virtual r -> !r
-  | Wall -> Unix.gettimeofday ()
+let wall_with ~now ~sleep () =
+  Wall { src = now; sleep; offset = 0.; last = neg_infinity }
+
+let wall () = wall_with ~now:Unix.gettimeofday ~sleep:Unix.sleepf ()
+
+let wall_now w =
+  let v = w.src () +. w.offset in
+  (* A non-finite reading (a broken source) is reported as-is but must not
+     poison [offset]/[last] — folding an infinite step into the offset
+     would pin the clock forever. *)
+  if not (Float.is_finite v) then v
+  else begin
+    let v =
+      if v < w.last then begin
+        (* The raw clock stepped backwards: fold the step into the offset
+           so observed time stays put instead of regressing. *)
+        w.offset <- w.offset +. (w.last -. v);
+        w.last
+      end
+      else v
+    in
+    w.last <- v;
+    v
+  end
+
+let now = function Virtual r -> !r | Wall w -> wall_now w
 
 let advance_to t target =
   match t with
   | Virtual r -> if target > !r then r := target
-  | Wall ->
-    let rec sleep () =
-      let dt = target -. Unix.gettimeofday () in
+  | Wall w ->
+    let rec loop () =
+      let before = wall_now w in
+      let dt = target -. before in
       if dt > 0. then begin
-        (try Unix.sleepf dt with Unix.Unix_error (Unix.EINTR, _, _) -> ());
-        sleep ()
+        match w.sleep dt with
+        | () ->
+          (* Credit the full sleep even if the raw clock stepped back
+             meanwhile: monotonic time advances by at least [dt], so the
+             next iteration sees the target reached and the total time
+             slept is bounded by the initial gap (plus interruptions). *)
+          let after = wall_now w in
+          if after < before +. dt then begin
+            w.offset <- w.offset +. (before +. dt -. after);
+            w.last <- before +. dt
+          end;
+          loop ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
       end
     in
-    sleep ()
+    loop ()
 
-let is_virtual = function Virtual _ -> true | Wall -> false
+let is_virtual = function Virtual _ -> true | Wall _ -> false

@@ -21,7 +21,21 @@ val virtual_ : ?start:float -> unit -> t
 
 val wall : unit -> t
 (** The system clock.  {!advance_to} sleeps until the target date
-    (interruption-tolerant); advancing to a past date is a no-op. *)
+    (interruption-tolerant); advancing to a past date is a no-op.
+
+    Wall time is {e monotonized}: [Unix.gettimeofday] may step backwards
+    (NTP corrections), but {!now} folds every observed backwards step
+    into an internal offset and never regresses, and {!advance_to}
+    credits each completed sleep to that monotonic view — so a clock
+    stepped back mid-sleep cannot make the loop oversleep unboundedly,
+    and the engine's catch-up never observes time running in reverse. *)
+
+val wall_with : now:(unit -> float) -> sleep:(float -> unit) -> unit -> t
+(** A wall clock over injected time and sleep functions — a test hook
+    for exercising the monotonization logic against scripted clock
+    steps; [sleep] may raise [Unix_error (EINTR, _, _)] to simulate
+    interruptions.  [wall ()] is
+    [wall_with ~now:Unix.gettimeofday ~sleep:Unix.sleepf ()]. *)
 
 val now : t -> float
 

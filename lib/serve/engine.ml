@@ -15,6 +15,8 @@ type lost_work = [ `Lost | `Preserved ]
 type job = {
   id : string;
   arrival : Rat.t;
+  bank : int;  (* kept for durability snapshots; costs derive from it *)
+  num_motifs : int;
   column : Rat.t option array;  (* cost per machine, healthy platform *)
   weight : Rat.t;
   fastest : Rat.t;  (* min finite cost, for stretch accounting *)
@@ -30,7 +32,7 @@ type t = {
   platform : W.platform;
   policy : (module Sim.POLICY);
   clock : Clock.t;
-  origin : float;  (* clock date of engine time 0 *)
+  mutable origin : float;  (* clock date of engine time 0; rebased on restore *)
   batch_window : Rat.t;
   objective : objective;
   lost_work : lost_work;
@@ -88,6 +90,17 @@ type t = {
   c_rat_big : Metrics.counter;
   c_rat_promoted : Metrics.counter;
   c_rat_demoted : Metrics.counter;
+  (* Durability (DESIGN.md §11).  When armed, every externally visible
+     event is appended to a write-ahead log *before* it is applied, and a
+     checkpoint closure serializes the whole state every [wal_every]
+     records. *)
+  mutable wal_log : (Wal.record -> int) option;  (* append + fsync; returns seq *)
+  mutable wal_checkpoint : (unit -> unit) option;  (* write a snapshot *)
+  mutable wal_truncate : (unit -> unit) option;  (* drop the covered log *)
+  mutable wal_every : int;  (* auto-checkpoint threshold; 0 = manual only *)
+  mutable wal_since : int;  (* records applied since the last checkpoint *)
+  mutable wal_last_seq : int;  (* seq of the last record applied *)
+  mutable wal_replaying : bool;  (* recovery replay: records are already durable *)
 }
 
 let bug fmt = Printf.ksprintf (fun s -> failwith ("Serve.Engine: " ^ s)) fmt
@@ -153,6 +166,13 @@ let create ?(batch_window = Rat.zero) ?(objective = `Stretch) ?(lost_work = `Los
       c_rat_big = Metrics.counter metrics "rat.big_ops";
       c_rat_promoted = Metrics.counter metrics "rat.promotions";
       c_rat_demoted = Metrics.counter metrics "rat.demotions";
+      wal_log = None;
+      wal_checkpoint = None;
+      wal_truncate = None;
+      wal_every = 0;
+      wal_since = 0;
+      wal_last_seq = 0;
+      wal_replaying = false;
     }
   in
   Metrics.set t.g_machines_up (float_of_int m);
@@ -270,17 +290,69 @@ let push t job =
   t.n <- t.n + 1;
   t.n - 1
 
-let submit t ~id ?arrival ~bank ~num_motifs () =
-  if num_motifs <= 0 then invalid_arg "Engine.submit: motif count must be positive";
-  if bank < 0 || bank >= Array.length t.platform.W.bank_sizes then
-    invalid_arg (Printf.sprintf "Engine.submit: bank %d out of range" bank);
-  if Hashtbl.mem t.ids id then
-    invalid_arg (Printf.sprintf "Engine.submit: duplicate request id %S" id);
-  let arrival = match arrival with Some a -> a | None -> clock_date t in
-  if Rat.compare arrival t.now < 0 then
-    invalid_arg
-      (Printf.sprintf "Engine.submit: arrival %s precedes engine time %s"
-         (Rat.to_string arrival) (Rat.to_string t.now));
+(* --- durability ------------------------------------------------------ *)
+
+(* Scheduling barrier: discard the opaque policy runner and the cached
+   decision, exactly as a live submission does.  A snapshot taken right
+   after [quiesce] therefore captures the *complete* engine state — the
+   one piece that cannot be serialized (the policy's abstract state) has
+   been reset to a function of the serializable rest — which is what makes
+   a resumed engine bit-identical to the uninterrupted one: both rebuild
+   the policy from the same jobs at the same point. *)
+let quiesce t =
+  if t.runner <> None then begin
+    t.runner <- None;
+    Metrics.incr t.c_rebuilds
+  end;
+  t.decision <- None;
+  t.dirty <- true;
+  t.batch_deadline <- None
+
+let checkpoint t =
+  match t.wal_checkpoint with
+  | None -> false
+  | Some save ->
+    (* Barrier first: the snapshot must capture the post-barrier state the
+       surviving run continues from. *)
+    quiesce t;
+    save ();
+    (* The snapshot covers every record in the log; drop them.  Skipped
+       during recovery replay — the tail still in the log after this point
+       has not been re-appended, so wiping it would lose it.  (Stale
+       records a crash leaves behind are skipped by seq on resume.) *)
+    if not t.wal_replaying then Option.iter (fun f -> f ()) t.wal_truncate;
+    t.wal_since <- 0;
+    true
+
+let set_durability t ~log ~checkpoint:save ~truncate ~every ~last_seq =
+  if every < 0 then invalid_arg "Engine.set_durability: negative snapshot interval";
+  t.wal_log <- Some log;
+  t.wal_checkpoint <- Some save;
+  t.wal_truncate <- Some truncate;
+  t.wal_every <- every;
+  t.wal_since <- 0;
+  t.wal_last_seq <- last_seq
+
+let last_seq t = t.wal_last_seq
+
+let log_record t record =
+  match t.wal_log with
+  | Some log when not t.wal_replaying -> t.wal_last_seq <- log record
+  | Some _ | None -> ()
+
+(* One durable record was applied (live or replayed): advance the
+   checkpoint cadence.  Counting replayed records too keeps the snapshot
+   points of a resumed run aligned with the uninterrupted one — including
+   re-taking a snapshot whose write was lost to the crash. *)
+let bump t =
+  if t.wal_log <> None then begin
+    t.wal_since <- t.wal_since + 1;
+    if t.wal_every > 0 && t.wal_since >= t.wal_every then ignore (checkpoint t)
+  end
+
+(* --- admission -------------------------------------------------------- *)
+
+let make_job t ~id ~arrival ~bank ~num_motifs =
   let request = { W.arrival; bank; num_motifs } in
   let column = W.cost_column t.platform request in
   let fastest =
@@ -293,19 +365,35 @@ let submit t ~id ?arrival ~bank ~num_motifs () =
     |> Option.get
   in
   let weight = match t.objective with `Flow -> Rat.one | `Stretch -> Rat.inv fastest in
-  let idx =
-    push t
-      {
-        id;
-        arrival;
-        column;
-        weight;
-        fastest;
-        arrived = false;
-        parked = false;
-        completed_at = None;
-      }
-  in
+  {
+    id;
+    arrival;
+    bank;
+    num_motifs;
+    column;
+    weight;
+    fastest;
+    arrived = false;
+    parked = false;
+    completed_at = None;
+  }
+
+let submit t ~id ?arrival ~bank ~num_motifs () =
+  if num_motifs <= 0 then invalid_arg "Engine.submit: motif count must be positive";
+  if bank < 0 || bank >= Array.length t.platform.W.bank_sizes then
+    invalid_arg (Printf.sprintf "Engine.submit: bank %d out of range" bank);
+  if Hashtbl.mem t.ids id then
+    invalid_arg (Printf.sprintf "Engine.submit: duplicate request id %S" id);
+  let arrival = match arrival with Some a -> a | None -> clock_date t in
+  if Rat.compare arrival t.now < 0 then
+    invalid_arg
+      (Printf.sprintf "Engine.submit: arrival %s precedes engine time %s"
+         (Rat.to_string arrival) (Rat.to_string t.now));
+  let job = make_job t ~id ~arrival ~bank ~num_motifs in
+  (* Validation done; the arrival date is resolved.  Make the event
+     durable before any state changes. *)
+  log_record t (Wal.Submit { id; arrival; bank; num_motifs });
+  let idx = push t job in
   Hashtbl.add t.ids id idx;
   (* The instance grew: caches over the old job set are stale.  A live
      rebuild mid-run is counted; replay submits everything up front. *)
@@ -319,6 +407,7 @@ let submit t ~id ?arrival ~bank ~num_motifs () =
     Metrics.incr t.c_rebuilds
   end;
   Metrics.incr t.c_submitted;
+  bump t;
   idx
 
 (* --- policy plumbing ------------------------------------------------ *)
@@ -567,17 +656,19 @@ let inject t ~at fault =
    | Trace.Fail i | Trace.Recover i ->
      if i < 0 || i >= m then
        invalid_arg (Printf.sprintf "Engine.inject: machine %d out of range" i));
-  if Rat.compare at t.now <= 0 then
-    (* The date is already past (e.g. a live [fail] command racing the
-       clock): apply it right now rather than rewriting history. *)
-    apply_fault t fault
-  else begin
-    let rec insert = function
-      | ((a, _) as hd) :: tl when Rat.compare a at <= 0 -> hd :: insert tl
-      | rest -> (at, fault) :: rest
-    in
-    t.faults <- insert t.faults
-  end
+  log_record t (Wal.Inject { at; fault });
+  (if Rat.compare at t.now <= 0 then
+     (* The date is already past (e.g. a live [fail] command racing the
+        clock): apply it right now rather than rewriting history. *)
+     apply_fault t fault
+   else begin
+     let rec insert = function
+       | ((a, _) as hd) :: tl when Rat.compare a at <= 0 -> hd :: insert tl
+       | rest -> (at, fault) :: rest
+     in
+     t.faults <- insert t.faults
+   end);
+  bump t
 
 let fire_due_faults t =
   let rec go () =
@@ -606,7 +697,10 @@ let next_arrival_after t date =
   !best
 
 let advance_time t date =
-  Clock.advance_to t.clock (t.origin +. Rat.to_float date);
+  (* During recovery replay the events being applied happened in the past:
+     engine time advances logically without waiting on the wall clock
+     (Snapshot.resume rebases the clock once replay is done). *)
+  if not t.wal_replaying then Clock.advance_to t.clock (t.origin +. Rat.to_float date);
   t.now <- date
 
 let append_slices t segment_slices =
@@ -738,15 +832,154 @@ let step t ~limit =
     end
   done
 
-let run_until t date = if Rat.compare date t.now > 0 then step t ~limit:(Some date)
+let run_until t date =
+  if Rat.compare date t.now > 0 then begin
+    (* The resolved target date goes in the record, so replay never
+       re-reads a clock: [Advance] covers virtual ticks and wall catch-ups
+       alike. *)
+    log_record t (Wal.Advance date);
+    step t ~limit:(Some date);
+    bump t
+  end
 
-let catch_up t = if not (Clock.is_virtual t.clock) then run_until t (clock_date t)
+let catch_up t =
+  if not (Clock.is_virtual t.clock) then begin
+    let d = Clock.now t.clock -. t.origin in
+    (* A deranged wall clock (NaN or infinite) must never become an engine
+       date — the same guard the server applies to [tick] seconds. *)
+    if Float.is_finite d && d > 0. then run_until t (W.quantize d)
+  end
 
-let drain t = if t.num_completed < t.n then step t ~limit:None
+let drain t =
+  if t.num_completed < t.n then begin
+    log_record t Wal.Drain;
+    step t ~limit:None;
+    bump t
+  end
 
 let schedule t =
   if t.n = 0 then invalid_arg "Engine.schedule: nothing submitted";
   S.make (instance t) (List.rev t.slices)
+
+(* --- recovery --------------------------------------------------------- *)
+
+let apply_record t ~seq record =
+  t.wal_replaying <- true;
+  Fun.protect
+    ~finally:(fun () -> t.wal_replaying <- false)
+    (fun () ->
+      t.wal_last_seq <- seq;
+      match record with
+      | Wal.Submit { id; arrival; bank; num_motifs } ->
+        ignore (submit t ~id ~arrival ~bank ~num_motifs ())
+      | Wal.Inject { at; fault } -> inject t ~at fault
+      | Wal.Advance date -> run_until t date
+      | Wal.Drain -> drain t)
+
+let rebase t = t.origin <- Clock.now t.clock -. Rat.to_float t.now
+
+(* --- snapshot state --------------------------------------------------- *)
+
+type job_state = {
+  js_id : string;
+  js_arrival : Rat.t;
+  js_bank : int;
+  js_num_motifs : int;
+  js_remaining : Rat.t;
+  js_arrived : bool;
+  js_parked : bool;
+  js_completed_at : Rat.t option;
+}
+
+type state = {
+  st_policy : string;
+  st_batch_window : Rat.t;
+  st_objective : objective;
+  st_lost_work : lost_work;
+  st_now : Rat.t;
+  st_jobs : job_state list;  (* in submission (= policy index) order *)
+  st_overlay : W.machine_state array;
+  st_faults : (Rat.t * Trace.fault) list;  (* pending, sorted by date *)
+  st_slices : S.slice list;  (* chronological *)
+  st_last_stop : Rat.t array;
+  st_num_completed : int;
+  st_metrics : (string * Metrics.dump_item) list;
+}
+
+let dump t =
+  {
+    st_policy = policy_name t;
+    st_batch_window = t.batch_window;
+    st_objective = t.objective;
+    st_lost_work = t.lost_work;
+    st_now = t.now;
+    st_jobs =
+      List.init t.n (fun j ->
+          let job = t.jobs.(j) in
+          {
+            js_id = job.id;
+            js_arrival = job.arrival;
+            js_bank = job.bank;
+            js_num_motifs = job.num_motifs;
+            js_remaining = t.remaining.(j);
+            js_arrived = job.arrived;
+            js_parked = job.parked;
+            js_completed_at = job.completed_at;
+          });
+    st_overlay = Array.copy t.overlay;
+    st_faults = t.faults;
+    st_slices = List.rev t.slices;
+    st_last_stop = Array.copy t.last_stop;
+    st_num_completed = t.num_completed;
+    st_metrics = Metrics.dump t.metrics;
+  }
+
+let restore ~clock ~policy platform st =
+  let (module P : Sim.POLICY) = policy in
+  if P.name <> st.st_policy then
+    invalid_arg
+      (Printf.sprintf "Engine.restore: snapshot was taken under policy %s, not %s"
+         st.st_policy P.name);
+  let m = Array.length platform.W.speeds in
+  if Array.length st.st_overlay <> m then
+    invalid_arg "Engine.restore: overlay size does not match the platform";
+  if Array.length st.st_last_stop <> m then
+    invalid_arg "Engine.restore: machine count does not match the platform";
+  let t =
+    create ~batch_window:st.st_batch_window ~objective:st.st_objective
+      ~lost_work:st.st_lost_work ~clock ~policy platform
+  in
+  t.now <- st.st_now;
+  rebase t;
+  List.iter
+    (fun js ->
+      if js.js_bank < 0 || js.js_bank >= Array.length platform.W.bank_sizes then
+        invalid_arg
+          (Printf.sprintf "Engine.restore: job %S references bank %d out of range"
+             js.js_id js.js_bank);
+      if Hashtbl.mem t.ids js.js_id then
+        invalid_arg (Printf.sprintf "Engine.restore: duplicate request id %S" js.js_id);
+      let job =
+        make_job t ~id:js.js_id ~arrival:js.js_arrival ~bank:js.js_bank
+          ~num_motifs:js.js_num_motifs
+      in
+      job.arrived <- js.js_arrived;
+      job.parked <- js.js_parked;
+      job.completed_at <- js.js_completed_at;
+      let idx = push t job in
+      t.remaining.(idx) <- js.js_remaining;
+      Hashtbl.add t.ids js.js_id idx)
+    st.st_jobs;
+  Array.blit st.st_overlay 0 t.overlay 0 m;
+  t.faults <- st.st_faults;
+  t.slices <- List.rev st.st_slices;
+  Array.blit st.st_last_stop 0 t.last_stop 0 m;
+  t.num_completed <- st.st_num_completed;
+  (* Last: the dump holds the exact instrument contents (including the
+     gauges [create] pre-set), so loading it reproduces reports bit for
+     bit. *)
+  Metrics.load t.metrics st.st_metrics;
+  t
 
 let replay ?batch_window ?objective ?lost_work ~policy (trace : Trace.t) =
   let clock = Clock.virtual_ () in

@@ -159,3 +159,104 @@ val replay :
   t
 (** Submit the whole trace to a fresh virtual-clock engine, {!inject} its
     fault events, and {!drain} it. *)
+
+(** {1 Durability}
+
+    The engine is deterministic in its sequence of externally visible
+    events, so crash consistency reduces to logging that sequence: when
+    armed ({!set_durability}), every {!submit}, {!inject}, {!run_until} /
+    {!catch_up} advance and {!drain} is appended to a write-ahead log
+    {e before} it is applied.  Snapshots ({!checkpoint}) serialize the
+    whole engine state ({!dump}) and let the covered log prefix be
+    dropped.  {!Snapshot} owns the on-disk formats and the [--resume]
+    orchestration; DESIGN.md §11 states the invariant. *)
+
+val set_durability :
+  t ->
+  log:(Wal.record -> int) ->
+  checkpoint:(unit -> unit) ->
+  truncate:(unit -> unit) ->
+  every:int ->
+  last_seq:int ->
+  unit
+(** Arm write-ahead logging.  [log] must make the record durable and
+    return its seq; [checkpoint] must persist {!dump}; [truncate] drops
+    the log once a snapshot covers it (never invoked during recovery
+    replay — the un-reappended tail must survive).  [every] > 0 takes an
+    automatic checkpoint after that many logged records ([0] = only on
+    explicit {!checkpoint}); [last_seq] seeds {!last_seq} (the highest seq
+    already applied — [0] on a fresh log).
+    @raise Invalid_argument on a negative [every]. *)
+
+val checkpoint : t -> bool
+(** Take a snapshot now: quiesce the policy (a scheduling barrier — the
+    opaque policy state is discarded and will be rebuilt from the
+    serializable state, exactly as a live submission forces), invoke the
+    armed checkpoint closure, and truncate the covered log.  Returns
+    [false] when durability is not armed. *)
+
+val last_seq : t -> int
+(** Seq of the last WAL record logged or replayed; what a snapshot records
+    as the prefix it covers. *)
+
+val apply_record : t -> seq:int -> Wal.record -> unit
+(** Recovery replay: apply one already-durable record.  Nothing is
+    re-appended and nothing sleeps — time advances logically even on a
+    wall clock (call {!rebase} when the tail is exhausted).  Automatic
+    checkpoints still fire at the same record counts as in the original
+    run, re-taking any snapshot whose write the crash lost. *)
+
+val rebase : t -> unit
+(** Re-anchor the engine epoch so the clock's {e current} date maps to the
+    current engine time — the downtime between crash and resume is excised
+    rather than replayed as idle time. *)
+
+(** {2 Snapshot state}
+
+    Everything {!restore} needs, as plain serializable values (the policy
+    by name, jobs by their admission parameters, metrics as an
+    {!Obs.Registry.dump}).  Meaningful as a bit-identity capture only at a
+    barrier — {!checkpoint} quiesces before calling {!dump}. *)
+
+type job_state = {
+  js_id : string;
+  js_arrival : Rat.t;
+  js_bank : int;
+  js_num_motifs : int;
+  js_remaining : Rat.t;
+  js_arrived : bool;
+  js_parked : bool;
+  js_completed_at : Rat.t option;
+}
+
+type state = {
+  st_policy : string;
+  st_batch_window : Rat.t;
+  st_objective : objective;
+  st_lost_work : lost_work;
+  st_now : Rat.t;
+  st_jobs : job_state list;  (** in submission (= policy index) order *)
+  st_overlay : Gripps.Workload.machine_state array;
+  st_faults : (Rat.t * Trace.fault) list;  (** pending, sorted by date *)
+  st_slices : Sched_core.Schedule.slice list;  (** chronological *)
+  st_last_stop : Rat.t array;
+  st_num_completed : int;
+  st_metrics : (string * Obs.Registry.dump_item) list;
+}
+
+val dump : t -> state
+
+val restore :
+  clock:Clock.t ->
+  policy:(module Online.Sim.POLICY) ->
+  Gripps.Workload.platform ->
+  state ->
+  t
+(** Rebuild an engine from a dumped state: jobs are re-admitted with their
+    recorded flags and remaining fractions, the availability overlay,
+    pending faults, slices and metrics are restored exactly, and the
+    engine epoch is anchored so the clock's current date maps to
+    [st_now].  The policy runner is rebuilt lazily on the first decision,
+    mirroring the quiesce on the snapshot side.
+    @raise Invalid_argument if the policy's name, the machine count or a
+    job's bank index does not match the given platform/policy. *)

@@ -92,12 +92,19 @@ let handle_line_unlocked t line =
      `Continue)
   | [ "tick"; seconds ] -> (
     match float_of_string_opt seconds with
-    | Some s when s > 0. -> (
+    (* Finiteness matters: [inf] satisfies [> 0.] and would quantize into
+       a nonsense engine date. *)
+    | Some s when Float.is_finite s && s > 0. -> (
       try
         Engine.run_until e (Rat.add (Engine.now e) (Gripps.Workload.quantize s));
         (okf "now=%s" (Rat.to_string (Engine.now e)), `Continue)
       with Invalid_argument msg -> (errf "%s" msg, `Continue))
-    | _ -> (errf "usage: tick SECONDS (positive)", `Continue))
+    | _ -> (errf "usage: tick SECONDS (positive, finite)", `Continue))
+  | [ "snapshot" ] -> (
+    match Engine.checkpoint e with
+    | true -> (okf "snapshot seq=%d" (Engine.last_seq e), `Continue)
+    | false -> (errf "no write-ahead log armed (start the server with --wal DIR)", `Continue)
+    | exception Invalid_argument msg -> (errf "%s" msg, `Continue))
   | [ "drain" ] -> (
     try
       Engine.drain e;
@@ -107,7 +114,7 @@ let handle_line_unlocked t line =
   | [ "quit" ] -> (okf "bye", `Quit)
   | cmd :: _ ->
     (errf
-       "unknown command %S (try submit/status/metrics/trace/spans/fail/recover/tick/drain/quit)"
+       "unknown command %S (try submit/status/metrics/trace/spans/fail/recover/tick/drain/snapshot/quit)"
        cmd,
      `Continue)
 

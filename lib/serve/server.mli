@@ -20,8 +20,13 @@
     tick SECONDS            advance a virtual clock; err on a wall clock
     drain                   run until every admitted request completes
                             (or only starved requests remain)
+    snapshot                checkpoint the engine state and truncate the
+                            write-ahead log; err when --wal is not armed
     quit                    ok bye, then the connection/loop ends
     v}
+
+    [tick] rejects non-positive and non-finite seconds ([nan], [inf]) —
+    only a finite positive duration can become an engine date.
 
     [metrics json] and [spans] each emit exactly one well-formed JSON
     line before their [ok], whatever the engine state — an empty registry

@@ -1,0 +1,412 @@
+(* Snapshots and recovery orchestration for the serving engine.
+
+   A durability directory (--wal DIR) holds three files:
+
+     DIR/meta      engine state at arm time (seq 0) — the recovery base
+                   when no checkpoint has been taken yet
+     DIR/snapshot  the latest checkpoint, atomically replaced
+     DIR/wal       the write-ahead log (Wal framing)
+
+   A snapshot file is line-oriented ASCII: a version line, the covered WAL
+   seq, the platform embedded in Trace's canonical text form, then the
+   engine state (Engine.dump) — jobs, availability overlay, pending
+   faults, slices, metrics — all rationals in exact Rat text form and all
+   floats in lossless hexadecimal (%h), closed by an Adler-32 trailer over
+   every preceding byte.  Files are written to a temp name, fsync'd and
+   renamed, so a crash leaves either the old snapshot or the new one,
+   never a torn file.
+
+   Recovery (resume) loads DIR/snapshot if present (else DIR/meta),
+   restores the engine, then replays the WAL records with seq beyond the
+   snapshot's — records at or below it are stale leftovers of a lost
+   post-checkpoint truncation and are skipped.  Replayed records re-drive
+   the exact live code paths (Engine.apply_record), including re-taking
+   automatic checkpoints at the same record counts, so the resumed engine
+   is bit-identical to one that never crashed. *)
+
+module Rat = Numeric.Rat
+module W = Gripps.Workload
+
+let meta_file dir = Filename.concat dir "meta"
+let snapshot_file dir = Filename.concat dir "snapshot"
+let wal_file dir = Filename.concat dir "wal"
+
+let c_snapshots = Obs.Registry.counter Obs.Registry.global "wal.snapshots"
+let c_snapshot_bytes = Obs.Registry.counter Obs.Registry.global "wal.snapshot_bytes"
+
+let fail fmt = Printf.ksprintf (fun s -> invalid_arg ("Snapshot: " ^ s)) fmt
+
+(* Lossless float text: hexadecimal significand ("%h"), which
+   float_of_string round-trips exactly (nan and infinity included). *)
+let float_repr = Printf.sprintf "%h"
+
+let no_ws s =
+  s <> ""
+  && not (String.exists (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s)
+
+(* --- serialization ---------------------------------------------------- *)
+
+let state_to_string ~seq ~platform (st : Engine.state) =
+  let b = Buffer.create 4096 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b s;
+        Buffer.add_char b '\n')
+      fmt
+  in
+  line "dlsched-snapshot v1";
+  line "seq %d" seq;
+  line "platform-begin";
+  let ptext = Trace.to_string { Trace.platform; entries = []; events = [] } in
+  Buffer.add_string b ptext;
+  if ptext <> "" && ptext.[String.length ptext - 1] <> '\n' then Buffer.add_char b '\n';
+  line "platform-end";
+  if not (no_ws st.Engine.st_policy) then fail "unencodable policy name %S" st.st_policy;
+  line "policy %s" st.st_policy;
+  line "batch_window %s" (Rat.to_string st.st_batch_window);
+  line "objective %s" (match st.st_objective with `Flow -> "flow" | `Stretch -> "stretch");
+  line "lost_work %s"
+    (match st.st_lost_work with `Lost -> "lost" | `Preserved -> "preserved");
+  line "now %s" (Rat.to_string st.st_now);
+  line "jobs %d" (List.length st.st_jobs);
+  List.iter
+    (fun (js : Engine.job_state) ->
+      if not (Wal.encodable_id js.js_id) then fail "unencodable request id %S" js.js_id;
+      line "job %s %s %d %d %s %d %d %s" js.js_id (Rat.to_string js.js_arrival)
+        js.js_bank js.js_num_motifs
+        (Rat.to_string js.js_remaining)
+        (if js.js_arrived then 1 else 0)
+        (if js.js_parked then 1 else 0)
+        (match js.js_completed_at with None -> "none" | Some r -> Rat.to_string r))
+    st.st_jobs;
+  line "overlay %d" (Array.length st.st_overlay);
+  Array.iter
+    (fun ms ->
+      match ms with
+      | W.Up -> line "avail up"
+      | W.Down -> line "avail down"
+      | W.Degraded r -> line "avail degraded %s" (Rat.to_string r))
+    st.st_overlay;
+  line "faults %d" (List.length st.st_faults);
+  List.iter
+    (fun (at, fault) ->
+      let kind, i =
+        match fault with Trace.Fail i -> ("fail", i) | Trace.Recover i -> ("recover", i)
+      in
+      line "fault %s %s %d" (Rat.to_string at) kind i)
+    st.st_faults;
+  line "slices %d" (List.length st.st_slices);
+  List.iter
+    (fun (s : Sched_core.Schedule.slice) ->
+      line "slice %d %d %s %s" s.machine s.job (Rat.to_string s.start)
+        (Rat.to_string s.stop))
+    st.st_slices;
+  line "last_stop %d" (Array.length st.st_last_stop);
+  Array.iter (fun r -> line "stop %s" (Rat.to_string r)) st.st_last_stop;
+  line "completed %d" st.st_num_completed;
+  line "metrics %d" (List.length st.st_metrics);
+  List.iter
+    (fun (name, item) ->
+      if not (no_ws name) then fail "unencodable metric name %S" name;
+      match item with
+      | Obs.Registry.Dump_counter n -> line "counter %s %d" name n
+      | Obs.Registry.Dump_gauge { value; peak } ->
+        line "gauge %s %s %s" name (float_repr value) (float_repr peak)
+      | Obs.Registry.Dump_histogram samples ->
+        let b2 = Buffer.create 64 in
+        Array.iter
+          (fun f ->
+            Buffer.add_char b2 ' ';
+            Buffer.add_string b2 (float_repr f))
+          samples;
+        line "hist %s %d%s" name (Array.length samples) (Buffer.contents b2))
+    st.st_metrics;
+  let body = Buffer.contents b in
+  body ^ Printf.sprintf "checksum %d\n" (Wal.adler32 body)
+
+(* --- parsing ---------------------------------------------------------- *)
+
+let split_checksum text =
+  let len = String.length text in
+  if len = 0 then fail "empty snapshot file";
+  let stop = if text.[len - 1] = '\n' then len - 1 else len in
+  if stop = 0 then fail "empty snapshot file";
+  let start =
+    match String.rindex_from_opt text (stop - 1) '\n' with Some i -> i + 1 | None -> 0
+  in
+  let body = String.sub text 0 start in
+  match
+    String.sub text start (stop - start) |> String.split_on_char ' '
+  with
+  | [ "checksum"; n ] -> (
+    match int_of_string_opt n with
+    | Some n -> (body, n)
+    | None -> fail "malformed checksum trailer")
+  | _ -> fail "missing checksum trailer"
+
+type cursor = { mutable rest : string list; mutable lineno : int }
+
+let next c =
+  match c.rest with
+  | [] -> fail "line %d: unexpected end of snapshot" c.lineno
+  | l :: tl ->
+    c.rest <- tl;
+    c.lineno <- c.lineno + 1;
+    l
+
+let tokens c = next c |> String.split_on_char ' ' |> List.filter (fun s -> s <> "")
+
+let perr c fmt = Printf.ksprintf (fun s -> fail "line %d: %s" c.lineno s) fmt
+
+let int_tok c s =
+  match int_of_string_opt s with Some n -> n | None -> perr c "bad integer %S" s
+
+let rat_tok c s =
+  match Rat.of_string s with r -> r | exception _ -> perr c "bad rational %S" s
+
+let float_tok c s =
+  match float_of_string_opt s with Some f -> f | None -> perr c "bad float %S" s
+
+let keyed c key =
+  match tokens c with
+  | k :: rest when k = key -> rest
+  | k :: _ -> perr c "expected %S, found %S" key k
+  | [] -> perr c "expected %S, found a blank line" key
+
+let keyed1 c key =
+  match keyed c key with [ v ] -> v | _ -> perr c "expected exactly one %s value" key
+
+let count_of c key = int_tok c (keyed1 c key)
+
+let state_of_string text =
+  let body, sum = split_checksum text in
+  if Wal.adler32 body <> sum then fail "checksum mismatch (corrupt snapshot file)";
+  let lines = String.split_on_char '\n' body in
+  (* [body] ends with '\n'; drop the empty tail that split produces. *)
+  let lines =
+    match List.rev lines with "" :: rev -> List.rev rev | _ -> lines
+  in
+  let c = { rest = lines; lineno = 0 } in
+  (match next c with
+   | "dlsched-snapshot v1" -> ()
+   | l -> perr c "not a dlsched snapshot (header %S)" l);
+  let seq = count_of c "seq" in
+  (match next c with
+   | "platform-begin" -> ()
+   | l -> perr c "expected platform-begin, found %S" l);
+  let pbuf = Buffer.create 256 in
+  let rec platform_lines () =
+    match next c with
+    | "platform-end" -> ()
+    | l ->
+      Buffer.add_string pbuf l;
+      Buffer.add_char pbuf '\n';
+      platform_lines ()
+  in
+  platform_lines ();
+  let platform =
+    match Trace.of_string (Buffer.contents pbuf) with
+    | t -> t.Trace.platform
+    | exception Invalid_argument m -> fail "embedded platform: %s" m
+  in
+  let st_policy = keyed1 c "policy" in
+  let st_batch_window = rat_tok c (keyed1 c "batch_window") in
+  let st_objective =
+    match keyed1 c "objective" with
+    | "flow" -> `Flow
+    | "stretch" -> `Stretch
+    | s -> perr c "bad objective %S" s
+  in
+  let st_lost_work =
+    match keyed1 c "lost_work" with
+    | "lost" -> `Lost
+    | "preserved" -> `Preserved
+    | s -> perr c "bad lost_work %S" s
+  in
+  let st_now = rat_tok c (keyed1 c "now") in
+  let num_jobs = count_of c "jobs" in
+  let bool_tok s = match s with "0" -> false | "1" -> true | _ -> perr c "bad flag %S" s in
+  let st_jobs =
+    List.init num_jobs (fun _ ->
+        match keyed c "job" with
+        | [ id; arrival; bank; motifs; remaining; arrived; parked; completed ] ->
+          {
+            Engine.js_id = id;
+            js_arrival = rat_tok c arrival;
+            js_bank = int_tok c bank;
+            js_num_motifs = int_tok c motifs;
+            js_remaining = rat_tok c remaining;
+            js_arrived = bool_tok arrived;
+            js_parked = bool_tok parked;
+            js_completed_at =
+              (if completed = "none" then None else Some (rat_tok c completed));
+          }
+        | _ -> perr c "malformed job line")
+  in
+  let num_machines = count_of c "overlay" in
+  let st_overlay =
+    Array.init num_machines (fun _ ->
+        match keyed c "avail" with
+        | [ "up" ] -> W.Up
+        | [ "down" ] -> W.Down
+        | [ "degraded"; r ] -> W.Degraded (rat_tok c r)
+        | _ -> perr c "malformed avail line")
+  in
+  let num_faults = count_of c "faults" in
+  let st_faults =
+    List.init num_faults (fun _ ->
+        match keyed c "fault" with
+        | [ at; "fail"; i ] -> (rat_tok c at, Trace.Fail (int_tok c i))
+        | [ at; "recover"; i ] -> (rat_tok c at, Trace.Recover (int_tok c i))
+        | _ -> perr c "malformed fault line")
+  in
+  let num_slices = count_of c "slices" in
+  let st_slices =
+    List.init num_slices (fun _ ->
+        match keyed c "slice" with
+        | [ machine; job; start; stop ] ->
+          {
+            Sched_core.Schedule.machine = int_tok c machine;
+            job = int_tok c job;
+            start = rat_tok c start;
+            stop = rat_tok c stop;
+          }
+        | _ -> perr c "malformed slice line")
+  in
+  let num_stops = count_of c "last_stop" in
+  let st_last_stop = Array.init num_stops (fun _ -> rat_tok c (keyed1 c "stop")) in
+  let st_num_completed = count_of c "completed" in
+  let num_metrics = count_of c "metrics" in
+  let st_metrics =
+    List.init num_metrics (fun _ ->
+        match tokens c with
+        | [ "counter"; name; n ] -> (name, Obs.Registry.Dump_counter (int_tok c n))
+        | [ "gauge"; name; value; peak ] ->
+          ( name,
+            Obs.Registry.Dump_gauge
+              { value = float_tok c value; peak = float_tok c peak } )
+        | "hist" :: name :: n :: samples ->
+          let n = int_tok c n in
+          if List.length samples <> n then perr c "histogram %S sample count mismatch" name;
+          ( name,
+            Obs.Registry.Dump_histogram
+              (Array.of_list (List.map (float_tok c) samples)) )
+        | _ -> perr c "malformed metric line")
+  in
+  if c.rest <> [] then perr c "trailing garbage after metrics";
+  ( seq,
+    platform,
+    {
+      Engine.st_policy;
+      st_batch_window;
+      st_objective;
+      st_lost_work;
+      st_now;
+      st_jobs;
+      st_overlay;
+      st_faults;
+      st_slices;
+      st_last_stop;
+      st_num_completed;
+      st_metrics;
+    } )
+
+(* --- files ------------------------------------------------------------ *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Temp + fsync + rename: readers see either the previous file or the
+   complete new one.  The directory is fsync'd too so the rename itself
+   survives a crash. *)
+let write_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_all fd content;
+      Unix.fsync fd);
+  Unix.rename tmp path;
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | dfd ->
+    (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+    (try Unix.close dfd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let save_file path ~seq ~platform st =
+  let text = state_to_string ~seq ~platform st in
+  Obs.Span.with_span "snapshot.write" (fun () ->
+      Obs.Span.set_int "seq" seq;
+      Obs.Span.set_int "bytes" (String.length text);
+      write_atomic path text);
+  Obs.Registry.incr c_snapshots;
+  Obs.Registry.add c_snapshot_bytes (String.length text)
+
+let load_file path =
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  state_of_string text
+
+(* --- orchestration ---------------------------------------------------- *)
+
+type handle = { dir : string; writer : Wal.writer }
+
+let dir h = h.dir
+let close h = Wal.close h.writer
+
+let take_snapshot dir engine =
+  save_file (snapshot_file dir) ~seq:(Engine.last_seq engine)
+    ~platform:(Engine.platform engine) (Engine.dump engine)
+
+let arm ?(snapshot_every = 0) ~dir engine =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  if Sys.file_exists (meta_file dir) then
+    fail "%s already holds serving state; resume from it (--resume) or point --wal at a fresh directory"
+      dir;
+  save_file (meta_file dir) ~seq:0 ~platform:(Engine.platform engine)
+    (Engine.dump engine);
+  let w = Wal.open_append ~next_seq:1 (wal_file dir) in
+  Engine.set_durability engine ~log:(Wal.append w)
+    ~checkpoint:(fun () -> take_snapshot dir engine)
+    ~truncate:(fun () -> Wal.truncate w)
+    ~every:snapshot_every ~last_seq:0;
+  { dir; writer = w }
+
+let resume ?(snapshot_every = 0) ~dir ~clock ~policies () =
+  let base =
+    if Sys.file_exists (snapshot_file dir) then snapshot_file dir
+    else if Sys.file_exists (meta_file dir) then meta_file dir
+    else fail "%s holds no snapshot or meta file — was it armed with --wal?" dir
+  in
+  let seq0, platform, st = load_file base in
+  let policy =
+    let matches m =
+      let module P = (val m : Online.Sim.POLICY) in
+      P.name = st.Engine.st_policy
+    in
+    match List.find_opt matches policies with
+    | Some p -> p
+    | None -> fail "snapshot was taken under unknown policy %S" st.Engine.st_policy
+  in
+  let engine = Engine.restore ~clock ~policy platform st in
+  let records, valid_length, _torn = Wal.replay (wal_file dir) in
+  let top = List.fold_left (fun acc (s, _) -> Stdlib.max acc s) seq0 records in
+  let w = Wal.open_append ~valid_length ~next_seq:(top + 1) (wal_file dir) in
+  Engine.set_durability engine ~log:(Wal.append w)
+    ~checkpoint:(fun () -> take_snapshot dir engine)
+    ~truncate:(fun () -> Wal.truncate w)
+    ~every:snapshot_every ~last_seq:seq0;
+  (* Replay the tail.  Records at or below [seq0] are stale leftovers of a
+     truncation the crash swallowed; the snapshot already contains them. *)
+  List.iter (fun (s, r) -> if s > seq0 then Engine.apply_record engine ~seq:s r) records;
+  Engine.rebase engine;
+  ({ dir; writer = w }, engine)

@@ -1,0 +1,78 @@
+(** Engine snapshots and [--resume] recovery orchestration.
+
+    A durability directory ([dlsched serve --wal DIR]) holds [DIR/meta]
+    (the engine state at arm time, recovery base before any checkpoint),
+    [DIR/snapshot] (the latest checkpoint, atomically replaced) and
+    [DIR/wal] (the {!Wal} event log).  Snapshots are line-oriented ASCII —
+    rationals in exact {!Numeric.Rat} text, floats in lossless hexadecimal
+    — closed by an Adler-32 trailer; they embed the platform in {!Trace}'s
+    canonical text form and the engine state as {!Engine.dump} produces
+    it.
+
+    Recovery loads the newest base, restores the engine
+    ({!Engine.restore}) and replays the WAL tail through the live code
+    paths ({!Engine.apply_record}), yielding an engine bit-identical to
+    one that never crashed (DESIGN.md §11).
+
+    Checkpoint writes emit a [snapshot.write] span and tally
+    [wal.snapshots] / [wal.snapshot_bytes] in {!Obs.Registry.global}. *)
+
+type handle
+(** An armed durability directory: the open WAL writer plus its paths.
+    {!close} it when the engine shuts down. *)
+
+val arm : ?snapshot_every:int -> dir:string -> Engine.t -> handle
+(** Create [dir] if needed, write [DIR/meta] from the engine's current
+    state, open the WAL and {!Engine.set_durability} the engine.  Call on
+    a freshly created engine, before any event.  [snapshot_every] > 0
+    checkpoints automatically after that many logged records (default [0]:
+    checkpoints only on the server's [snapshot] command).
+    @raise Invalid_argument if [dir] already holds serving state (resume
+    it instead of silently overwriting). *)
+
+val resume :
+  ?snapshot_every:int ->
+  dir:string ->
+  clock:Clock.t ->
+  policies:(module Online.Sim.POLICY) list ->
+  unit ->
+  handle * Engine.t
+(** Recover: load [DIR/snapshot] (or [DIR/meta] if no checkpoint was ever
+    taken), resolve the recorded policy by name from [policies], restore
+    the engine, replay the WAL tail (skipping records a lost truncation
+    left below the snapshot's seq; truncating any torn tail a mid-append
+    crash left), re-arm durability, and {!Engine.rebase} the clock so the
+    downtime is excised.
+    @raise Invalid_argument on a missing/corrupt directory, a checksum
+    mismatch, or an unknown policy name. *)
+
+val close : handle -> unit
+
+val dir : handle -> string
+
+(** {1 Snapshot files}
+
+    Exposed for tests and tooling; [arm]/[resume] are the normal entry
+    points. *)
+
+val state_to_string :
+  seq:int -> platform:Gripps.Workload.platform -> Engine.state -> string
+(** Canonical text form (checksum trailer included).  Bit-identity of two
+    engine states can be checked by comparing these strings.
+    @raise Invalid_argument on state that cannot round-trip (a request id
+    or metric name containing whitespace). *)
+
+val state_of_string : string -> int * Gripps.Workload.platform * Engine.state
+(** Inverse of {!state_to_string}.
+    @raise Invalid_argument with a line-numbered message on malformed
+    input or a checksum mismatch. *)
+
+val save_file :
+  string -> seq:int -> platform:Gripps.Workload.platform -> Engine.state -> unit
+(** Atomic write: temp file, [fsync], rename, directory [fsync]. *)
+
+val load_file : string -> int * Gripps.Workload.platform * Engine.state
+
+val meta_file : string -> string
+val snapshot_file : string -> string
+val wal_file : string -> string

@@ -66,6 +66,11 @@ let of_string text =
       | [ "trace"; "v1" ] -> seen_header := true
       | "trace" :: v :: _ -> fail line "unsupported trace version %S" v
       | [ "machines"; m ] -> (
+        (* Redeclaring the dimensions would silently reset speeds/holds
+           and — worse — invalidate machine/bank indices already range-
+           checked against the first declaration, deferring the error to
+           an array access deep in the engine. *)
+        if !machines <> None then fail line "duplicate 'machines' line";
         match int_of_string_opt m with
         | Some m when m > 0 ->
           machines := Some m;
@@ -75,6 +80,7 @@ let of_string text =
            | None -> ())
         | _ -> fail line "bad machine count %S" m)
       | [ "banks"; b ] -> (
+        if !banks <> None then fail line "duplicate 'banks' line";
         match int_of_string_opt b with
         | Some b when b > 0 ->
           banks := Some b;

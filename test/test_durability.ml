@@ -1,0 +1,346 @@
+(* Durability tests: WAL framing, snapshot text round-trips, and the
+   crash property — kill the engine after any prefix of its event stream,
+   resume from disk, finish the stream, and the final state (full
+   serialized dump + metrics JSON) must be bit-identical to a run that
+   never crashed. *)
+
+module R = Numeric.Rat
+module W = Gripps.Workload
+module T = Serve.Trace
+module E = Serve.Engine
+module M = Serve.Metrics
+module Wal = Serve.Wal
+module Snap = Serve.Snapshot
+
+let tmp_counter = ref 0
+
+let fresh_dir name =
+  incr tmp_counter;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dlsched-test-%s-%d-%d" name (Unix.getpid ()) !tmp_counter)
+  in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+  else ();
+  dir
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s = Out_channel.with_open_bin path (fun oc -> output_string oc s)
+
+(* Two machines, two banks; machine 1 is the sole holder of bank 0, so a
+   [Fail 1] starves bank-0 requests. *)
+let platform () =
+  {
+    W.speeds = [| R.one; R.of_ints 3 2 |];
+    bank_sizes = [| 100; 200 |];
+    has_bank = [| [| false; true |]; [| true; true |] |];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* WAL framing                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sample_records =
+  [
+    Wal.Submit { id = "r1"; arrival = R.of_ints 27 100; bank = 1; num_motifs = 12 };
+    Wal.Inject { at = R.of_int 40; fault = T.Fail 1 };
+    Wal.Inject { at = R.of_int 55; fault = T.Recover 1 };
+    Wal.Advance (R.of_ints 123 10);
+    Wal.Drain;
+  ]
+
+let test_wal_codec () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "encode/decode round-trip" true (Wal.decode (Wal.encode r) = r))
+    sample_records;
+  let bad s =
+    Alcotest.(check bool) ("rejects " ^ s) true
+      (try
+         ignore (Wal.decode s);
+         false
+       with Invalid_argument _ -> true)
+  in
+  bad "";
+  bad "submit a b c d";
+  bad "submit a 1 0";
+  bad "inject 1 explode 0";
+  bad "advance";
+  bad "frobnicate";
+  Alcotest.(check bool) "whitespace id unencodable" true
+    (try
+       ignore (Wal.encode (Wal.Submit { id = "a b"; arrival = R.zero; bank = 0; num_motifs = 1 }));
+       false
+     with Invalid_argument _ -> true)
+
+let test_wal_file_roundtrip () =
+  let dir = fresh_dir "walfile" in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "wal" in
+  let w = Wal.open_append ~next_seq:1 path in
+  List.iteri
+    (fun i r -> Alcotest.(check int) "seq" (i + 1) (Wal.append w r))
+    sample_records;
+  Wal.close w;
+  let records, _, torn = Wal.replay path in
+  Alcotest.(check bool) "no torn tail" false torn;
+  Alcotest.(check (list int)) "seqs" [ 1; 2; 3; 4; 5 ] (List.map fst records);
+  Alcotest.(check bool) "payloads" true
+    (List.map snd records = sample_records);
+  rm_rf dir
+
+let test_wal_torn_tail () =
+  let dir = fresh_dir "torn" in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "wal" in
+  let w = Wal.open_append ~next_seq:1 path in
+  ignore (Wal.append w (List.nth sample_records 0));
+  ignore (Wal.append w (List.nth sample_records 1));
+  Wal.close w;
+  let intact = read_file path in
+  (* A crash mid-append leaves half a frame: everything before it must
+     survive, the garbage must be dropped and overwritten. *)
+  write_file path (intact ^ "r 3 17 99");
+  let records, valid, torn = Wal.replay path in
+  Alcotest.(check bool) "torn detected" true torn;
+  Alcotest.(check int) "valid prefix" (String.length intact) valid;
+  Alcotest.(check int) "two records survive" 2 (List.length records);
+  let w = Wal.open_append ~valid_length:valid ~next_seq:3 path in
+  ignore (Wal.append w Wal.Drain);
+  Wal.close w;
+  let records, _, torn = Wal.replay path in
+  Alcotest.(check bool) "clean after truncate+append" false torn;
+  Alcotest.(check (list int)) "seqs" [ 1; 2; 3 ] (List.map fst records);
+  (* A flipped payload byte must fail the checksum. *)
+  let text = read_file path in
+  let flipped = Bytes.of_string text in
+  Bytes.set flipped (String.length text - 2)
+    (if Bytes.get flipped (String.length text - 2) = 'x' then 'y' else 'x');
+  write_file path (Bytes.to_string flipped);
+  let records, _, torn = Wal.replay path in
+  Alcotest.(check bool) "corruption detected" true torn;
+  Alcotest.(check int) "prefix survives corruption" 2 (List.length records);
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot text                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* An engine with a bit of everything: completed and in-flight jobs, a
+   down machine, a pending recovery, a parked (starved) request. *)
+let busy_engine () =
+  let e = E.create ~clock:(Serve.Clock.virtual_ ()) ~policy:(module Online.Policies.Srpt) (platform ()) in
+  ignore (E.submit e ~id:"a" ~arrival:R.zero ~bank:1 ~num_motifs:30 ());
+  ignore (E.submit e ~id:"b" ~arrival:(R.of_int 1) ~bank:0 ~num_motifs:20 ());
+  E.run_until e (R.of_int 2);
+  E.inject e ~at:(E.now e) (T.Fail 1);
+  E.inject e ~at:(R.of_int 500) (T.Recover 1);
+  ignore (E.submit e ~id:"c" ~arrival:(E.now e) ~bank:0 ~num_motifs:5 ());
+  E.run_until e (R.of_int 3);
+  e
+
+let test_snapshot_roundtrip () =
+  let e = busy_engine () in
+  let st = E.dump e in
+  let text = Snap.state_to_string ~seq:17 ~platform:(platform ()) st in
+  let seq', platform', st' = Snap.state_of_string text in
+  Alcotest.(check int) "seq" 17 seq';
+  Alcotest.(check string) "re-serialization is bit-identical" text
+    (Snap.state_to_string ~seq:17 ~platform:platform' st');
+  (* Restoring and re-dumping must also round-trip. *)
+  let e' = E.restore ~clock:(Serve.Clock.virtual_ ()) ~policy:(module Online.Policies.Srpt) platform' st' in
+  Alcotest.(check string) "restore/dump round-trip" text
+    (Snap.state_to_string ~seq:17 ~platform:platform' (E.dump e'));
+  Alcotest.(check string) "metrics reproduce" (M.to_json (E.metrics e))
+    (M.to_json (E.metrics e'))
+
+let test_snapshot_rejects_corruption () =
+  let e = busy_engine () in
+  let text = Snap.state_to_string ~seq:3 ~platform:(platform ()) (E.dump e) in
+  let n = String.length text in
+  let corrupt =
+    String.mapi (fun i c -> if i = n / 2 && c <> 'Q' then 'Q' else c) text
+  in
+  Alcotest.(check bool) "checksum mismatch raises" true
+    (try
+       ignore (Snap.state_of_string corrupt);
+       false
+     with Invalid_argument msg ->
+       String.length msg > 0 && corrupt <> text);
+  Alcotest.(check bool) "wrong policy rejected" true
+    (let _, p, st = Snap.state_of_string text in
+     try
+       ignore (E.restore ~clock:(Serve.Clock.virtual_ ()) ~policy:(module Online.Policies.Mct) p st);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Crash / resume                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The event scripts the crash property drives: everything a live server
+   can do to an engine. *)
+type op = Submit of int * int | Tick of int | Fault of T.fault | Drain
+
+let apply e counter = function
+  | Submit (bank, motifs) ->
+    let id = Printf.sprintf "r%d" !counter in
+    incr counter;
+    ignore (E.submit e ~id ~arrival:(E.now e) ~bank ~num_motifs:motifs ())
+  | Tick cs -> E.run_until e (R.add (E.now e) (R.of_ints cs 100))
+  | Fault f -> E.inject e ~at:(E.now e) f
+  | Drain -> E.drain e
+
+let final_dump e =
+  Snap.state_to_string ~seq:0 ~platform:(platform ()) (E.dump e)
+
+(* Run the whole script under an armed WAL, no crash. *)
+let oracle_run ~snapshot_every script =
+  let dir = fresh_dir "oracle" in
+  let e = E.create ~clock:(Serve.Clock.virtual_ ()) ~policy:(module Online.Policies.Srpt) (platform ()) in
+  let h = Snap.arm ~snapshot_every ~dir e in
+  let counter = ref 0 in
+  List.iter (apply e counter) script;
+  Snap.close h;
+  rm_rf dir;
+  (final_dump e, M.to_json (E.metrics e))
+
+(* Crash after [k] ops (the process vanishes; only the WAL and any
+   snapshots survive), resume, run the rest. *)
+let crashed_run ~snapshot_every ~k script =
+  let dir = fresh_dir "crash" in
+  let before = List.filteri (fun i _ -> i < k) script in
+  let after = List.filteri (fun i _ -> i >= k) script in
+  let e0 = E.create ~clock:(Serve.Clock.virtual_ ()) ~policy:(module Online.Policies.Srpt) (platform ()) in
+  let h0 = Snap.arm ~snapshot_every ~dir e0 in
+  let counter = ref 0 in
+  List.iter (apply e0 counter) before;
+  Snap.close h0;
+  let h1, e1 =
+    Snap.resume ~snapshot_every ~dir ~clock:(Serve.Clock.virtual_ ())
+      ~policies:[ (module Online.Policies.Srpt); (module Online.Policies.Mct) ]
+      ()
+  in
+  List.iter (apply e1 counter) after;
+  Snap.close h1;
+  rm_rf dir;
+  (final_dump e1, M.to_json (E.metrics e1))
+
+let test_resume_from_meta () =
+  (* Crash before the first checkpoint: recovery replays the whole log
+     from the arm-time meta state. *)
+  let script = [ Submit (1, 10); Tick 150; Submit (0, 5); Drain ] in
+  let oracle = oracle_run ~snapshot_every:0 script in
+  List.iter
+    (fun k ->
+      Alcotest.(check (pair string string))
+        (Printf.sprintf "crash at %d" k)
+        oracle
+        (crashed_run ~snapshot_every:0 ~k script))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_resume_skips_stale_records () =
+  (* A crash can swallow the post-checkpoint truncation: fabricate that by
+     restoring the pre-checkpoint log in front of the post-checkpoint one.
+     Resume must skip the records the snapshot already covers. *)
+  let dir = fresh_dir "stale" in
+  let e = E.create ~clock:(Serve.Clock.virtual_ ()) ~policy:(module Online.Policies.Srpt) (platform ()) in
+  let h = Snap.arm ~snapshot_every:0 ~dir e in
+  let counter = ref 0 in
+  List.iter (apply e counter) [ Submit (1, 10); Tick 100 ];
+  let pre_truncation = read_file (Snap.wal_file dir) in
+  Alcotest.(check bool) "snapshot taken" true (E.checkpoint e);
+  List.iter (apply e counter) [ Submit (1, 4) ];
+  let post = read_file (Snap.wal_file dir) in
+  Snap.close h;
+  write_file (Snap.wal_file dir) (pre_truncation ^ post);
+  let h1, e1 =
+    Snap.resume ~dir ~clock:(Serve.Clock.virtual_ ())
+      ~policies:[ (module Online.Policies.Srpt) ] ()
+  in
+  Snap.close h1;
+  rm_rf dir;
+  Alcotest.(check string) "stale prefix skipped" (final_dump e) (final_dump e1);
+  Alcotest.(check int) "both submits present" 2 (E.submitted e1)
+
+let test_arm_refuses_reuse () =
+  let dir = fresh_dir "reuse" in
+  let e = E.create ~clock:(Serve.Clock.virtual_ ()) ~policy:(module Online.Policies.Srpt) (platform ()) in
+  let h = Snap.arm ~dir e in
+  Snap.close h;
+  Alcotest.(check bool) "second arm rejected" true
+    (try
+       ignore (Snap.arm ~dir e);
+       false
+     with Invalid_argument _ -> true);
+  rm_rf dir
+
+(* The centerpiece: crash at a random op index, under a random checkpoint
+   cadence, and compare the finished state bit for bit.  SRPT is LP-free,
+   so every metric (histograms included) is deterministic. *)
+let prop_crash_resume_identical =
+  let gen_op =
+    QCheck.Gen.(
+      frequency
+        [
+          (5, map2 (fun b m -> Submit (b, m)) (int_bound 1) (int_range 1 12));
+          (3, map (fun cs -> Tick cs) (int_range 0 400));
+          (1, map (fun i -> Fault (T.Fail i)) (int_bound 1));
+          (1, map (fun i -> Fault (T.Recover i)) (int_bound 1));
+          (1, return Drain);
+        ])
+  in
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun ops k every -> (ops @ [ Drain ], k, every))
+        (list_size (int_range 1 16) gen_op)
+        (int_bound 17) (int_bound 3))
+  in
+  let print (ops, k, every) =
+    let op_str = function
+      | Submit (b, m) -> Printf.sprintf "Submit(%d,%d)" b m
+      | Tick cs -> Printf.sprintf "Tick(%d)" cs
+      | Fault (T.Fail i) -> Printf.sprintf "Fail(%d)" i
+      | Fault (T.Recover i) -> Printf.sprintf "Recover(%d)" i
+      | Drain -> "Drain"
+    in
+    Printf.sprintf "crash at %d, snapshot every %d, ops [%s]" k every
+      (String.concat "; " (List.map op_str ops))
+  in
+  QCheck.Test.make ~count:40 ~name:"crash at any index resumes bit-identically"
+    (QCheck.make ~print gen)
+    (fun (script, k, snapshot_every) ->
+      let k = min k (List.length script) in
+      let od, om = oracle_run ~snapshot_every script in
+      let cd, cm = crashed_run ~snapshot_every ~k script in
+      od = cd && om = cm)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "durability"
+    [ ( "wal",
+        [ Alcotest.test_case "codec" `Quick test_wal_codec;
+          Alcotest.test_case "file roundtrip" `Quick test_wal_file_roundtrip;
+          Alcotest.test_case "torn tail" `Quick test_wal_torn_tail
+        ] );
+      ( "snapshot",
+        [ Alcotest.test_case "text roundtrip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "corruption rejected" `Quick test_snapshot_rejects_corruption
+        ] );
+      ( "resume",
+        [ Alcotest.test_case "from meta" `Quick test_resume_from_meta;
+          Alcotest.test_case "stale records skipped" `Quick test_resume_skips_stale_records;
+          Alcotest.test_case "arm refuses reuse" `Quick test_arm_refuses_reuse;
+          QCheck_alcotest.to_alcotest prop_crash_resume_identical
+        ] )
+    ]

@@ -148,7 +148,13 @@ let test_trace_errors () =
   bad "trace v1\nmachines 1\nbanks 1\nspeed 0 0\nbank 0 10\nholds 0 0\n";
   bad "trace v1\nmachines 1\nbanks 1\nbank 0 10\nholds 0 0\nfail 5 1\n" (* machine *);
   bad "trace v1\nmachines 1\nbanks 1\nbank 0 10\nholds 0 0\nfail -1 0\n" (* time *);
-  bad "trace v1\nmachines 1\nbanks 1\nbank 0 10\nholds 0 0\nrecover x 0\n"
+  bad "trace v1\nmachines 1\nbanks 1\nbank 0 10\nholds 0 0\nrecover x 0\n";
+  (* Redeclaring the dimensions would invalidate every index already
+     checked against the old ones (a later bank/machine reference could
+     then land out of bounds deep in the engine). *)
+  bad "trace v1\nmachines 1\nbanks 1\nbank 0 10\nholds 0 0\nmachines 2\n";
+  bad "trace v1\nmachines 1\nbanks 1\nbank 0 10\nholds 0 0\nreq a 0 0 2\nbanks 2\n";
+  bad "trace v1\nmachines 2\nbanks 1\nbank 0 10\nholds 0 0\nfail 1 1\nmachines 1\n"
 
 let test_trace_diurnal_shape () =
   let count = 200 in
@@ -493,6 +499,82 @@ let test_server_protocol () =
   expect_last ~verdict:`Quit "quit" "ok bye";
   check_valid "server schedule" (E.schedule eng)
 
+let test_server_tick_guard () =
+  let eng =
+    E.create ~clock:(Serve.Clock.virtual_ ()) ~policy:(module Online.Policies.Fair)
+      (mini_platform ())
+  in
+  let srv = Serve.Server.create eng in
+  let last cmd =
+    match List.rev (fst (Serve.Server.handle_line srv cmd)) with
+    | last :: _ -> last
+    | [] -> Alcotest.fail (cmd ^ ": no reply")
+  in
+  let rejected cmd =
+    Alcotest.(check bool) (cmd ^ " rejected") true
+      (String.length (last cmd) >= 3 && String.sub (last cmd) 0 3 = "err");
+    Alcotest.(check rat) (cmd ^ " left time alone") R.zero (E.now eng)
+  in
+  (* inf satisfies [> 0.]; without the finiteness guard it would become an
+     engine date. *)
+  rejected "tick inf";
+  rejected "tick infinity";
+  rejected "tick nan";
+  rejected "tick -1";
+  rejected "tick 0";
+  rejected "tick bogus";
+  Alcotest.(check string) "finite tick works" "ok now=2" (last "tick 2")
+
+(* A wall clock whose source steps backwards (NTP) must stay monotonic,
+   and advance_to must not oversleep chasing the stepped-back source. *)
+let test_clock_monotonic () =
+  let t = ref 100. in
+  let clock = Serve.Clock.wall_with ~now:(fun () -> !t) ~sleep:(fun _ -> ()) () in
+  let a = Serve.Clock.now clock in
+  t := 50.;
+  let b = Serve.Clock.now clock in
+  Alcotest.(check bool) "never regresses" true (b >= a);
+  t := 60.;
+  Alcotest.(check (float 1e-9)) "resumes from the high-water mark" (b +. 10.)
+    (Serve.Clock.now clock)
+
+let test_clock_bounded_sleep () =
+  (* Every sleep is undermined by a 3 s backwards step of the raw source:
+     the un-credited retry loop would sleep forever (each pass still sees
+     3 s missing); the offset-crediting clock finishes after sleeping the
+     requested duration once. *)
+  let t = ref 0. in
+  let total = ref 0. in
+  let clock =
+    Serve.Clock.wall_with
+      ~now:(fun () -> !t)
+      ~sleep:(fun dt ->
+        total := !total +. dt;
+        if !total > 100. then Alcotest.fail "unbounded oversleep";
+        t := !t +. dt -. 3.)
+      ()
+  in
+  let start = Serve.Clock.now clock in
+  Serve.Clock.advance_to clock (start +. 5.);
+  Alcotest.(check bool) "reached the target" true (Serve.Clock.now clock >= start +. 5.);
+  Alcotest.(check bool) "slept roughly the requested duration" true (!total <= 5. +. 1e-9)
+
+(* The engine-side twin of the tick guard: a deranged wall clock must not
+   become an engine date via catch_up. *)
+let test_engine_catch_up_guard () =
+  let t = ref 100. in
+  let clock = Serve.Clock.wall_with ~now:(fun () -> !t) ~sleep:(fun _ -> ()) () in
+  let eng =
+    E.create ~clock ~policy:(module Online.Policies.Fair) (mini_platform ())
+  in
+  ignore (E.submit eng ~id:"a" ~arrival:R.zero ~bank:0 ~num_motifs:10 ());
+  t := infinity;
+  E.catch_up eng;
+  Alcotest.(check rat) "infinite clock ignored" R.zero (E.now eng);
+  t := 103.;
+  E.catch_up eng;
+  Alcotest.(check rat) "finite clock resumes" (R.of_int 3) (E.now eng)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -514,7 +596,12 @@ let () =
         [ Alcotest.test_case "matches simulator" `Quick test_engine_matches_sim;
           Alcotest.test_case "metrics report" `Quick test_engine_metrics_report;
           Alcotest.test_case "batching" `Quick test_engine_batching;
-          Alcotest.test_case "live submissions" `Quick test_engine_live_submissions
+          Alcotest.test_case "live submissions" `Quick test_engine_live_submissions;
+          Alcotest.test_case "catch-up guard" `Quick test_engine_catch_up_guard
+        ] );
+      ( "clock",
+        [ Alcotest.test_case "monotonic wall" `Quick test_clock_monotonic;
+          Alcotest.test_case "bounded sleep" `Quick test_clock_bounded_sleep
         ] );
       ( "faults",
         [ QCheck_alcotest.to_alcotest prop_failure_free_identity;
@@ -523,5 +610,7 @@ let () =
           Alcotest.test_case "starvation" `Quick test_starvation
         ] );
       ( "server",
-        [ Alcotest.test_case "protocol" `Quick test_server_protocol ] )
+        [ Alcotest.test_case "protocol" `Quick test_server_protocol;
+          Alcotest.test_case "tick guard" `Quick test_server_tick_guard
+        ] )
     ]
