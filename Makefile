@@ -1,6 +1,6 @@
 # Convenience targets; everything real lives in dune.
 
-.PHONY: all build test bench bench-smoke bench-numeric bench-speedup trace-smoke bench-durability crash-smoke check fmt clean
+.PHONY: all build test bench bench-smoke bench-numeric bench-speedup trace-smoke bench-durability bench-admission crash-smoke check fmt clean
 
 all: build
 
@@ -51,11 +51,18 @@ crash-smoke:
 bench-durability:
 	dune exec bench/main.exe -- --json durability
 
+# Admission-control gates: the zero-window valve must be bit-identical
+# to no valve, batching must complete the same request set with
+# decides/submit < 0.5 on the bursty trace.  Drops BENCH_admission.json
+# (CI uploads it).
+bench-admission:
+	dune exec bench/main.exe -- --json admission
+
 # What CI would run: full build + every test, the solve-count, parallel
-# bit-equality, trace and crash-recovery smoke checks, plus formatting
-# when the formatter is installed (ocamlformat is optional in the dev
-# image).
-check: build test bench-smoke bench-numeric bench-speedup trace-smoke crash-smoke fmt
+# bit-equality, admission-control, trace and crash-recovery smoke
+# checks, plus formatting when the formatter is installed (ocamlformat
+# is optional in the dev image).
+check: build test bench-smoke bench-numeric bench-speedup bench-admission trace-smoke crash-smoke fmt
 
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \

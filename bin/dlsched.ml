@@ -11,6 +11,7 @@
      dlsched trace [--profile poisson|diurnal] [--requests N] [-o FILE]
      dlsched replay TRACE [--policy P] [--batch S] [--report FILE] [--json]
      dlsched serve [--socket PATH] [--clock wall|virtual] [--policy P]
+                   [--batch-window S] [--max-inflight N] [--cache]
 
    Instances use the textual format of Sched_core.Instance_io (see
    `dlsched generate` for examples); traces use Serve.Trace's format (see
@@ -43,64 +44,191 @@ let print_schedule ~header sched =
     (R.to_string (S.max_weighted_flow sched))
     (R.to_string (S.max_stretch sched))
 
-let instance_arg =
-  let doc = "Instance file (see `dlsched generate` for the format)." in
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE" ~doc)
+(* Every policy the CLI knows, keyed by the policy's own name — the same
+   name a durability snapshot records, so `serve --resume` resolves the
+   snapshot's policy from this one list. *)
+let all_policies : (module Online.Sim.POLICY) list =
+  [ (module Online.Policies.Mct);
+    (module Online.Policies.Fcfs);
+    (module Online.Policies.Srpt);
+    (module Online.Policies.Evd);
+    (module Online.Policies.Fair);
+    (module Online.Online_opt.Divisible);
+    (module Online.Online_opt.Lazy_divisible) ]
 
-(* Shared by every command that solves LPs.  Evaluates to (), setting the
-   process-wide engine family and (with [--trace]) installing the trace
-   sink as side effects before the command runs. *)
-let setup_arg =
-  let solver_doc =
-    "LP engine: $(b,sparse) (revised simplex on sparse columns, with \
-     warm-started re-solves; the default) or $(b,dense) (the original \
-     tableau solver, kept as a differential-testing oracle).  Exact \
-     results are identical under both." in
-  let solver =
-    Arg.(value
-         & opt (enum [ ("sparse", Lp.Solve.Sparse); ("dense", Lp.Solve.Dense) ])
-             Lp.Solve.Sparse
-         & info [ "solver" ] ~docv:"ENGINE" ~doc:solver_doc)
-  in
-  let trace_doc =
-    "Write an observability trace to $(docv): one JSON object per line, \
-     nested spans (LP solves with pivot counts, feasibility probes, \
-     milestone searches) and instant events." in
-  let trace =
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:trace_doc)
-  in
-  let jobs_doc =
-    "Width of the domain pool used for speculative feasibility probing \
-     (and for serving concurrent clients): $(docv) domains work in \
-     parallel, with results bit-identical at every width.  Defaults to \
-     the $(b,DLSCHED_JOBS) environment variable, else the hardware's \
-     recommended domain count.  $(b,--jobs 1) disables parallelism \
-     entirely." in
-  let jobs =
-    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc:jobs_doc)
-  in
-  let setup variant trace jobs =
-    Lp.Solve.variant := variant;
-    (match jobs with
-     | None -> ()
-     | Some n when n >= 1 -> Par.Pool.set_jobs n
-     | Some n ->
-       Format.eprintf "dlsched: --jobs %d: width must be >= 1@." n;
-       exit 2);
-    match trace with
-    | None -> ()
-    | Some path ->
-      Obs.Sink.install (or_die Obs.Sink.file path);
-      (* Flush and close the file even on [exit 1/2] paths. *)
-      at_exit Obs.Sink.uninstall
-  in
-  Term.(const setup $ solver $ trace $ jobs)
+(* --- Flags ---------------------------------------------------------------
+
+   Every flag the CLI parses, defined once.  Each info block funnels
+   through [mk]/[req] (option flags), [switch] (boolean flags) or
+   [pos_file] (positional file arguments) — the single usage renderer —
+   so names, metavariables and doc strings read the same in every
+   command's man page, and a flag shared by several commands (seed,
+   machines, policy, the WAL trio, ...) cannot drift between them. *)
+module Flags = struct
+  let mk ?docv names doc kind default =
+    Arg.(value & opt kind default & info names ?docv ~doc)
+
+  let req ?docv names doc kind =
+    Arg.(required & opt (some kind) None & info names ?docv ~doc)
+
+  let switch names doc = Arg.(value & flag & info names ~doc)
+
+  let pos_file ~docv doc =
+    Arg.(required & pos 0 (some file) None & info [] ~docv ~doc)
+
+  let instance =
+    pos_file ~docv:"INSTANCE" "Instance file (see `dlsched generate` for the format)."
+
+  let trace_file = pos_file ~docv:"TRACE" "Trace file (see `dlsched trace`)."
+
+  let svg =
+    mk [ "svg" ] ~docv:"FILE" "Also write an SVG Gantt chart of the schedule to $(docv)."
+      Arg.(some string) None
+
+  let output = mk [ "output"; "o" ] "Output file." Arg.(some string) None
+  let seed = mk [ "seed"; "s" ] "PRNG seed." Arg.int 1
+
+  let machines default = mk [ "machines"; "m" ] "Number of servers." Arg.int default
+  let banks = mk [ "banks"; "b" ] "Number of databanks." Arg.int 3
+  let replication = mk [ "replication"; "r" ] "Replicas per databank." Arg.int 2
+  let requests default = mk [ "requests"; "n" ] "Number of requests." Arg.int default
+  let rate ~doc default = mk [ "rate" ] doc Arg.float default
+
+  (* Shared by every command that solves LPs.  Evaluates to (), setting the
+     process-wide engine family and (with [--trace]) installing the trace
+     sink as side effects before the command runs. *)
+  let setup =
+    let solver =
+      mk [ "solver" ] ~docv:"ENGINE"
+        "LP engine: $(b,sparse) (revised simplex on sparse columns, with \
+         warm-started re-solves; the default) or $(b,dense) (the original \
+         tableau solver, kept as a differential-testing oracle).  Exact \
+         results are identical under both."
+        (Arg.enum [ ("sparse", Lp.Solve.Sparse); ("dense", Lp.Solve.Dense) ])
+        Lp.Solve.Sparse
+    in
+    let trace =
+      mk [ "trace" ] ~docv:"FILE"
+        "Write an observability trace to $(docv): one JSON object per line, \
+         nested spans (LP solves with pivot counts, feasibility probes, \
+         milestone searches) and instant events."
+        Arg.(some string) None
+    in
+    let jobs =
+      mk [ "jobs"; "j" ] ~docv:"N"
+        "Width of the domain pool used for speculative feasibility probing \
+         (and for serving concurrent clients): $(docv) domains work in \
+         parallel, with results bit-identical at every width.  Defaults to \
+         the $(b,DLSCHED_JOBS) environment variable, else the hardware's \
+         recommended domain count.  $(b,--jobs 1) disables parallelism \
+         entirely."
+        Arg.(some int) None
+    in
+    let setup variant trace jobs =
+      Lp.Solve.variant := variant;
+      (match jobs with
+       | None -> ()
+       | Some n when n >= 1 -> Par.Pool.set_jobs n
+       | Some n ->
+         Format.eprintf "dlsched: --jobs %d: width must be >= 1@." n;
+         exit 2);
+      match trace with
+      | None -> ()
+      | Some path ->
+        Obs.Sink.install (or_die Obs.Sink.file path);
+        (* Flush and close the file even on [exit 1/2] paths. *)
+        at_exit Obs.Sink.uninstall
+    in
+    Term.(const setup $ solver $ trace $ jobs)
+
+  let policy =
+    let keyed =
+      List.map
+        (fun m ->
+          let module P = (val m : Online.Sim.POLICY) in
+          (P.name, m))
+        all_policies
+    in
+    mk [ "policy"; "p" ]
+      ("Scheduling policy: " ^ String.concat ", " (List.map fst keyed) ^ ".")
+      (Arg.enum keyed)
+      (module Online.Policies.Mct : Online.Sim.POLICY)
+
+  let batch =
+    mk [ "batch" ] ~docv:"SECONDS"
+      "Engine batch window in seconds: after a decision, coalesce arrivals \
+       within this window instead of re-consulting the policy on each one."
+      Arg.float 0.
+
+  let lost_work =
+    mk [ "lost-work" ]
+      "What happens to in-flight work when a machine fails: lost (redone from \
+       scratch) or preserved (partial results survive)."
+      (Arg.enum [ ("lost", `Lost); ("preserved", `Preserved) ])
+      `Lost
+
+  let wal =
+    mk [ "wal" ] ~docv:"DIR"
+      "Arm crash safety: append every event to a write-ahead log under \
+       $(docv) (fsync'd before it is applied) and write snapshots there \
+       on the `snapshot` command."
+      Arg.(some string) None
+
+  let resume =
+    mk [ "resume" ] ~docv:"DIR"
+      "Recover a crashed server from the durability directory $(docv): \
+       restore the latest snapshot, replay the log tail, and keep \
+       logging there.  The platform and policy come from the snapshot; \
+       --platform/--policy/--seed are ignored."
+      Arg.(some string) None
+
+  let snapshot_every =
+    mk [ "snapshot-every" ] ~docv:"N"
+      "With --wal/--resume: automatically checkpoint after every $(docv) \
+       logged events (0 = only on the `snapshot` command)."
+      Arg.int 0
+
+  (* Admission valve (serve).  Distinct from --batch: --batch bounds how
+     often a *standing* decision is revised, --batch-window coalesces
+     *submissions* into one shared arrival so the engine plans once per
+     burst. *)
+  let batch_window =
+    mk [ "batch-window" ] ~docv:"SECONDS"
+      "Admission coalescing window: submissions accepted within $(docv) of \
+       each other share one future arrival date, so the engine re-plans once \
+       per batch instead of once per request (0 = plan per request)."
+      Arg.float 0.
+
+  let max_inflight =
+    mk [ "max-inflight" ] ~docv:"N"
+      "Load shedding: once $(docv) admitted requests are in flight, new \
+       submissions get `err shed retry_after=T` instead of growing the \
+       backlog (0 = unlimited)."
+      Arg.int 0
+
+  let max_per_client =
+    mk [ "max-per-client" ] ~docv:"N"
+      "Per-client in-flight cap, counted per connection (0 = unlimited)."
+      Arg.int 0
+
+  let admit_priority =
+    mk [ "admit-priority" ]
+      "Drain bias under load shedding: $(b,fifo) (over the cap, everyone is \
+       shed alike) or $(b,smallest) (a request strictly smaller than the \
+       largest in flight may overflow the global cap by 25%, so cheap \
+       requests keep flowing while heavy ones drain)."
+      (Arg.enum [ ("fifo", `Fifo); ("smallest", `Smallest) ])
+      `Fifo
+
+  let cache =
+    switch [ "cache" ]
+      "Cache scheduling decisions, keyed by the masked decision instance \
+       (availability overlay + active job shapes): recurring workload shapes \
+       replay remembered plans instead of re-consulting the policy.  With \
+       --resume this must match the crashed run's setting."
+end
 
 (* --- solve ------------------------------------------------------- *)
-
-let svg_arg =
-  let doc = "Also write an SVG Gantt chart of the schedule to $(docv)." in
-  Cmdliner.Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
 
 let maybe_svg svg sched =
   match svg with
@@ -144,19 +272,19 @@ let solve_run ~root () file objective svg =
     maybe_svg svg schedule)
 
 let objective_arg =
-  let doc = "Objective: makespan, maxflow (max weighted flow, divisible), \
-             stretch (max stretch, divisible), or preemptive (max weighted \
-             flow, preemption without divisibility)." in
-  Arg.(value & opt (enum [ ("makespan", `Makespan); ("maxflow", `Maxflow);
-                           ("stretch", `Stretch); ("preemptive", `Preemptive) ])
-         `Maxflow
-       & info [ "objective"; "O" ] ~doc)
+  Flags.mk [ "objective"; "O" ]
+    "Objective: makespan, maxflow (max weighted flow, divisible), \
+     stretch (max stretch, divisible), or preemptive (max weighted \
+     flow, preemption without divisibility)."
+    (Arg.enum [ ("makespan", `Makespan); ("maxflow", `Maxflow);
+                ("stretch", `Stretch); ("preemptive", `Preemptive) ])
+    `Maxflow
 
 let solve_cmd =
   let doc = "Solve an offline scheduling problem exactly (Theorems 1/2, Section 4.4)." in
   Cmd.v (Cmd.info "solve" ~doc)
     Term.(const (solve_run ~root:"dlsched.solve")
-          $ setup_arg $ instance_arg $ objective_arg $ svg_arg)
+          $ Flags.setup $ Flags.instance $ objective_arg $ Flags.svg)
 
 (* Alias for `solve --objective maxflow`, the paper's headline problem —
    with [--trace] the whole milestone search renders as one span tree. *)
@@ -164,14 +292,15 @@ let max_flow_cmd =
   let doc = "Minimize the maximum weighted flow (alias for `solve --objective maxflow`)." in
   Cmd.v (Cmd.info "max-flow" ~doc)
     Term.(const (fun () file svg -> solve_run ~root:"dlsched.max-flow" () file `Maxflow svg)
-          $ setup_arg $ instance_arg $ svg_arg)
+          $ Flags.setup $ Flags.instance $ Flags.svg)
 
 (* --- feasible ----------------------------------------------------- *)
 
 let feasible_cmd =
   let deadlines =
-    let doc = "Comma-separated deadlines, one rational per job (e.g. 8,15/2,6)." in
-    Arg.(required & opt (some string) None & info [ "deadlines"; "d" ] ~doc)
+    Flags.req [ "deadlines"; "d" ]
+      "Comma-separated deadlines, one rational per job (e.g. 8,15/2,6)."
+      Arg.string
   in
   let run () file deadlines =
     Obs.Span.with_span "dlsched.feasible" (fun () ->
@@ -193,7 +322,7 @@ let feasible_cmd =
   in
   let doc = "Decide deadline feasibility (Lemma 1) and print a witness schedule." in
   Cmd.v (Cmd.info "feasible" ~doc)
-    Term.(const run $ setup_arg $ instance_arg $ deadlines)
+    Term.(const run $ Flags.setup $ Flags.instance $ deadlines)
 
 (* --- milestones ---------------------------------------------------- *)
 
@@ -206,21 +335,18 @@ let milestones_cmd =
     List.iter (fun f -> Format.printf "  %s@." (R.to_string f)) ms
   in
   let doc = "List the milestones (critical trial values) of the instance." in
-  Cmd.v (Cmd.info "milestones" ~doc) Term.(const run $ instance_arg)
+  Cmd.v (Cmd.info "milestones" ~doc) Term.(const run $ Flags.instance)
 
 (* --- simulate ------------------------------------------------------ *)
 
 let simulate_cmd =
   let policy =
-    let doc = "Online policy: mct, fcfs, srpt or online-opt." in
-    Arg.(value & opt (enum [ ("mct", `Mct); ("fcfs", `Fcfs); ("srpt", `Srpt);
-                             ("online-opt", `Oo) ])
-           `Mct
-         & info [ "policy"; "p" ] ~doc)
+    Flags.mk [ "policy"; "p" ] "Online policy: mct, fcfs, srpt or online-opt."
+      (Arg.enum [ ("mct", `Mct); ("fcfs", `Fcfs); ("srpt", `Srpt); ("online-opt", `Oo) ])
+      `Mct
   in
   let stretch =
-    let doc = "Reweight the instance for max-stretch before simulating." in
-    Arg.(value & flag & info [ "stretch" ] ~doc)
+    Flags.switch [ "stretch" ] "Reweight the instance for max-stretch before simulating."
   in
   let run () file policy stretch =
     Obs.Span.with_span "dlsched.simulate" (fun () ->
@@ -243,14 +369,13 @@ let simulate_cmd =
   in
   let doc = "Run an online policy on the instance and compare to the offline optimum." in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ setup_arg $ instance_arg $ policy $ stretch)
+    Term.(const run $ Flags.setup $ Flags.instance $ policy $ stretch)
 
 (* --- compare ------------------------------------------------------- *)
 
 let compare_cmd =
   let stretch =
-    let doc = "Reweight the instance for max-stretch before comparing." in
-    Arg.(value & flag & info [ "stretch" ] ~doc)
+    Flags.switch [ "stretch" ] "Reweight the instance for max-stretch before comparing."
   in
   let run () file stretch =
     Obs.Span.with_span "dlsched.compare" (fun () ->
@@ -261,19 +386,12 @@ let compare_cmd =
   in
   let doc = "Run every online policy on the instance and tabulate them              against the offline optimum." in
   Cmd.v (Cmd.info "compare" ~doc)
-    Term.(const run $ setup_arg $ instance_arg $ stretch)
+    Term.(const run $ Flags.setup $ Flags.instance $ stretch)
 
 (* --- generate ------------------------------------------------------ *)
 
 let generate_cmd =
-  let jobs = Arg.(value & opt int 6 & info [ "jobs"; "n" ] ~doc:"Number of jobs.") in
-  let machines =
-    Arg.(value & opt int 3 & info [ "machines"; "m" ] ~doc:"Number of machines.")
-  in
-  let seed = Arg.(value & opt int 1 & info [ "seed"; "s" ] ~doc:"PRNG seed.") in
-  let output =
-    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"Output file.")
-  in
+  let jobs = Flags.mk [ "jobs"; "n" ] "Number of jobs." Arg.int 6 in
   let run jobs machines seed output =
     let rng = Gripps.Prng.create seed in
     let releases = Array.init jobs (fun _ -> R.of_int (Gripps.Prng.int rng 20)) in
@@ -297,24 +415,14 @@ let generate_cmd =
     | None -> print_string text
   in
   let doc = "Generate a random instance in the textual format." in
-  Cmd.v (Cmd.info "generate" ~doc) Term.(const run $ jobs $ machines $ seed $ output)
+  Cmd.v (Cmd.info "generate" ~doc)
+    Term.(const run $ jobs $ Flags.machines 3 $ Flags.seed $ Flags.output)
 
 (* --- gripps -------------------------------------------------------- *)
 
 let gripps_cmd =
-  let machines = Arg.(value & opt int 4 & info [ "machines"; "m" ] ~doc:"Number of servers.") in
-  let banks = Arg.(value & opt int 3 & info [ "banks"; "b" ] ~doc:"Number of databanks.") in
-  let replication =
-    Arg.(value & opt int 2 & info [ "replication"; "r" ] ~doc:"Replicas per databank.")
-  in
-  let requests = Arg.(value & opt int 8 & info [ "requests" ] ~doc:"Number of requests.") in
   let rate =
-    Arg.(value & opt float (1.0 /. 60.0)
-         & info [ "rate" ] ~doc:"Poisson arrival rate (requests per second).")
-  in
-  let seed = Arg.(value & opt int 1 & info [ "seed"; "s" ] ~doc:"PRNG seed.") in
-  let output =
-    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"Output file.")
+    Flags.rate ~doc:"Poisson arrival rate (requests per second)." (1.0 /. 60.0)
   in
   let run machines banks replication requests rate seed output =
     let rng = Gripps.Prng.create seed in
@@ -332,49 +440,37 @@ let gripps_cmd =
   in
   let doc = "Generate a GriPPS-style instance: heterogeneous servers, replicated              databanks, Poisson motif-comparison requests." in
   Cmd.v (Cmd.info "gripps" ~doc)
-    Term.(const run $ machines $ banks $ replication $ requests $ rate $ seed $ output)
+    Term.(const run $ Flags.machines 4 $ Flags.banks $ Flags.replication
+          $ Flags.requests 8 $ rate $ Flags.seed $ Flags.output)
 
 (* --- trace --------------------------------------------------------- *)
 
-let trace_machines =
-  Arg.(value & opt int 4 & info [ "machines"; "m" ] ~doc:"Number of servers.")
-let trace_banks =
-  Arg.(value & opt int 3 & info [ "banks"; "b" ] ~doc:"Number of databanks.")
-let trace_replication =
-  Arg.(value & opt int 2 & info [ "replication"; "r" ] ~doc:"Replicas per databank.")
-let trace_seed = Arg.(value & opt int 1 & info [ "seed"; "s" ] ~doc:"PRNG seed.")
-
 let trace_cmd =
   let profile =
-    let doc = "Arrival profile: poisson (homogeneous) or diurnal (sin^2 day shape)." in
-    Arg.(value & opt (enum [ ("poisson", `Poisson); ("diurnal", `Diurnal) ]) `Diurnal
-         & info [ "profile" ] ~doc)
-  in
-  let requests =
-    Arg.(value & opt int 200 & info [ "requests"; "n" ] ~doc:"Number of requests.")
+    Flags.mk [ "profile" ]
+      "Arrival profile: poisson (homogeneous) or diurnal (sin^2 day shape)."
+      (Arg.enum [ ("poisson", `Poisson); ("diurnal", `Diurnal) ])
+      `Diurnal
   in
   let rate =
-    let doc = "Arrival rate in requests per second (the peak rate for diurnal)." in
-    Arg.(value & opt float 0.2 & info [ "rate" ] ~doc)
+    Flags.rate ~doc:"Arrival rate in requests per second (the peak rate for diurnal)."
+      0.2
   in
   let day =
-    let doc = "Length of the diurnal \"day\" in seconds." in
-    Arg.(value & opt float 3600. & info [ "day" ] ~doc)
-  in
-  let output =
-    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"Output file.")
+    Flags.mk [ "day" ] "Length of the diurnal \"day\" in seconds." Arg.float 3600.
   in
   let faults =
-    let doc = "Overlay machine failure/recovery events (exponential up/down periods)." in
-    Arg.(value & flag & info [ "faults" ] ~doc)
+    Flags.switch [ "faults" ]
+      "Overlay machine failure/recovery events (exponential up/down periods)."
   in
   let mtbf =
-    let doc = "Mean time between failures per machine, in seconds (with --faults)." in
-    Arg.(value & opt float 300. & info [ "mtbf" ] ~doc)
+    Flags.mk [ "mtbf" ]
+      "Mean time between failures per machine, in seconds (with --faults)."
+      Arg.float 300.
   in
   let mttr =
-    let doc = "Mean time to recovery, in seconds (with --faults)." in
-    Arg.(value & opt float 30. & info [ "mttr" ] ~doc)
+    Flags.mk [ "mttr" ] "Mean time to recovery, in seconds (with --faults)."
+      Arg.float 30.
   in
   let run profile machines banks replication requests rate day seed output faults mtbf
       mttr =
@@ -401,60 +497,18 @@ let trace_cmd =
   in
   let doc = "Generate a synthetic workload trace for `dlsched replay`." in
   Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const run $ profile $ trace_machines $ trace_banks $ trace_replication
-          $ requests $ rate $ day $ trace_seed $ output $ faults $ mtbf $ mttr)
+    Term.(const run $ profile $ Flags.machines 4 $ Flags.banks $ Flags.replication
+          $ Flags.requests 200 $ rate $ day $ Flags.seed $ Flags.output
+          $ faults $ mtbf $ mttr)
 
 (* --- replay / serve ------------------------------------------------- *)
 
-(* Every policy the CLI knows, keyed by the policy's own name — the same
-   name a durability snapshot records, so `serve --resume` resolves the
-   snapshot's policy from this one list. *)
-let all_policies : (module Online.Sim.POLICY) list =
-  [ (module Online.Policies.Mct);
-    (module Online.Policies.Fcfs);
-    (module Online.Policies.Srpt);
-    (module Online.Policies.Evd);
-    (module Online.Policies.Fair);
-    (module Online.Online_opt.Divisible);
-    (module Online.Online_opt.Lazy_divisible) ]
-
-let policy_arg =
-  let keyed =
-    List.map
-      (fun m ->
-        let module P = (val m : Online.Sim.POLICY) in
-        (P.name, m))
-      all_policies
-  in
-  let doc =
-    "Scheduling policy: " ^ String.concat ", " (List.map fst keyed) ^ "."
-  in
-  Arg.(value
-       & opt (enum keyed) (module Online.Policies.Mct : Online.Sim.POLICY)
-       & info [ "policy"; "p" ] ~doc)
-
-let batch_arg =
-  let doc = "Batch window in seconds: coalesce arrivals within this window after a \
-             decision instead of re-consulting the policy on each one." in
-  Arg.(value & opt float 0. & info [ "batch" ] ~doc)
-
-let lost_work_arg =
-  let doc = "What happens to in-flight work when a machine fails: lost (redone from \
-             scratch) or preserved (partial results survive)." in
-  Arg.(value
-       & opt (enum [ ("lost", `Lost); ("preserved", `Preserved) ]) `Lost
-       & info [ "lost-work" ] ~doc)
-
 let replay_cmd =
-  let trace_arg =
-    let doc = "Trace file (see `dlsched trace`)." in
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
-  in
   let report =
-    let doc = "Also write the metrics report to $(docv)." in
-    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+    Flags.mk [ "report" ] ~docv:"FILE" "Also write the metrics report to $(docv)."
+      Arg.(some string) None
   in
-  let json = Arg.(value & flag & info [ "json" ] ~doc:"Report metrics as JSON.") in
+  let json = Flags.switch [ "json" ] "Report metrics as JSON." in
   let run () file policy batch lost_work report json =
     let trace = load_trace file in
     let wall0 = Unix.gettimeofday () in
@@ -465,7 +519,7 @@ let replay_cmd =
     in
     let wall = Unix.gettimeofday () -. wall0 in
     let m = Serve.Engine.metrics engine in
-    let body = if json then Serve.Metrics.to_json m else Serve.Metrics.to_text m in
+    let body = if json then Obs.Registry.to_json m else Obs.Registry.to_text m in
     (match report with
      | Some path ->
        Out_channel.with_open_text path (fun oc -> output_string oc (body ^ "\n"));
@@ -498,48 +552,33 @@ let replay_cmd =
       Format.printf "replayed %d requests in %.3fs wall (%.0f requests/s, %.0f decisions/s)@."
         n wall
         (float_of_int n /. wall)
-        (float_of_int (Serve.Metrics.count (Serve.Metrics.counter m "decisions")) /. wall)
+        (float_of_int (Obs.Registry.count (Obs.Registry.counter m "decisions")) /. wall)
   in
   let doc = "Replay a workload trace through the serving engine under a virtual              clock and report per-request flow/stretch metrics." in
   Cmd.v (Cmd.info "replay" ~doc)
-    Term.(const run $ setup_arg $ trace_arg $ policy_arg $ batch_arg $ lost_work_arg
-          $ report $ json)
+    Term.(const run $ Flags.setup $ Flags.trace_file $ Flags.policy $ Flags.batch
+          $ Flags.lost_work $ report $ json)
 
 let serve_cmd =
   let socket =
-    let doc = "Listen on a Unix-domain socket at $(docv) instead of stdin/stdout." in
-    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+    Flags.mk [ "socket" ] ~docv:"PATH"
+      "Listen on a Unix-domain socket at $(docv) instead of stdin/stdout."
+      Arg.(some string) None
   in
   let clock =
-    let doc = "Clock: wall (real time) or virtual (advanced by `tick`)." in
-    Arg.(value & opt (enum [ ("wall", `Wall); ("virtual", `Virtual) ]) `Wall
-         & info [ "clock" ] ~doc)
+    Flags.mk [ "clock" ] "Clock: wall (real time) or virtual (advanced by `tick`)."
+      (Arg.enum [ ("wall", `Wall); ("virtual", `Virtual) ])
+      `Wall
   in
   let platform_from =
-    let doc = "Take the platform (machines, banks, replication) from this trace \
-               file instead of generating a random one." in
-    Arg.(value & opt (some file) None & info [ "platform" ] ~docv:"TRACE" ~doc)
-  in
-  let wal_arg =
-    let doc = "Arm crash safety: append every event to a write-ahead log under \
-               $(docv) (fsync'd before it is applied) and write snapshots there \
-               on the `snapshot` command." in
-    Arg.(value & opt (some string) None & info [ "wal" ] ~docv:"DIR" ~doc)
-  in
-  let resume_arg =
-    let doc = "Recover a crashed server from the durability directory $(docv): \
-               restore the latest snapshot, replay the log tail, and keep \
-               logging there.  The platform and policy come from the snapshot; \
-               --platform/--policy/--seed are ignored." in
-    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"DIR" ~doc)
-  in
-  let snapshot_every_arg =
-    let doc = "With --wal/--resume: automatically checkpoint after every $(docv) \
-               logged events (0 = only on the `snapshot` command)." in
-    Arg.(value & opt int 0 & info [ "snapshot-every" ] ~docv:"N" ~doc)
+    Flags.mk [ "platform" ] ~docv:"TRACE"
+      "Take the platform (machines, banks, replication) from this trace \
+       file instead of generating a random one."
+      Arg.(some file) None
   in
   let run () socket clock platform_from machines banks replication seed policy batch
-      lost_work wal resume snapshot_every =
+      lost_work wal resume snapshot_every batch_window max_inflight max_per_client
+      admit_priority cache =
     (* A disconnecting client must never kill the daemon with SIGPIPE —
        writes to a dead peer surface as exceptions the session loop eats. *)
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -560,7 +599,7 @@ let serve_cmd =
         let handle, engine =
           or_die
             (fun () ->
-              Serve.Snapshot.resume ~snapshot_every ~dir ~clock
+              Serve.Snapshot.resume ~snapshot_every ~decision_cache:cache ~dir ~clock
                 ~policies:all_policies ())
             ()
         in
@@ -594,10 +633,25 @@ let serve_cmd =
         in
         (durability, engine)
     in
+    let admission_config =
+      { Serve.Admission.window = Gripps.Workload.quantize batch_window;
+        max_inflight; max_per_client; cache; priority = admit_priority }
+    in
+    let admission =
+      or_die (fun () -> Serve.Admission.create ~config:admission_config engine) ()
+    in
+    if admission_config <> Serve.Admission.default_config then
+      Format.eprintf
+        "dlsched serve: admission valve: window=%ss max-inflight=%d \
+         max-per-client=%d cache=%b priority=%s@."
+        (R.to_string admission_config.Serve.Admission.window)
+        max_inflight max_per_client cache
+        (match admit_priority with `Fifo -> "fifo" | `Smallest -> "smallest");
     let platform = Serve.Engine.platform engine in
-    let server = Serve.Server.create engine in
+    let server = Serve.Server.create ~admission engine in
     Format.eprintf "dlsched serve: %d machines, %d banks; commands: \
-                    submit/status/metrics/trace/spans/fail/recover/tick/drain/snapshot/quit@."
+                    submit/status/metrics/trace/spans/fail/recover/tick/drain/\
+                    snapshot/help/quit@."
       (Array.length platform.Gripps.Workload.speeds)
       (Array.length platform.Gripps.Workload.bank_sizes);
     Fun.protect
@@ -611,9 +665,11 @@ let serve_cmd =
   in
   let doc = "Run the scheduler as a daemon speaking a newline-delimited command              protocol on stdin/stdout or a Unix socket." in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ setup_arg $ socket $ clock $ platform_from $ trace_machines
-          $ trace_banks $ trace_replication $ trace_seed $ policy_arg $ batch_arg
-          $ lost_work_arg $ wal_arg $ resume_arg $ snapshot_every_arg)
+    Term.(const run $ Flags.setup $ socket $ clock $ platform_from $ Flags.machines 4
+          $ Flags.banks $ Flags.replication $ Flags.seed $ Flags.policy $ Flags.batch
+          $ Flags.lost_work $ Flags.wal $ Flags.resume $ Flags.snapshot_every
+          $ Flags.batch_window $ Flags.max_inflight $ Flags.max_per_client
+          $ Flags.admit_priority $ Flags.cache)
 
 let () =
   let doc = "exact schedulers for divisible requests on heterogeneous databanks" in

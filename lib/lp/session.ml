@@ -35,6 +35,17 @@ module Make (F : Linalg.Field.S) = struct
   let solves t = t.solves
   let warm_hits t = t.warm_hits
 
+  (* The structural signature of the current problem — the exact value
+     [resolve] compares to decide whether the stored basis survives.
+     Exposed so admission-level decision caches ([Serve.Admission]) can
+     fingerprint "same LP shape" with the same notion the warm-start
+     machinery already uses, instead of inventing a parallel one. *)
+  let shape_key t = E.shape (t.prep : E.prepared)
+
+  (* Whether the session holds a reusable basis: a [solve] after this
+     returns [true] will be warm-started (still verified, never trusted). *)
+  let warm_ready t = t.basis <> None
+
   let solve t : outcome =
     let warm_before = Instrument.warm_solves ~exact:F.exact in
     let outcome, basis = E.solve_prepared ?warm:t.basis t.prep in

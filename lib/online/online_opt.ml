@@ -82,6 +82,7 @@ module Divisible = struct
   (* An availability change rewrites whole cost columns, so every cached
      basis describes a system that no longer exists; re-solves after the
      change must run cold rather than chase a stale vertex. *)
+  let on_batch_arrival state ~now ~jobs = Sim.announce_each on_arrival state ~now ~jobs
   let on_platform_change st ~now:_ ~inst =
     st.inst <- inst;
     Obs.Event.emit "basis.cache.cleared";
@@ -114,6 +115,7 @@ module Lazy_divisible = struct
 
   (* Same invalidation as {!Divisible}, plus the cached plan itself: its
      shares may sit on machines that just went down. *)
+  let on_batch_arrival state ~now ~jobs = Sim.announce_each on_arrival state ~now ~jobs
   let on_platform_change st ~now:_ ~inst =
     st.inst <- inst;
     Obs.Event.emit "basis.cache.cleared";

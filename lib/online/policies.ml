@@ -49,6 +49,7 @@ module Mct = struct
 
   (* Queue assignments and drain estimates may point at machines that just
      went down; start over against the new platform. *)
+  let on_batch_arrival state ~now ~jobs = Sim.announce_each on_arrival state ~now ~jobs
   let on_platform_change = Sim.rebuild_on_platform_change
 
   let decide st ~now:_ ~active =
@@ -88,6 +89,7 @@ module Fcfs = struct
     if i >= 0 && st.running.(i) = job then st.running.(i) <- -1
 
   (* Running jobs may be pinned to machines that just went down. *)
+  let on_batch_arrival state ~now ~jobs = Sim.announce_each on_arrival state ~now ~jobs
   let on_platform_change = Sim.rebuild_on_platform_change
 
   let decide st ~now:_ ~active =
@@ -157,6 +159,7 @@ module Srpt = struct
   let init inst = ref inst
   let on_arrival _ ~now:_ ~job:_ = ()
   let on_completion _ ~now:_ ~job:_ = ()
+  let on_batch_arrival state ~now ~jobs = Sim.announce_each on_arrival state ~now ~jobs
   let on_platform_change = adapt_instance
 
   let decide st ~now:_ ~active =
@@ -172,6 +175,7 @@ module Evd = struct
   let init inst = ref inst
   let on_arrival _ ~now:_ ~job:_ = ()
   let on_completion _ ~now:_ ~job:_ = ()
+  let on_batch_arrival state ~now ~jobs = Sim.announce_each on_arrival state ~now ~jobs
   let on_platform_change = adapt_instance
 
   let decide st ~now:_ ~active =
@@ -187,6 +191,7 @@ module Fair = struct
   let init inst = ref inst
   let on_arrival _ ~now:_ ~job:_ = ()
   let on_completion _ ~now:_ ~job:_ = ()
+  let on_batch_arrival state ~now ~jobs = Sim.announce_each on_arrival state ~now ~jobs
   let on_platform_change = adapt_instance
 
   let decide st ~now:_ ~active =

@@ -19,6 +19,7 @@ module type POLICY = sig
   val on_platform_change :
     state -> now:Rat.t -> inst:Sched_core.Instance.t -> [ `Adapted | `Rebuild ]
 
+  val on_batch_arrival : state -> now:Rat.t -> jobs:int list -> unit
   val decide : state -> now:Rat.t -> active:job_view list -> decision
 end
 
@@ -30,6 +31,14 @@ end
 let rebuild_on_platform_change :
     'a -> now:Rat.t -> inst:Sched_core.Instance.t -> [ `Adapted | `Rebuild ] =
  fun _ ~now:_ ~inst:_ -> `Rebuild
+
+(* The default shim for [on_batch_arrival]: announce each job of the
+   coalesced batch individually, in the order given.  Policies that can
+   exploit seeing a whole burst at once (bin-pack the batch, one queue
+   rebalance instead of k) override this with something smarter. *)
+let announce_each (on_arrival : 'a -> now:Rat.t -> job:int -> unit) :
+    'a -> now:Rat.t -> jobs:int list -> unit =
+ fun state ~now ~jobs -> List.iter (fun job -> on_arrival state ~now ~job) jobs
 
 type result = { policy : string; schedule : S.t; decisions : int }
 

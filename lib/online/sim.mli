@@ -62,6 +62,16 @@ module type POLICY = sig
       or rebuild: stale shapes are useless and stale queues may point at
       down machines. *)
 
+  val on_batch_arrival : state -> now:Rat.t -> jobs:int list -> unit
+  (** A coalesced batch of arrivals, all at the same instant [now], in
+      announcement order.  Driving engines that batch admissions
+      ([Serve.Admission]) fire this once per batch instead of calling
+      [on_arrival] k times, so a policy can rebalance its queues once for
+      the whole burst.  The {!announce_each} shim — announce each job via
+      [on_arrival] — is behaviorally identical for policies whose arrival
+      handler is independent of its siblings, which is every policy in
+      this repository. *)
+
   val decide : state -> now:Rat.t -> active:job_view list -> decision
 end
 
@@ -70,6 +80,12 @@ val rebuild_on_platform_change :
 (** The default [on_platform_change]: always [`Rebuild].  Sound for every
     policy (availability changes are rare, so rebuilding is never hot);
     alias it when the state holds nothing worth preserving. *)
+
+val announce_each :
+  ('a -> now:Rat.t -> job:int -> unit) -> 'a -> now:Rat.t -> jobs:int list -> unit
+(** The default [on_batch_arrival], built from the policy's own
+    [on_arrival]; alias it (eta-expanded, for the value restriction):
+    [let on_batch_arrival s ~now ~jobs = Sim.announce_each on_arrival s ~now ~jobs]. *)
 
 type result = {
   policy : string;

@@ -1,0 +1,155 @@
+module Rat = Numeric.Rat
+module Metrics = Obs.Registry
+
+type priority = [ `Fifo | `Smallest ]
+
+type config = {
+  window : Rat.t;
+  max_inflight : int;
+  max_per_client : int;
+  cache : bool;
+  priority : priority;
+}
+
+let default_config =
+  {
+    window = Rat.zero;
+    max_inflight = 0;
+    max_per_client = 0;
+    cache = false;
+    priority = `Fifo;
+  }
+
+type reply =
+  | Admitted of { job : int; fires_at : Rat.t }
+  | Shed of { retry_after : Rat.t }
+
+(* One admitted-but-not-yet-retired request.  The list is swept lazily
+   against [Engine.job_completed]; admission volumes are bounded by the
+   in-flight caps themselves, so a list is plenty. *)
+type entry = { job : int; client : string; motifs : int }
+
+type t = {
+  eng : Engine.t;
+  cfg : config;
+  mutable live : entry list;  (* newest first *)
+  (* The open coalescing window: arrival date shared by every request
+     admitted until the engine moves past it, plus how many joined. *)
+  mutable batch_closes : Rat.t;
+  mutable batch_size : int;
+  c_submits : Metrics.counter;
+  c_sheds : Metrics.counter;
+  c_batches : Metrics.counter;
+  h_batch : Metrics.histogram;
+}
+
+let create ?(config = default_config) eng =
+  if Rat.sign config.window < 0 then
+    invalid_arg "Admission.create: negative coalescing window";
+  if config.max_inflight < 0 || config.max_per_client < 0 then
+    invalid_arg "Admission.create: negative in-flight cap";
+  Engine.set_decision_cache eng config.cache;
+  let m = Engine.metrics eng in
+  {
+    eng;
+    cfg = config;
+    live = [];
+    batch_closes = Rat.zero;
+    batch_size = 0;
+    c_submits = Metrics.counter m "admission.submits";
+    c_sheds = Metrics.counter m "admission.sheds";
+    c_batches = Metrics.counter m "admission.batches";
+    h_batch = Metrics.histogram m "admission.batch_size";
+  }
+
+let engine t = t.eng
+let config t = t.cfg
+
+let sweep t =
+  t.live <- List.filter (fun e -> not (Engine.job_completed t.eng e.job)) t.live
+
+let inflight t =
+  sweep t;
+  List.length t.live
+
+let inflight_for t client =
+  sweep t;
+  List.length (List.filter (fun e -> e.client = client) t.live)
+
+(* Close the open window once the engine has moved past it: its batch is
+   fired (or firing), so the next submit opens a fresh one.  One histogram
+   sample per closed non-empty window. *)
+let close_expired t =
+  if t.batch_size > 0 && Rat.compare t.batch_closes (Engine.now t.eng) <= 0 then begin
+    Metrics.incr t.c_batches;
+    Metrics.observe t.h_batch (float_of_int t.batch_size);
+    t.batch_size <- 0
+  end
+
+let poll t = close_expired t
+
+(* Under [`Smallest], pressure at the global cap still admits a request
+   strictly smaller than the largest in-flight one — small fry drain past
+   a backlog of whales — up to a 25% overflow. *)
+let over_global_cap t ~motifs =
+  t.cfg.max_inflight > 0
+  &&
+  let n = List.length t.live in
+  if n < t.cfg.max_inflight then false
+  else
+    match t.cfg.priority with
+    | `Fifo -> true
+    | `Smallest ->
+      let largest = List.fold_left (fun acc e -> Stdlib.max acc e.motifs) 0 t.live in
+      motifs >= largest || n >= t.cfg.max_inflight + ((t.cfg.max_inflight + 3) / 4)
+
+let over_client_cap t ~client =
+  t.cfg.max_per_client > 0
+  && List.length (List.filter (fun e -> e.client = client) t.live)
+     >= t.cfg.max_per_client
+
+let retry_after t =
+  (* The soonest anything can change for the better: the end of the
+     current window if one is open, else one window from now; never less
+     than a second so callers do not spin. *)
+  let w = if Rat.sign t.cfg.window > 0 then t.cfg.window else Rat.of_int 1 in
+  let open_left =
+    if t.batch_size > 0 then Rat.sub t.batch_closes (Engine.now t.eng) else Rat.zero
+  in
+  if Rat.sign open_left > 0 then Rat.add open_left t.cfg.window else w
+
+let submit t ?(client = "anon") ~id ~bank ~num_motifs () =
+  Obs.Span.with_span "admission.submit" (fun () ->
+      Obs.Span.set_str "client" client;
+      sweep t;
+      close_expired t;
+      if over_client_cap t ~client || over_global_cap t ~motifs:num_motifs then begin
+        Metrics.incr t.c_sheds;
+        Obs.Span.set_str "outcome" "shed";
+        Shed { retry_after = retry_after t }
+      end
+      else begin
+        let now = Engine.now t.eng in
+        let fires_at =
+          if Rat.sign t.cfg.window <= 0 then now
+          else if t.batch_size > 0 then t.batch_closes
+          else Rat.add now t.cfg.window
+        in
+        (* Durable before acknowledged: [Engine.submit] WAL-logs the
+           request with this very arrival date, so a crash inside the open
+           window replays the whole batch bit-identically. *)
+        let job = Engine.submit t.eng ~id ~arrival:fires_at ~bank ~num_motifs () in
+        if Rat.sign t.cfg.window > 0 then begin
+          t.batch_closes <- fires_at;
+          t.batch_size <- t.batch_size + 1
+        end
+        else begin
+          (* Unbatched: every submit is its own batch of one. *)
+          Metrics.incr t.c_batches;
+          Metrics.observe t.h_batch 1.
+        end;
+        t.live <- { job; client; motifs = num_motifs } :: t.live;
+        Metrics.incr t.c_submits;
+        Obs.Span.set_str "outcome" "admitted";
+        Admitted { job; fires_at }
+      end)

@@ -1,0 +1,96 @@
+(** Admission control in front of {!Engine}: batched re-decides, decision
+    caching and load shedding.
+
+    The engine is happy to re-plan on every arrival; under a bursty open
+    stream that is both wasteful (the re-optimizing policies solve LPs)
+    and unbounded (every request is accepted no matter the backlog).  This
+    front-end is the policy-free valve between the wire protocol and the
+    engine:
+
+    {b Batching.}  Submits accepted within one coalescing [window] are
+    given the {e same future arrival date} — the end of the currently open
+    window — so the engine fires them as a single batch
+    ({!Online.Sim.POLICY.on_batch_arrival}) and re-plans once per window
+    instead of once per request.  Because the batch is expressed purely as
+    arrival dates on ordinary {!Engine.submit} calls, every queued request
+    is already WAL-durable the moment it is acknowledged: a crash in the
+    middle of an open window replays to the same state, with no
+    admission-side buffer to lose ({!Wal}, DESIGN.md §13).
+
+    {b Decision caching.}  [cache = true] arms {!Engine.set_decision_cache}
+    on the wrapped engine, so recurring workload shapes replay remembered
+    plans instead of re-consulting the policy (see {!Engine} and
+    DESIGN.md §13 for the key and its soundness contract).
+
+    {b Load shedding.}  At most [max_inflight] admitted-but-incomplete
+    requests globally and [max_per_client] per client; beyond that
+    {!submit} answers {!reply.Shed} with a retry hint instead of growing
+    the queue without bound.  The [priority] knob biases {e drains} under
+    pressure: [`Smallest] lets a request strictly smaller than the largest
+    in-flight job overflow the global cap by 25%, so cheap requests keep
+    flowing while the backlog of heavy ones drains.  Shedding is refusal
+    at the door: a shed request never reaches the engine or the WAL. *)
+
+module Rat = Numeric.Rat
+
+type priority =
+  [ `Fifo  (** strict: over the cap, everyone is shed alike *)
+  | `Smallest
+    (** small jobs may jump the closed door: a newcomer strictly smaller
+        (fewer motifs) than the largest in-flight request is admitted up
+        to 125% of [max_inflight] *) ]
+
+type config = {
+  window : Rat.t;  (** coalescing window in seconds; zero = no batching *)
+  max_inflight : int;  (** global in-flight cap; 0 = unlimited *)
+  max_per_client : int;  (** per-client in-flight cap; 0 = unlimited *)
+  cache : bool;  (** arm the engine's decision cache *)
+  priority : priority;
+}
+
+val default_config : config
+(** No batching, no caps, cache off, [`Fifo] — a transparent valve. *)
+
+type reply =
+  | Admitted of { job : int; fires_at : Rat.t }
+      (** admitted; the engine will schedule it at [fires_at] (the end of
+          the coalescing window it joined; its own arrival date) *)
+  | Shed of { retry_after : Rat.t }
+      (** refused by backpressure; try again in [retry_after] seconds *)
+
+type t
+
+val create : ?config:config -> Engine.t -> t
+(** Wrap an engine.  Applies [config.cache] to the engine's decision
+    cache immediately.
+    @raise Invalid_argument on a negative window or negative cap. *)
+
+val engine : t -> Engine.t
+val config : t -> config
+
+val submit : t -> ?client:string -> id:string -> bank:int -> num_motifs:int -> unit -> reply
+(** Admit or shed one request arriving {e now} (at the wrapped engine's
+    current time).  [client] (default ["anon"]) is the unit of per-client
+    accounting.  On admission the request is submitted to the engine —
+    and therefore WAL-logged, when durability is armed — with its
+    coalesced arrival date.
+    @raise Invalid_argument for the same malformed requests as
+    {!Engine.submit} (duplicate id, bad bank, non-positive motifs). *)
+
+val inflight : t -> int
+(** Admitted-but-incomplete requests, globally (after retiring completed
+    jobs). *)
+
+val inflight_for : t -> string -> int
+(** Same, for one client. *)
+
+val poll : t -> unit
+(** Bookkeeping tick: close the open coalescing window if the engine has
+    moved past it, recording the batch-size sample.  Call after advancing
+    the engine (the server does, on every {!Engine.catch_up}); submits
+    close expired windows on their own. *)
+
+(** Metrics, recorded in the wrapped engine's registry: counters
+    [admission.submits], [admission.sheds], [admission.batches];
+    histogram [admission.batch_size] (one sample per closed window).
+    Each submit runs under an ["admission.submit"] span. *)

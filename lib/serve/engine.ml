@@ -4,8 +4,6 @@ module S = Sched_core.Schedule
 module Sim = Online.Sim
 module W = Gripps.Workload
 
-(* The engine records into [Obs.Registry] directly; [Serve.Metrics] is
-   only a compatibility alias for it. *)
 module Metrics = Obs.Registry
 
 type objective = [ `Flow | `Stretch ]
@@ -27,6 +25,17 @@ type job = {
 
 (* The policy's abstract state, packed with its module. *)
 type runner = Runner : (module Sim.POLICY with type state = 's) * 's -> runner
+
+(* A cached decision in canonical form: shares name jobs by their
+   *position* in announcement order (not by absolute index, which differs
+   between recurrences of the same workload shape) and [review_at] is
+   stored as an offset from the decision date (absolute dates never
+   recur).  [decide] reconstitutes a [Sim.decision] against the current
+   census on a hit. *)
+type cached_decision = {
+  cd_shares : (int * int * Rat.t) list;  (* machine, census position, share *)
+  cd_review_offset : Rat.t option;
+}
 
 type t = {
   platform : W.platform;
@@ -54,6 +63,12 @@ type t = {
   mutable decided_at : Rat.t;
   mutable dirty : bool;
   mutable batch_deadline : Rat.t option;
+  (* Decision cache (DESIGN.md §13).  Keyed by an exact fingerprint of
+     every serializable input a rebuilt policy's decision is a function
+     of; consulted only at rebuild barriers ([runner = None]), where that
+     functional dependence is the quiesce/restore invariant itself. *)
+  mutable cache_enabled : bool;
+  decision_cache : (string, cached_decision) Hashtbl.t;
   (* Output. *)
   mutable slices : S.slice list;  (* reverse order *)
   last_stop : Rat.t array;  (* per machine, incremental validation *)
@@ -66,6 +81,8 @@ type t = {
   c_segments : Metrics.counter;
   c_slices : Metrics.counter;
   c_coalesced : Metrics.counter;
+  c_cache_hits : Metrics.counter;
+  c_cache_misses : Metrics.counter;
   c_rebuilds : Metrics.counter;
   c_failures : Metrics.counter;
   c_recoveries : Metrics.counter;
@@ -137,6 +154,8 @@ let create ?(batch_window = Rat.zero) ?(objective = `Stretch) ?(lost_work = `Los
     decided_at = Rat.zero;
     dirty = true;
     batch_deadline = None;
+    cache_enabled = false;
+    decision_cache = Hashtbl.create 16;
     slices = [];
     last_stop = Array.make m Rat.zero;
     num_completed = 0;
@@ -147,6 +166,8 @@ let create ?(batch_window = Rat.zero) ?(objective = `Stretch) ?(lost_work = `Los
     c_segments = Metrics.counter metrics "segments";
     c_slices = Metrics.counter metrics "slices";
       c_coalesced = Metrics.counter metrics "arrivals_coalesced";
+      c_cache_hits = Metrics.counter metrics "decision_cache_hits";
+      c_cache_misses = Metrics.counter metrics "decision_cache_misses";
       c_rebuilds = Metrics.counter metrics "policy_rebuilds";
       c_failures = Metrics.counter metrics "machine_failures";
       c_recoveries = Metrics.counter metrics "machine_recoveries";
@@ -214,6 +235,15 @@ let machines_up t =
   Array.fold_left (fun k s -> if W.machine_live s then k + 1 else k) 0 t.overlay
 
 let find t id = Hashtbl.find_opt t.ids id
+
+let job_completed t j =
+  if j < 0 || j >= t.n then
+    invalid_arg (Printf.sprintf "Engine.job_completed: job %d out of range" j);
+  t.jobs.(j).completed_at <> None
+
+let set_decision_cache t enabled =
+  t.cache_enabled <- enabled;
+  if not enabled then Hashtbl.reset t.decision_cache
 
 let now t = t.now
 let metrics t = t.metrics
@@ -401,10 +431,12 @@ let submit t ~id ?arrival ~bank ~num_motifs () =
   t.masked <- None;
   if t.runner <> None then begin
     t.runner <- None;
-    (* Any cached decision was made against the retired policy state; using
-       it after the rebuild could break queue-based policies' invariants. *)
-    t.dirty <- true;
     Metrics.incr t.c_rebuilds
+    (* The current *decision* stays: it is validated shares over jobs that
+       all still exist (indices are stable under growth), and executing it
+       needs no policy state.  The newcomer forces a re-decision only when
+       its arrival date fires — which is where the batch window coalesces
+       a burst into one consultation instead of one per submit. *)
   end;
   Metrics.incr t.c_submitted;
   bump t;
@@ -429,6 +461,18 @@ let views t =
   in
   go (t.n - 1) []
 
+(* Schedulable jobs in announcement order (arrival date, then index) — the
+   exact sequence a rebuilt policy state is re-announced, and therefore the
+   canonical job enumeration the decision cache keys on. *)
+let announced t =
+  List.filter
+    (fun j ->
+      t.jobs.(j).arrived && (not t.jobs.(j).parked) && t.jobs.(j).completed_at = None)
+    (List.init t.n (fun j -> j))
+  |> List.sort (fun a b ->
+         let c = Rat.compare t.jobs.(a).arrival t.jobs.(b).arrival in
+         if c <> 0 then c else compare a b)
+
 let runner t =
   match t.runner with
   | Some r -> r
@@ -436,22 +480,57 @@ let runner t =
     let (module P : Sim.POLICY) = t.policy in
     let state = P.init (decision_instance t) in
     (* Re-announce the surviving schedulable jobs, in arrival order. *)
-    let live =
-      List.filter
-        (fun j ->
-          t.jobs.(j).arrived && (not t.jobs.(j).parked) && t.jobs.(j).completed_at = None)
-        (List.init t.n (fun j -> j))
-      |> List.sort (fun a b ->
-             let c = Rat.compare t.jobs.(a).arrival t.jobs.(b).arrival in
-             if c <> 0 then c else compare a b)
-    in
-    List.iter (fun j -> P.on_arrival state ~now:t.now ~job:j) live;
+    List.iter (fun j -> P.on_arrival state ~now:t.now ~job:j) (announced t);
     let r = Runner ((module P), state) in
     t.runner <- Some r;
     t.dirty <- true;
     r
 
-let decide t =
+let eligible_for t j =
+  j < t.n && t.jobs.(j).arrived && (not t.jobs.(j).parked) && t.jobs.(j).completed_at = None
+
+(* Canonical fingerprint of the masked decision instance: availability
+   overlay plus the *shape* of every schedulable job — arrival age, bank,
+   motif count, remaining fraction — in announcement order, rendered as
+   exact strings, never lossy hashes.  At a rebuild barrier
+   ([t.runner = None]) the policy state about to decide is [init] +
+   re-announcements of exactly these jobs, so under the policy contract
+   (honest, index-relative, time-translation equivariant — see
+   DESIGN.md §13) equal fingerprints yield the same decision up to job
+   renumbering and a [review_at] time shift, which is precisely the
+   normalization [cached_decision] stores.  The cache is never consulted
+   while a long-lived policy state (with history a fingerprint cannot
+   see) is driving. *)
+let fingerprint t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (policy_name t);
+  Buffer.add_char b '|';
+  Buffer.add_string b (match t.objective with `Flow -> "flow" | `Stretch -> "stretch");
+  Buffer.add_char b '|';
+  Array.iter
+    (fun s ->
+      match s with
+      | W.Up -> Buffer.add_char b 'u'
+      | W.Down -> Buffer.add_char b 'd'
+      | W.Degraded f ->
+        Buffer.add_char b 'g';
+        Buffer.add_string b (Rat.to_string f))
+    t.overlay;
+  List.iter
+    (fun j ->
+      let job = t.jobs.(j) in
+      Buffer.add_char b '|';
+      Buffer.add_string b (Rat.to_string (Rat.sub t.now job.arrival));
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int job.bank);
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int job.num_motifs);
+      Buffer.add_char b ':';
+      Buffer.add_string b (Rat.to_string t.remaining.(j)))
+    (announced t);
+  Buffer.contents b
+
+let decide_fresh t =
   let (Runner ((module P), state)) = runner t in
   (* Every LP solve triggered by the policy — exact or float, cold or
      warm — is accounted to this engine by differencing the global solver
@@ -495,50 +574,120 @@ let decide t =
   Metrics.incr t.c_decisions;
   d
 
-let fire_arrival t j =
-  if starved_column t t.jobs.(j).column then begin
-    (* Nothing live can run it: park it instead of announcing it — Mct's
-       arrival handler, for one, asserts some machine can take the job. *)
-    t.jobs.(j).arrived <- true;
-    t.jobs.(j).parked <- true;
-    Metrics.set t.g_queue (float_of_int (active t))
-  end
+let decide t =
+  if not (t.cache_enabled && t.runner = None) then decide_fresh t
   else begin
-    (* Build the runner before flipping [arrived], or a fresh rebuild would
-       announce the job a second time. *)
-    let (Runner ((module P), state)) = runner t in
-    t.jobs.(j).arrived <- true;
-    P.on_arrival state ~now:t.now ~job:j;
-    (* Batching: within one window of the last decision the current plan
-       keeps running and the newcomer waits for the coalesced re-decision. *)
-    if t.dirty || t.decision = None then t.dirty <- true
-    else if Rat.is_zero t.batch_window then t.dirty <- true
-    else begin
-      let deadline = Rat.add t.decided_at t.batch_window in
-      if Rat.compare deadline t.now <= 0 then t.dirty <- true
-      else begin
-        (match t.batch_deadline with
-         | None -> t.batch_deadline <- Some deadline
-         | Some _ -> ());
-        Metrics.incr t.c_coalesced
-      end
-    end;
-    Metrics.set t.g_queue (float_of_int (active t))
+    let order = Array.of_list (announced t) in
+    let key = fingerprint t in
+    match Hashtbl.find_opt t.decision_cache key with
+    | Some cd ->
+      (* Hit: reconstitute against the current census without consulting
+         the policy — or even building its state.  Re-validate
+         defensively: a bad entry must fail loudly, not corrupt the
+         schedule. *)
+      let shares =
+        List.map
+          (fun (machine, pos, share) -> { Sim.machine; job = order.(pos); share })
+          cd.cd_shares
+      in
+      let d =
+        { Sim.shares; review_at = Option.map (Rat.add t.now) cd.cd_review_offset }
+      in
+      Metrics.incr t.c_cache_hits;
+      Sim.check_decision ~where:"Serve.Engine" ~name:(policy_name t)
+        (decision_instance t)
+        ~up:(fun i -> W.machine_live t.overlay.(i))
+        ~eligible:(eligible_for t) ~now:t.now d;
+      t.decision <- Some d;
+      t.decided_at <- t.now;
+      t.dirty <- false;
+      t.batch_deadline <- None;
+      d
+    | None ->
+      Metrics.incr t.c_cache_misses;
+      let d = decide_fresh t in
+      (* Canonicalize and insert.  Every share names an eligible job
+         (validated above), so the position lookup is total. *)
+      let pos = Hashtbl.create (Array.length order) in
+      Array.iteri (fun p j -> Hashtbl.replace pos j p) order;
+      let cd =
+        {
+          cd_shares =
+            List.map
+              (fun (s : Sim.share) -> (s.machine, Hashtbl.find pos s.job, s.share))
+              d.Sim.shares;
+          cd_review_offset =
+            Option.map (fun r -> Rat.sub r t.now) d.Sim.review_at;
+        }
+      in
+      (* Entries under a retired overlay are purged eagerly
+         ([platform_changed]); this bound only guards pathological
+         same-overlay churn. *)
+      if Hashtbl.length t.decision_cache >= 128 then Hashtbl.reset t.decision_cache;
+      Hashtbl.replace t.decision_cache key cd;
+      d
   end
 
 let fire_due_arrivals t =
-  for j = 0 to t.n - 1 do
+  let due = ref [] in
+  for j = t.n - 1 downto 0 do
     if (not t.jobs.(j).arrived) && Rat.compare t.jobs.(j).arrival t.now <= 0 then
-      fire_arrival t j
-  done
+      due := j :: !due
+  done;
+  match !due with
+  | [] -> ()
+  | due ->
+    let parked, runnable =
+      List.partition (fun j -> starved_column t t.jobs.(j).column) due
+    in
+    (* Nothing live can run a starved job: park it instead of announcing
+       it — Mct's arrival handler, for one, asserts some machine can take
+       the job. *)
+    List.iter
+      (fun j ->
+        t.jobs.(j).arrived <- true;
+        t.jobs.(j).parked <- true)
+      parked;
+    (match runnable with
+     | [] -> ()
+     | runnable ->
+       (* Build the runner before flipping [arrived], or a fresh rebuild
+          would announce the batch a second time. *)
+       let (Runner ((module P), state)) = runner t in
+       List.iter (fun j -> t.jobs.(j).arrived <- true) runnable;
+       (* The whole instant's arrivals are one batch: policies hear about
+          the burst in a single callback and can rebalance once. *)
+       P.on_batch_arrival state ~now:t.now ~jobs:runnable;
+       (* Batching: within one window of the last decision the current
+          plan keeps running and the newcomers wait for the coalesced
+          re-decision. *)
+       if t.dirty || t.decision = None || Rat.is_zero t.batch_window then
+         t.dirty <- true
+       else begin
+         let deadline = Rat.add t.decided_at t.batch_window in
+         if Rat.compare deadline t.now <= 0 then t.dirty <- true
+         else begin
+           (match t.batch_deadline with
+            | None -> t.batch_deadline <- Some deadline
+            | Some _ -> ());
+           Metrics.add t.c_coalesced (List.length runnable)
+         end
+       end);
+    Metrics.set t.g_queue (float_of_int (active t))
 
 let complete t j =
   let job = t.jobs.(j) in
   job.completed_at <- Some t.now;
   t.num_completed <- t.num_completed + 1;
   t.dirty <- true;
-  let (Runner ((module P), state)) = runner t in
-  P.on_completion state ~now:t.now ~job:j;
+  (* The finishing decision may have outlived its policy state: a live
+     submission (or a decision-cache hit) leaves the validated shares
+     running with [runner = None].  There is nothing to retract then —
+     the eventual rebuild announces only surviving jobs — so the
+     completion callback fires only on a runner that announced [j]. *)
+  (match t.runner with
+   | Some (Runner ((module P), state)) -> P.on_completion state ~now:t.now ~job:j
+   | None -> ());
   let flow = Rat.sub t.now job.arrival in
   Metrics.incr t.c_completed;
   Metrics.observe t.h_flow (Rat.to_float flow);
@@ -575,6 +724,12 @@ let drop_lost_slices t i =
    (or re-grown) platform. *)
 let platform_changed t =
   t.masked <- None;
+  (* Eager invalidation.  The overlay is part of every cache key, so stale
+     entries could never *hit* — but a fail/recover cycle returning to a
+     previous overlay must re-consult the policy, not resurrect plans made
+     before the disruption, and the table should not hoard entries for
+     overlays that may never recur. *)
+  Hashtbl.reset t.decision_cache;
   let unparked = ref [] in
   for j = 0 to t.n - 1 do
     let job = t.jobs.(j) in

@@ -5,7 +5,7 @@
     stream: requests are admitted while it runs, time is owned by a
     pluggable {!Clock} (virtual for replay and tests, the system clock for
     a live daemon), and every decision, segment and completed request is
-    recorded in a {!Metrics} registry.  The scheduling semantics are
+    recorded in an {!Obs.Registry}.  The scheduling semantics are
     shared with the simulator through its exposed hooks
     ({!Online.Sim.check_decision}, {!Online.Sim.progress_rates},
     {!Online.Sim.materialize}): a virtual-clock replay of a trace with a
@@ -25,8 +25,27 @@
     (the [serve] front-end) extend the instance, so the policy state is
     rebuilt from the surviving active jobs; queue-based policies lose
     their queue estimates at that point (counted by the
-    [policy_rebuilds] metric).  Trace replay submits everything before the
+    [policy_rebuilds] metric).  The current {e decision} survives the
+    submission — its shares name jobs whose indices are stable under
+    growth and executing it needs no policy state — so the plan keeps
+    running and the newcomer only forces a re-decision when its arrival
+    date fires, which is where the batch window coalesces a burst into a
+    single consultation.  Trace replay submits everything before the
     first step and never rebuilds.
+
+    {b Decision caching.}  {!set_decision_cache} arms a cache of past
+    decisions keyed by a canonical fingerprint of the masked decision
+    instance — availability overlay plus the shape (arrival age, bank,
+    motif count, remaining fraction) of every schedulable job, in
+    announcement order.  It is consulted only at rebuild barriers (no
+    live policy state), where the upcoming decision is a pure function of
+    exactly the fingerprinted state; a hit replays the remembered plan
+    without consulting the policy (counted by [decision_cache_hits], with
+    [decisions] untouched), a miss ([decision_cache_misses]) computes and
+    remembers.  Every reused plan is re-validated with
+    {!Online.Sim.check_decision} before it drives the schedule.  The
+    cache is cleared on every availability change.  DESIGN.md §13 states
+    the soundness contract policies must honor.
 
     {b Machine failures.}  Faults ({!Trace.fault}) can be injected at any
     date, live ([fail]/[recover] server commands) or from a trace's event
@@ -125,22 +144,34 @@ val completed : t -> int
 val find : t -> string -> int option
 (** Job index of a submitted request id, if any. *)
 
+val job_completed : t -> int -> bool
+(** Whether the job at this index has completed — how an admission
+    front-end ({!Admission}) retires its in-flight accounting.
+    @raise Invalid_argument if the index is out of range. *)
+
+val set_decision_cache : t -> bool -> unit
+(** Enable or disable the decision cache (disabled by default; see the
+    module preamble).  Disabling also drops every cached entry.  A
+    resumed engine must be armed identically to the crashed one
+    ({!Snapshot.resume}'s [decision_cache]) for bit-identical replay of
+    the cache counters. *)
+
 val clock : t -> Clock.t
 val platform : t -> Gripps.Workload.platform
 
 val metrics : t -> Obs.Registry.t
 (** Live registry: counters [requests_submitted], [requests_completed],
     [decisions], [segments], [slices], [arrivals_coalesced],
-    [policy_rebuilds], [machine_failures], [machine_recoveries],
-    [slices_lost]; gauges [queue_depth], [machines_up]; histograms
-    [flow_seconds], [weighted_flow_seconds], [stretch] (one sample per
-    completed request).  Solver counters [lp_solves], [lp_solves_warm],
+    [decision_cache_hits], [decision_cache_misses], [policy_rebuilds],
+    [machine_failures], [machine_recoveries], [slices_lost]; gauges
+    [queue_depth], [machines_up]; histograms [flow_seconds],
+    [weighted_flow_seconds], [stretch] (one sample per completed
+    request).  Solver counters [lp_solves], [lp_solves_warm],
     [lp_pivots_phase1], [lp_pivots_phase2], [lp_pivots_dual] attribute
     per-decision deltas of the global [Lp.Instrument] totals to this
     engine; the [lp_solve_seconds] histogram records one sample per
     LP-using decision (that decision's total solver seconds), not one
-    per solve.  ({!Metrics.t} is an alias of [Obs.Registry.t], so the
-    legacy [Serve.Metrics] accessors keep working.) *)
+    per solve. *)
 
 val schedule : t -> Sched_core.Schedule.t
 (** The slices materialized so far, over the instance of every submitted

@@ -1,11 +1,18 @@
 module Rat = Numeric.Rat
+module Registry = Obs.Registry
 
 type t = {
   engine : Engine.t;
+  (* Admission valve, when the server fronts the engine with batching /
+     shedding (--batch-window / --max-inflight).  [None] = every submit
+     goes straight to the engine, proto=1 behavior. *)
+  admission : Admission.t option;
   (* Sink installed by [trace on] without a path: a ring buffer whose
      recent records the [spans] command dumps.  [trace on PATH] streams to
      a file instead and leaves this [None]. *)
   mutable trace_ring : Obs.Sink.t option;
+  (* Names socket sessions for per-client admission accounting. *)
+  mutable next_client : int;
   (* Serializes command execution: the engine (and [trace_ring]) are
      single-threaded objects, and concurrent socket sessions take this
      lock around each command, so commands interleave per line — never
@@ -13,7 +20,21 @@ type t = {
   lock : Mutex.t;
 }
 
-let create engine = { engine; trace_ring = None; lock = Mutex.create () }
+let create ?admission engine =
+  { engine; admission; trace_ring = None; next_client = 0; lock = Mutex.create () }
+
+let banner = "hello dlsched proto=2"
+
+(* The proto=2 reply grammar, in machine-checkable form: every error is
+   [err CODE detail...] with CODE drawn from [error_codes], and every [ok]
+   with a payload starts with one of [ok_heads].  A lint test scans this
+   file's [okf]/[errf] call sites against these lists, so adding a reply
+   shape means registering it here. *)
+let error_codes =
+  [ "usage"; "bad_request"; "io"; "wall_clock"; "no_wal"; "shed"; "unknown_command" ]
+
+let ok_heads =
+  [ "submitted"; "now="; "machine"; "tracing"; "snapshot"; "drained"; "bye" ]
 
 let tokens line =
   String.split_on_char ' ' line
@@ -21,11 +42,32 @@ let tokens line =
   |> List.filter (fun s -> s <> "")
 
 let okf fmt = Printf.ksprintf (fun s -> [ "ok " ^ s ]) fmt
-let errf fmt = Printf.ksprintf (fun s -> [ "err " ^ s ]) fmt
+let errf code fmt = Printf.ksprintf (fun s -> [ "err " ^ code ^ " " ^ s ]) fmt
 
-let handle_line_unlocked t line =
+let help_lines =
+  [
+    "commands:";
+    "  submit ID BANK MOTIFS   admit a request now";
+    "  status                  engine time and queue counts";
+    "  metrics [json]          dump the metrics registry";
+    "  trace on [PATH]         trace to a ring buffer, or as JSON lines to PATH";
+    "  trace off               stop tracing";
+    "  spans                   dump ring-buffered trace records as a JSON array";
+    "  fail MACHINE            take a machine down now";
+    "  recover MACHINE         bring a machine back up";
+    "  tick SECONDS            advance a virtual clock";
+    "  snapshot                checkpoint state, truncate the write-ahead log";
+    "  drain                   run until every admitted request completes";
+    "  help                    this text";
+    "  quit                    close the session";
+    "replies: 'ok ...' or 'err CODE ...' with CODE one of";
+    "  " ^ String.concat " " error_codes;
+  ]
+
+let handle_line_unlocked t ?(client = "anon") line =
   let e = t.engine in
   Engine.catch_up e;
+  Option.iter Admission.poll t.admission;
   match tokens line with
   | [] -> ([], `Continue)
   | comment :: _ when String.length comment > 0 && comment.[0] = '#' -> ([], `Continue)
@@ -33,10 +75,19 @@ let handle_line_unlocked t line =
     match (int_of_string_opt bank, int_of_string_opt motifs) with
     | Some bank, Some motifs -> (
       try
-        let k = Engine.submit e ~id ~bank ~num_motifs:motifs () in
-        (okf "submitted %s job=%d" id k, `Continue)
-      with Invalid_argument msg -> (errf "%s" msg, `Continue))
-    | _ -> (errf "usage: submit ID BANK MOTIFS", `Continue))
+        match t.admission with
+        | None ->
+          let k = Engine.submit e ~id ~bank ~num_motifs:motifs () in
+          (okf "submitted %s job=%d" id k, `Continue)
+        | Some adm -> (
+          match Admission.submit adm ~client ~id ~bank ~num_motifs:motifs () with
+          | Admission.Admitted { job; fires_at } ->
+            ( okf "submitted %s job=%d fires_at=%s" id job (Rat.to_string fires_at),
+              `Continue )
+          | Admission.Shed { retry_after } ->
+            (errf "shed" "retry_after=%s" (Rat.to_string retry_after), `Continue))
+      with Invalid_argument msg -> (errf "bad_request" "%s" msg, `Continue))
+    | _ -> (errf "usage" "submit ID BANK MOTIFS", `Continue))
   | [ "status" ] ->
     ( okf "now=%s submitted=%d active=%d completed=%d up=%d/%d starved=%d"
         (Rat.to_string (Engine.now e))
@@ -55,12 +106,14 @@ let handle_line_unlocked t line =
            (Engine.machines_up e)
            (Array.length (Engine.platform e).Gripps.Workload.speeds),
          `Continue)
-      with Invalid_argument msg -> (errf "%s" msg, `Continue))
-    | None -> (errf "usage: %s MACHINE" kind, `Continue))
+      with Invalid_argument msg -> (errf "bad_request" "%s" msg, `Continue))
+    | None -> (errf "usage" "%s MACHINE" kind, `Continue))
+  | (("fail" | "recover") as kind) :: _ -> (errf "usage" "%s MACHINE" kind, `Continue)
+  | "submit" :: _ -> (errf "usage" "submit ID BANK MOTIFS", `Continue)
   | [ "metrics" ] ->
-    let body = String.split_on_char '\n' (Metrics.to_text (Engine.metrics e)) in
+    let body = String.split_on_char '\n' (Registry.to_text (Engine.metrics e)) in
     (List.filter (fun l -> l <> "") body @ [ "ok" ], `Continue)
-  | [ "metrics"; "json" ] -> ([ Metrics.to_json (Engine.metrics e); "ok" ], `Continue)
+  | [ "metrics"; "json" ] -> ([ Registry.to_json (Engine.metrics e); "ok" ], `Continue)
   | [ "trace"; "on" ] ->
     let ring = Obs.Sink.ring () in
     Obs.Sink.install ring;
@@ -72,12 +125,12 @@ let handle_line_unlocked t line =
       Obs.Sink.install sink;
       t.trace_ring <- None;
       (okf "tracing to %s" path, `Continue)
-    | exception Sys_error msg -> (errf "%s" msg, `Continue))
+    | exception Sys_error msg -> (errf "io" "%s" msg, `Continue))
   | [ "trace"; "off" ] ->
     Obs.Sink.uninstall ();
     t.trace_ring <- None;
     (okf "tracing off", `Continue)
-  | "trace" :: _ -> (errf "usage: trace on [PATH] | trace off", `Continue)
+  | "trace" :: _ -> (errf "usage" "trace on [PATH] | trace off", `Continue)
   | [ "spans" ] ->
     (* Always exactly one well-formed JSON line: the buffered records as
        an array ([[]] when tracing is off or streaming to a file). *)
@@ -88,8 +141,8 @@ let handle_line_unlocked t line =
     in
     ([ "[" ^ String.concat "," lines ^ "]"; "ok" ], `Continue)
   | "tick" :: _ when not (Clock.is_virtual (Engine.clock e)) ->
-    (errf "tick only makes sense on a virtual clock (the wall clock ticks itself)",
-     `Continue)
+    ( errf "wall_clock" "tick only makes sense on a virtual clock (the wall clock ticks itself)",
+      `Continue )
   | [ "tick"; seconds ] -> (
     match float_of_string_opt seconds with
     (* Finiteness matters: [inf] satisfies [> 0.] and would quantize into
@@ -97,35 +150,39 @@ let handle_line_unlocked t line =
     | Some s when Float.is_finite s && s > 0. -> (
       try
         Engine.run_until e (Rat.add (Engine.now e) (Gripps.Workload.quantize s));
+        Option.iter Admission.poll t.admission;
         (okf "now=%s" (Rat.to_string (Engine.now e)), `Continue)
-      with Invalid_argument msg -> (errf "%s" msg, `Continue))
-    | _ -> (errf "usage: tick SECONDS (positive, finite)", `Continue))
+      with Invalid_argument msg -> (errf "bad_request" "%s" msg, `Continue))
+    | _ -> (errf "usage" "tick SECONDS (positive, finite)", `Continue))
+  | "tick" :: _ -> (errf "usage" "tick SECONDS (positive, finite)", `Continue)
   | [ "snapshot" ] -> (
     match Engine.checkpoint e with
     | true -> (okf "snapshot seq=%d" (Engine.last_seq e), `Continue)
-    | false -> (errf "no write-ahead log armed (start the server with --wal DIR)", `Continue)
-    | exception Invalid_argument msg -> (errf "%s" msg, `Continue))
+    | false ->
+      (errf "no_wal" "no write-ahead log armed (start the server with --wal DIR)", `Continue)
+    | exception Invalid_argument msg -> (errf "bad_request" "%s" msg, `Continue))
   | [ "drain" ] -> (
     try
       Engine.drain e;
+      Option.iter Admission.poll t.admission;
       (okf "drained now=%s completed=%d" (Rat.to_string (Engine.now e)) (Engine.completed e),
        `Continue)
-    with Invalid_argument msg -> (errf "%s" msg, `Continue))
+    with Invalid_argument msg -> (errf "bad_request" "%s" msg, `Continue))
+  | [ "help" ] -> (help_lines @ [ "ok" ], `Continue)
   | [ "quit" ] -> (okf "bye", `Quit)
-  | cmd :: _ ->
-    (errf
-       "unknown command %S (try submit/status/metrics/trace/spans/fail/recover/tick/drain/snapshot/quit)"
-       cmd,
-     `Continue)
+  | cmd :: _ -> (errf "unknown_command" "%S (try help)" cmd, `Continue)
 
-let handle_line t line = Mutex.protect t.lock (fun () -> handle_line_unlocked t line)
+let handle_line t ?client line =
+  Mutex.protect t.lock (fun () -> handle_line_unlocked t ?client line)
 
 let run t ic oc =
+  output_string oc (banner ^ "\n");
+  flush oc;
   let rec loop () =
     match In_channel.input_line ic with
     | None -> ()
     | Some line ->
-      let replies, verdict = handle_line t line in
+      let replies, verdict = handle_line t ~client:"stdio" line in
       List.iter (fun r -> output_string oc (r ^ "\n")) replies;
       flush oc;
       (match verdict with `Continue -> loop () | `Quit -> ())
@@ -146,14 +203,14 @@ type session = {
   s_done : bool Atomic.t;
 }
 
-let session_loop t stop client s_done =
+let session_loop t stop client ~name s_done =
   let ic = Unix.in_channel_of_descr client in
   let oc = Unix.out_channel_of_descr client in
   let rec loop () =
     match In_channel.input_line ic with
     | None -> ()
     | Some line ->
-      let replies, verdict = handle_line t line in
+      let replies, verdict = handle_line t ~client:name line in
       (* Honor quit before writing: the farewell write may fail if the
          client is already gone, but the daemon must still stop. *)
       (match verdict with `Quit -> Atomic.set stop true | `Continue -> ());
@@ -166,7 +223,14 @@ let session_loop t stop client s_done =
     (fun () ->
       (* Any I/O failure — EPIPE surfacing as Sys_error or Unix_error, a
          torn connection mid-line — ends this client's session only; the
-         accept loop keeps serving the next client. *)
+         accept loop keeps serving the next client.  A failed banner write
+         (the client already hung up) must not even end the session: its
+         pipelined commands are still in the socket buffer and must be
+         executed, exactly as for any other mid-session vanishing act. *)
+      (try
+         output_string oc (banner ^ "\n");
+         flush oc
+       with Sys_error _ | Unix.Unix_error _ -> ());
       try loop () with Sys_error _ | End_of_file | Unix.Unix_error _ -> ())
 
 let reap_finished sessions =
@@ -246,8 +310,10 @@ let run_socket t ~path =
          | _ :: _, _, _ ->
            let client, _ = Unix.accept sock in
            let s_done = Atomic.make false in
+           t.next_client <- t.next_client + 1;
+           let name = Printf.sprintf "client-%d" t.next_client in
            let s_domain =
-             Domain.spawn (fun () -> session_loop t stop client s_done)
+             Domain.spawn (fun () -> session_loop t stop client ~name s_done)
            in
            sessions := { s_client = client; s_domain; s_done } :: !sessions
          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());

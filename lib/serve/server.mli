@@ -1,12 +1,15 @@
-(** Line-protocol front-end over an {!Engine}.
+(** Line-protocol front-end over an {!Engine} — protocol version 2.
 
     The protocol is newline-delimited, human-typable, and identical on
-    stdin/stdout and on a Unix-domain socket.  Every command produces zero
-    or more data lines followed by exactly one terminator line starting
-    with [ok] or [err]:
+    stdin/stdout and on a Unix-domain socket.  On connect the server sends
+    one banner line, [hello dlsched proto=2].  Every command then produces
+    zero or more data lines followed by exactly one terminator line
+    starting with [ok] or [err]:
 
     {v
     submit ID BANK MOTIFS   admit a request now; ok submitted ID job=K
+                            (with an admission valve: ... fires_at=T, or
+                            err shed retry_after=T under backpressure)
     status                  ok now=T submitted=N active=A completed=C
                             up=U/M starved=S
     metrics [json]          dump the metrics registry, then ok
@@ -22,8 +25,21 @@
                             (or only starved requests remain)
     snapshot                checkpoint the engine state and truncate the
                             write-ahead log; err when --wal is not armed
+    help                    list the commands and error codes, then ok
     quit                    ok bye, then the connection/loop ends
     v}
+
+    {b Error grammar.}  Every error reply is [err CODE detail...] with a
+    stable snake_case [CODE] from {!error_codes}: [usage] (malformed
+    arguments), [bad_request] (well-formed but rejected — duplicate id,
+    bad bank, out-of-range machine), [io] (sink file errors),
+    [wall_clock] ([tick] outside a virtual clock), [no_wal] ([snapshot]
+    with no log armed), [shed] (admission backpressure, with a
+    [retry_after=SECONDS] hint), [unknown_command].  Scripts dispatch on
+    the code; the free-text detail after it is for humans and may change.
+    Input stays proto=1-compatible: the command grammar is unchanged, so
+    clients that merely send commands and pattern-match on [ok]/[err]
+    prefixes keep working once they skip the banner.
 
     [tick] rejects non-positive and non-finite seconds ([nan], [inf]) —
     only a finite positive duration can become an engine date.
@@ -40,26 +56,45 @@
 
 type t
 
-val create : Engine.t -> t
+val create : ?admission:Admission.t -> Engine.t -> t
+(** [admission], when given, must wrap the same engine; [submit] commands
+    then pass through its batching and load-shedding valve (and its
+    bookkeeping is polled as part of every command). *)
 
-val handle_line : t -> string -> string list * [ `Continue | `Quit ]
-(** Execute one command; protocol logic only, no I/O — the unit the
-    scripted tests drive.  Serialized on the server's internal lock, so
-    concurrent sessions interleave whole commands, never partial engine
-    updates. *)
+val banner : string
+(** The [hello dlsched proto=2] greeting, sent once per connection. *)
+
+val error_codes : string list
+(** Every CODE an [err] reply may carry.  The protocol-grammar lint test
+    checks each [errf] call site in the implementation against this
+    list. *)
+
+val ok_heads : string list
+(** First token of every [ok ...] payload the server emits (bare [ok]
+    terminators aside); same lint contract as {!error_codes}. *)
+
+val handle_line : t -> ?client:string -> string -> string list * [ `Continue | `Quit ]
+(** Execute one command; protocol logic only, no I/O (the banner is the
+    transport's job) — the unit the scripted tests drive.  [client]
+    (default ["anon"]) names the submitter for per-client admission
+    accounting.  Serialized on the server's internal lock, so concurrent
+    sessions interleave whole commands, never partial engine updates. *)
 
 val run : t -> in_channel -> out_channel -> unit
-(** Serve until [quit] or end of input, one command per line. *)
+(** Send the banner, then serve until [quit] or end of input, one command
+    per line (all under client name ["stdio"]). *)
 
 val run_socket : t -> path:string -> unit
 (** Bind a Unix-domain socket at [path] (atomically replacing any stale
     file: the socket is bound under a temporary name and renamed into
     place, so a racing daemon can never unlink a peer's live socket) and
     serve until a client sends [quit] or the process receives SIGTERM.
-    Each connection is served by its own domain, with commands serialized
-    on the engine lock, so an idle client never blocks another client's
-    session.  On exit every client is hung up, all sessions are joined,
-    and the socket file is removed — but only if it is still this
+    Each connection is served by its own domain and greeted with the
+    banner; commands are serialized on the engine lock, so an idle client
+    never blocks another client's session.  Connections are named
+    [client-1], [client-2], ... in accept order for per-client admission
+    accounting.  On exit every client is hung up, all sessions are
+    joined, and the socket file is removed — but only if it is still this
     daemon's (a later daemon that took over the name keeps its socket).
     SIGPIPE is ignored for the process and per-client I/O errors are
     contained: a client that vanishes mid-session (even mid-write) only

@@ -381,7 +381,7 @@ let arm ?(snapshot_every = 0) ~dir engine =
     ~every:snapshot_every ~last_seq:0;
   { dir; writer = w }
 
-let resume ?(snapshot_every = 0) ~dir ~clock ~policies () =
+let resume ?(snapshot_every = 0) ?(decision_cache = false) ~dir ~clock ~policies () =
   let base =
     if Sys.file_exists (snapshot_file dir) then snapshot_file dir
     else if Sys.file_exists (meta_file dir) then meta_file dir
@@ -398,6 +398,11 @@ let resume ?(snapshot_every = 0) ~dir ~clock ~policies () =
     | None -> fail "snapshot was taken under unknown policy %S" st.Engine.st_policy
   in
   let engine = Engine.restore ~clock ~policy platform st in
+  (* Arm the cache before the tail replays: the crashed run's decides past
+     the snapshot ran with it on, and the cache counters must replay
+     bit-identically.  (A checkpoint quiesces, so the snapshot itself
+     never holds cached state — only the counters.) *)
+  Engine.set_decision_cache engine decision_cache;
   let records, valid_length, _torn = Wal.replay (wal_file dir) in
   let top = List.fold_left (fun acc (s, _) -> Stdlib.max acc s) seq0 records in
   let w = Wal.open_append ~valid_length ~next_seq:(top + 1) (wal_file dir) in

@@ -32,6 +32,7 @@ val arm : ?snapshot_every:int -> dir:string -> Engine.t -> handle
 
 val resume :
   ?snapshot_every:int ->
+  ?decision_cache:bool ->
   dir:string ->
   clock:Clock.t ->
   policies:(module Online.Sim.POLICY) list ->
@@ -42,7 +43,10 @@ val resume :
     the engine, replay the WAL tail (skipping records a lost truncation
     left below the snapshot's seq; truncating any torn tail a mid-append
     crash left), re-arm durability, and {!Engine.rebase} the clock so the
-    downtime is excised.
+    downtime is excised.  [decision_cache] (default [false]) must match
+    the crashed run's setting — like [snapshot_every], it is engine
+    configuration, not logged state — or the replayed cache counters
+    diverge from the uninterrupted run's.
     @raise Invalid_argument on a missing/corrupt directory, a checksum
     mismatch, or an unknown policy name. *)
 

@@ -85,9 +85,10 @@ quit
 EOF
 
 expect() { grep -q "$1" "$WORK/serve.out" || fail "serve: no \"$1\""; }
+expect '^hello dlsched proto=2'
 expect '^ok submitted a job=0'
 expect '^ok submitted b job=1'
-expect '^err .*duplicate'
+expect '^err bad_request .*duplicate'
 expect '^ok now=0 submitted=2 active=0 completed=0'
 expect '^ok now=10'
 expect '^ok machine 0 down up='
@@ -97,7 +98,7 @@ expect '^stretch '
 expect '^ok drained .*completed=2'
 expect '^ok now=.* submitted=2 active=0 completed=2'
 expect '"requests_completed":2'
-expect '^err unknown command'
+expect '^err unknown_command'
 expect '^ok bye'
 
 # --- serve: socket daemon survives a client that vanishes mid-session -----
@@ -128,6 +129,7 @@ time.sleep(0.2)
 c = socket.socket(socket.AF_UNIX)
 c.connect(path)
 f = c.makefile("rw")
+assert f.readline().startswith("hello dlsched proto=2"), "banner"
 def rt(cmd):
     f.write(cmd + "\n")
     f.flush()
@@ -187,6 +189,7 @@ def session(tag, n):
     try:
         s = connect()
         f = s.makefile("rw")
+        assert f.readline().startswith("hello dlsched proto=2"), "banner"
         def rt(cmd):
             f.write(cmd + "\n")
             f.flush()
@@ -211,6 +214,7 @@ if errors:
 # drain them all: no command was lost or interleaved mid-line.
 c = connect()
 f = c.makefile("rw")
+assert f.readline().startswith("hello dlsched proto=2"), "banner"
 def rt(cmd):
     f.write(cmd + "\n")
     f.flush()

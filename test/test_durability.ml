@@ -8,7 +8,7 @@ module R = Numeric.Rat
 module W = Gripps.Workload
 module T = Serve.Trace
 module E = Serve.Engine
-module M = Serve.Metrics
+module M = Obs.Registry
 module Wal = Serve.Wal
 module Snap = Serve.Snapshot
 

@@ -1,7 +1,7 @@
 (* Tests for the observability subsystem: span nesting and attributes,
    JSON-lines output, ring-buffer eviction, the registry's JSON report,
-   the deprecated [Serve.Metrics] alias, the server's trace/spans
-   commands, and the contract that tracing never changes results. *)
+   the server's trace/spans commands, and the contract that tracing never
+   changes results. *)
 
 module R = Numeric.Rat
 module I = Sched_core.Instance
@@ -246,7 +246,7 @@ let test_ring_eviction () =
       ignore (Obs.Sink.ring ~capacity:0 ()))
 
 (* ------------------------------------------------------------------ *)
-(* Registry and the deprecated Serve.Metrics alias                     *)
+(* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let test_registry_json () =
@@ -262,19 +262,6 @@ let test_registry_json () =
   let json = Obs.Registry.to_json reg in
   check_json "populated registry" json;
   Alcotest.(check bool) "counter dumped" true (contains json "\"hits\":1")
-
-let test_metrics_shim () =
-  (* [Serve.Metrics] is a transparent alias: a registry it creates is an
-     [Obs.Registry.t] and both APIs read the same instruments. *)
-  let reg = Serve.Metrics.create () in
-  Serve.Metrics.incr (Serve.Metrics.counter reg "hits");
-  Obs.Registry.add (Obs.Registry.counter reg "hits") 2;
-  Alcotest.(check int) "both APIs hit one instrument" 3
-    (Serve.Metrics.count (Serve.Metrics.counter reg "hits"));
-  Alcotest.(check bool) "one shared global registry" true
-    (Serve.Metrics.global == Obs.Registry.global);
-  Alcotest.(check string) "same JSON report"
-    (Obs.Registry.to_json reg) (Serve.Metrics.to_json reg)
 
 (* ------------------------------------------------------------------ *)
 (* Server trace/spans commands                                         *)
@@ -412,7 +399,6 @@ let () =
       ( "registry",
         [
           Alcotest.test_case "json reports" `Quick test_registry_json;
-          Alcotest.test_case "serve.metrics shim" `Quick test_metrics_shim;
         ] );
       ("server", [ Alcotest.test_case "trace commands" `Quick test_server_trace ]);
       ("transparency", [ qt prop_tracing_transparent ]);

@@ -108,6 +108,7 @@ let test_engine_honors_review_at () =
     let init _ = ref 0
     let on_arrival _ ~now:_ ~job:_ = ()
     let on_completion _ ~now:_ ~job:_ = ()
+    let on_batch_arrival state ~now ~jobs = Sim.announce_each on_arrival state ~now ~jobs
     let on_platform_change = Sim.rebuild_on_platform_change
 
     let decide counter ~now ~active =
@@ -137,6 +138,7 @@ let test_engine_rejects_bad_policy () =
     let init _ = ()
     let on_arrival () ~now:_ ~job:_ = ()
     let on_completion () ~now:_ ~job:_ = ()
+    let on_batch_arrival state ~now ~jobs = Sim.announce_each on_arrival state ~now ~jobs
     let on_platform_change = Sim.rebuild_on_platform_change
 
     let decide () ~now:_ ~active =
@@ -164,6 +166,7 @@ let test_engine_rejects_starvation () =
     let init _ = ()
     let on_arrival () ~now:_ ~job:_ = ()
     let on_completion () ~now:_ ~job:_ = ()
+    let on_batch_arrival state ~now ~jobs = Sim.announce_each on_arrival state ~now ~jobs
     let on_platform_change = Sim.rebuild_on_platform_change
     let decide () ~now:_ ~active:_ = { Sim.shares = []; review_at = None }
   end in

@@ -7,7 +7,7 @@ module I = Sched_core.Instance
 module S = Sched_core.Schedule
 module W = Gripps.Workload
 module T = Serve.Trace
-module M = Serve.Metrics
+module M = Obs.Registry
 module E = Serve.Engine
 
 let rat = Alcotest.testable R.pp R.equal
@@ -455,6 +455,242 @@ let test_metrics_json_nonfinite () =
   Alcotest.(check bool) "nulls instead" true (contains json "null")
 
 (* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module A = Serve.Admission
+
+(* Canonical textual engine state with the admission valve's own
+   instruments (the "admission." registry entries) filtered out: the
+   transparency claims below are about the engine, not about whether a
+   valve happened to be doing its bookkeeping in front of it. *)
+let canonical_dump ~platform eng =
+  let st = E.dump eng in
+  let st =
+    {
+      st with
+      E.st_metrics =
+        List.filter
+          (fun (k, _) -> not (String.starts_with ~prefix:"admission." k))
+          st.E.st_metrics;
+    }
+  in
+  Serve.Snapshot.state_to_string ~seq:0 ~platform st
+
+(* Feed a failure-free trace through an engine — directly, or through an
+   uncapped admission valve with the given coalescing window — and drain. *)
+let run_stream ?window ~policy (trace : T.t) =
+  let eng = E.create ~clock:(Serve.Clock.virtual_ ()) ~policy trace.platform in
+  let valve =
+    Option.map
+      (fun window -> A.create ~config:{ A.default_config with window } eng)
+      window
+  in
+  List.iter
+    (fun (e : T.entry) ->
+      E.run_until eng e.request.W.arrival;
+      match valve with
+      | None ->
+        ignore
+          (E.submit eng ~id:e.id ~arrival:(E.now eng) ~bank:e.request.W.bank
+             ~num_motifs:e.request.W.num_motifs ())
+      | Some a -> (
+        A.poll a;
+        match
+          A.submit a ~id:e.id ~bank:e.request.W.bank
+            ~num_motifs:e.request.W.num_motifs ()
+        with
+        | A.Admitted _ -> ()
+        | A.Shed _ -> Alcotest.fail "uncapped valve shed a request"))
+    trace.entries;
+  E.drain eng;
+  eng
+
+let completed_ids (trace : T.t) eng =
+  List.filter_map
+    (fun (e : T.entry) ->
+      match E.find eng e.id with
+      | Some j when E.job_completed eng j -> Some e.id
+      | Some _ | None -> None)
+    trace.entries
+
+(* Batching is a latency/efficiency trade, not a semantic one: for any
+   window the valve completes exactly the same request set as an
+   unbatched run, with fewer (or equal) policy consultations; and the
+   degenerate zero-window valve is bit-identical — state and engine
+   metrics — to no valve at all. *)
+let prop_batched_matches_unbatched =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_range 0 9999 in
+      let* machines = int_range 1 3 in
+      let* banks = int_range 1 2 in
+      let* replication = int_range 1 machines in
+      let* count = int_range 1 8 in
+      let* window_tenths = int_range 1 400 in
+      let* pi = int_range 0 2 in
+      return (seed, machines, banks, replication, count, window_tenths, pi))
+  in
+  let print (seed, machines, banks, replication, count, w, pi) =
+    Printf.sprintf "seed=%d m=%d b=%d r=%d n=%d window=%d/10 policy=%d" seed
+      machines banks replication count w pi
+  in
+  QCheck.Test.make
+    ~name:"any-window valve completes the unbatched set; zero-window is invisible"
+    ~count:25 (QCheck.make gen ~print)
+    (fun (seed, machines, banks, replication, count, w, pi) ->
+      let trace = T.poisson ~seed ~machines ~banks ~replication ~rate:0.2 ~count () in
+      let policy = List.nth policies pi in
+      let direct = run_stream ~policy trace in
+      let unbatched = run_stream ~window:R.zero ~policy trace in
+      let batched = run_stream ~window:(R.of_ints w 10) ~policy trace in
+      check_valid "unbatched schedule" (E.schedule unbatched);
+      check_valid "batched schedule" (E.schedule batched);
+      let platform = trace.platform in
+      let decisions e = M.count (M.counter (E.metrics e) "decisions") in
+      canonical_dump ~platform direct = canonical_dump ~platform unbatched
+      && completed_ids trace batched = completed_ids trace unbatched
+      && E.completed batched = count
+      && decisions batched <= decisions unbatched)
+
+let test_admission_shed () =
+  let eng =
+    E.create ~clock:(Serve.Clock.virtual_ ()) ~policy:(module Online.Policies.Mct)
+      (mini_platform ())
+  in
+  let adm = A.create ~config:{ A.default_config with max_inflight = 2 } eng in
+  let admit id motifs =
+    match A.submit adm ~id ~bank:0 ~num_motifs:motifs () with
+    | A.Admitted _ -> true
+    | A.Shed _ -> false
+  in
+  Alcotest.(check bool) "first admitted" true (admit "a" 10);
+  Alcotest.(check bool) "second admitted" true (admit "b" 10);
+  Alcotest.(check int) "two in flight" 2 (A.inflight adm);
+  (match A.submit adm ~id:"c" ~bank:0 ~num_motifs:10 () with
+   | A.Shed { retry_after } ->
+     Alcotest.(check bool) "positive retry hint" true (R.sign retry_after > 0)
+   | A.Admitted _ -> Alcotest.fail "over-cap submit admitted");
+  (* Shedding is refusal at the door: the request never reached the
+     engine (or the WAL), so its id is still free. *)
+  Alcotest.(check int) "engine saw two" 2 (E.submitted eng);
+  Alcotest.(check bool) "shed id unknown to engine" true (E.find eng "c" = None);
+  Alcotest.(check int) "shed counted" 1
+    (M.count (M.counter (E.metrics eng) "admission.sheds"));
+  (* Completions retire in-flight entries and reopen the door. *)
+  E.drain eng;
+  Alcotest.(check int) "drained valve" 0 (A.inflight adm);
+  Alcotest.(check bool) "admitted after drain" true (admit "c" 10);
+  E.drain eng;
+  Alcotest.(check int) "all three done" 3 (E.completed eng)
+
+let test_admission_per_client () =
+  let eng =
+    E.create ~clock:(Serve.Clock.virtual_ ()) ~policy:(module Online.Policies.Mct)
+      (mini_platform ())
+  in
+  let adm = A.create ~config:{ A.default_config with max_per_client = 1 } eng in
+  let reply ?client id =
+    A.submit adm ?client ~id ~bank:0 ~num_motifs:10 ()
+  in
+  Alcotest.(check bool) "alice admitted" true
+    (match reply ~client:"alice" "a" with A.Admitted _ -> true | A.Shed _ -> false);
+  Alcotest.(check bool) "alice capped" true
+    (match reply ~client:"alice" "b" with A.Shed _ -> true | A.Admitted _ -> false);
+  Alcotest.(check bool) "bob unaffected" true
+    (match reply ~client:"bob" "b" with A.Admitted _ -> true | A.Shed _ -> false);
+  Alcotest.(check int) "alice in flight" 1 (A.inflight_for adm "alice");
+  Alcotest.(check int) "bob in flight" 1 (A.inflight_for adm "bob");
+  Alcotest.(check int) "global in flight" 2 (A.inflight adm);
+  E.drain eng;
+  Alcotest.(check bool) "alice readmitted after drain" true
+    (match reply ~client:"alice" "c" with A.Admitted _ -> true | A.Shed _ -> false)
+
+(* Under [`Smallest], pressure at the global cap still admits a request
+   strictly smaller than the largest in-flight one, up to 125% of the
+   cap; under [`Fifo] the cap is the cap. *)
+let test_admission_smallest_priority () =
+  let run priority =
+    let eng =
+      E.create ~clock:(Serve.Clock.virtual_ ())
+        ~policy:(module Online.Policies.Mct) (mini_platform ())
+    in
+    let adm =
+      A.create ~config:{ A.default_config with max_inflight = 2; priority } eng
+    in
+    let admit id motifs =
+      match A.submit adm ~id ~bank:0 ~num_motifs:motifs () with
+      | A.Admitted _ -> true
+      | A.Shed _ -> false
+    in
+    Alcotest.(check bool) "whale 1" true (admit "w1" 50);
+    Alcotest.(check bool) "whale 2" true (admit "w2" 40);
+    (adm, admit)
+  in
+  let _, admit = run `Smallest in
+  Alcotest.(check bool) "larger than largest shed" false (admit "big" 60);
+  Alcotest.(check bool) "tie with largest shed" false (admit "tie" 50);
+  Alcotest.(check bool) "small fry overflows" true (admit "s1" 10);
+  Alcotest.(check bool) "overflow is bounded at 125%" false (admit "s2" 5);
+  let _, admit = run `Fifo in
+  Alcotest.(check bool) "fifo sheds even the small fry" false (admit "s1" 10)
+
+(* Decision caching.  A live submission discards the policy runner but
+   keeps the validated plan, so the re-decide at the next completion
+   happens at a rebuild barrier — exactly where the cache may answer.
+   Two episodes with identical workload shapes (and a far-future
+   submission to create the barrier) make the second episode's barrier
+   decide a cache hit, by time-translation equivariance of the policies. *)
+let cache_episode eng tag t0 =
+  ignore (E.submit eng ~id:(tag ^ "-a") ~arrival:t0 ~bank:0 ~num_motifs:10 ());
+  ignore (E.submit eng ~id:(tag ^ "-b") ~arrival:t0 ~bank:0 ~num_motifs:20 ());
+  E.run_until eng t0;
+  ignore
+    (E.submit eng ~id:(tag ^ "-z")
+       ~arrival:(R.add t0 (R.of_int 1_000_000))
+       ~bank:0 ~num_motifs:5 ());
+  E.drain eng
+
+let test_decision_cache_hits () =
+  let eng =
+    E.create ~clock:(Serve.Clock.virtual_ ()) ~policy:(module Online.Policies.Mct)
+      (mini_platform ())
+  in
+  E.set_decision_cache eng true;
+  let c name = M.count (M.counter (E.metrics eng) name) in
+  (* t0 = 1, not 0: the episode's arrival fire must be a real clock
+     advance so both episodes decide through the same sequence of
+     barriers. *)
+  cache_episode eng "one" R.one;
+  Alcotest.(check bool) "first episode misses" true (c "decision_cache_misses" > 0);
+  Alcotest.(check int) "no hits yet" 0 (c "decision_cache_hits");
+  cache_episode eng "two" (R.add (E.now eng) (R.of_int 100));
+  Alcotest.(check bool) "recurring shape hits" true (c "decision_cache_hits" > 0);
+  Alcotest.(check int) "all six completed" 6 (E.completed eng);
+  check_valid "cached schedule" (E.schedule eng)
+
+(* A fail/recover cycle that returns to the very same overlay must still
+   re-consult the policy: the disruption purges the cache eagerly, so the
+   second episode's barrier decide is a miss, not a resurrected plan. *)
+let test_decision_cache_invalidation () =
+  let eng =
+    E.create ~clock:(Serve.Clock.virtual_ ()) ~policy:(module Online.Policies.Mct)
+      (mini_platform ())
+  in
+  E.set_decision_cache eng true;
+  let c name = M.count (M.counter (E.metrics eng) name) in
+  cache_episode eng "one" R.one;
+  let misses_before = c "decision_cache_misses" in
+  E.inject eng ~at:(E.now eng) (T.Fail 0);
+  E.inject eng ~at:(E.now eng) (T.Recover 0);
+  cache_episode eng "two" (R.add (E.now eng) (R.of_int 100));
+  Alcotest.(check int) "no hits across the disruption" 0 (c "decision_cache_hits");
+  Alcotest.(check bool) "second episode re-decided" true
+    (c "decision_cache_misses" > misses_before);
+  Alcotest.(check int) "all six completed" 6 (E.completed eng);
+  check_valid "invalidated schedule" (E.schedule eng)
+
+(* ------------------------------------------------------------------ *)
 (* Server protocol                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -477,19 +713,21 @@ let test_server_protocol () =
   expect_last "status" "ok now=0 submitted=0";
   expect_last "submit r1 0 10" "ok submitted r1 job=0";
   expect_last "submit r2 0 5" "ok submitted r2 job=1";
-  expect_last "submit r2 0 5" "err";
-  expect_last "submit r3 9 5" "err";
+  expect_last "submit r2 0 5" "err bad_request";
+  expect_last "submit r3 9 5" "err bad_request";
+  expect_last "submit r3 9" "err usage" (* wrong arity *);
   expect_last "tick 1" "ok now=1";
   expect_last "status" "ok now=1 submitted=2";
   expect_last "fail 0" "ok machine 0 down up=1/2";
   expect_last "status" "ok now=1 submitted=2 active=2 completed=0 up=1/2";
   expect_last "fail 0" "ok machine 0 down up=1/2" (* idempotent *);
-  expect_last "fail 7" "err";
-  expect_last "fail" "err unknown command" (* wrong arity *);
+  expect_last "fail 7" "err bad_request";
+  expect_last "fail" "err usage" (* wrong arity *);
   expect_last "recover 0" "ok machine 0 up up=2/2";
   expect_last "metrics" "ok";
   expect_last "drain" "ok drained";
-  expect_last "nonsense" "err unknown command";
+  expect_last "nonsense" "err unknown_command";
+  expect_last "help" "ok";
   (let replies, _ = Serve.Server.handle_line srv "metrics json" in
    match replies with
    | [ json; "ok" ] ->
@@ -498,6 +736,94 @@ let test_server_protocol () =
    | _ -> Alcotest.fail "metrics json shape");
   expect_last ~verdict:`Quit "quit" "ok bye";
   check_valid "server schedule" (E.schedule eng)
+
+(* The same protocol unit, with an admission valve in front: submits are
+   acknowledged with their coalesced arrival date and shed with a
+   machine-parseable retry hint. *)
+let test_server_admission () =
+  let clock = Serve.Clock.virtual_ () in
+  let eng =
+    E.create ~clock ~policy:(module Online.Policies.Mct) (mini_platform ())
+  in
+  let adm =
+    A.create
+      ~config:{ A.default_config with window = R.of_int 5; max_inflight = 1 }
+      eng
+  in
+  let srv = Serve.Server.create ~admission:adm eng in
+  let last cmd =
+    match List.rev (fst (Serve.Server.handle_line srv cmd)) with
+    | last :: _ -> last
+    | [] -> Alcotest.fail (cmd ^ ": no reply")
+  in
+  Alcotest.(check string) "coalesced ack" "ok submitted r1 job=0 fires_at=5"
+    (last "submit r1 0 10");
+  Alcotest.(check string) "shed with retry hint" "err shed retry_after=10"
+    (last "submit r2 0 10");
+  let drained = last "drain" in
+  Alcotest.(check bool) ("drained: " ^ drained) true
+    (contains drained "completed=1");
+  let reopened = last "submit r2 0 10" in
+  Alcotest.(check bool) ("door reopens: " ^ reopened) true
+    (String.starts_with ~prefix:"ok submitted r2 job=1 fires_at=" reopened)
+
+(* Protocol-grammar lint: every reply the implementation can emit must
+   use a registered shape.  Scans the [okf]/[errf] call sites in
+   server.ml (declared as a dune dep of this test) against the published
+   [error_codes]/[ok_heads] lists — the machine-checkable half of the
+   proto=2 contract. *)
+let test_protocol_grammar_lint () =
+  let src =
+    (* dune runtest runs in test/, dune exec from the workspace root. *)
+    let path =
+      List.find Sys.file_exists
+        [ "../lib/serve/server.ml"; "lib/serve/server.ml" ]
+    in
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  (* Positions right after each occurrence of [marker]; the marker ends
+     with the opening quote of a string literal (no call site in
+     server.ml escapes quotes inside these literals). *)
+  let literals_after marker =
+    let ml = String.length marker in
+    let rec go i acc =
+      if i + ml > String.length src then List.rev acc
+      else if String.sub src i ml = marker then begin
+        let stop = String.index_from src (i + ml) '"' in
+        go stop (String.sub src (i + ml) (stop - i - ml) :: acc)
+      end
+      else go (i + 1) acc
+    in
+    go 0 []
+  in
+  let ok_fmts = literals_after "okf \"" in
+  let err_codes = literals_after "errf \"" in
+  Alcotest.(check bool) "found ok call sites" true (List.length ok_fmts >= 8);
+  Alcotest.(check bool) "found err call sites" true (List.length err_codes >= 8);
+  List.iter
+    (fun code ->
+      Alcotest.(check bool)
+        (Printf.sprintf "errf %S uses a registered code" code)
+        true
+        (List.mem code Serve.Server.error_codes))
+    err_codes;
+  List.iter
+    (fun fmt ->
+      let head =
+        match String.index_opt fmt ' ' with
+        | Some i -> String.sub fmt 0 i
+        | None -> fmt
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "okf %S starts with a registered head" fmt)
+        true
+        (List.exists
+           (fun h -> String.starts_with ~prefix:h head)
+           Serve.Server.ok_heads))
+    ok_fmts
 
 let test_server_tick_guard () =
   let eng =
@@ -609,8 +935,20 @@ let () =
           Alcotest.test_case "lost vs preserved work" `Quick test_lost_vs_preserved;
           Alcotest.test_case "starvation" `Quick test_starvation
         ] );
+      ( "admission",
+        [ QCheck_alcotest.to_alcotest prop_batched_matches_unbatched;
+          Alcotest.test_case "global shed" `Quick test_admission_shed;
+          Alcotest.test_case "per-client shed" `Quick test_admission_per_client;
+          Alcotest.test_case "smallest priority" `Quick
+            test_admission_smallest_priority;
+          Alcotest.test_case "cache hits" `Quick test_decision_cache_hits;
+          Alcotest.test_case "cache invalidation" `Quick
+            test_decision_cache_invalidation
+        ] );
       ( "server",
         [ Alcotest.test_case "protocol" `Quick test_server_protocol;
+          Alcotest.test_case "admission valve" `Quick test_server_admission;
+          Alcotest.test_case "grammar lint" `Quick test_protocol_grammar_lint;
           Alcotest.test_case "tick guard" `Quick test_server_tick_guard
         ] )
     ]
