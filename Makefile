@@ -1,6 +1,6 @@
 # Convenience targets; everything real lives in dune.
 
-.PHONY: all build test bench bench-smoke bench-numeric bench-speedup trace-smoke bench-durability bench-admission crash-smoke check fmt clean
+.PHONY: all build test bench bench-smoke bench-numeric bench-speedup trace-smoke bench-durability bench-admission crash-smoke fuzz-smoke fuzz check fmt clean
 
 all: build
 
@@ -58,11 +58,25 @@ bench-durability:
 bench-admission:
 	dune exec bench/main.exe -- --json admission
 
+# Differential fuzzing (lib/check): the full oracle matrix on a fixed
+# seed.  Fails if any oracle catches a divergence; the shrunk repro and
+# its `dlsched fuzz --replay` invocation land in _fuzz/.
+fuzz-smoke:
+	dune build bin/dlsched.exe
+	dune exec bin/dlsched.exe -- fuzz --seed 1 --cases 500
+
+# Longer fuzz at an arbitrary seed: `make fuzz SEED=42 CASES=5000`.
+SEED ?= 1
+CASES ?= 2000
+fuzz:
+	dune build bin/dlsched.exe
+	dune exec bin/dlsched.exe -- fuzz --seed $(SEED) --cases $(CASES)
+
 # What CI would run: full build + every test, the solve-count, parallel
-# bit-equality, admission-control, trace and crash-recovery smoke
-# checks, plus formatting when the formatter is installed (ocamlformat
-# is optional in the dev image).
-check: build test bench-smoke bench-numeric bench-speedup bench-admission trace-smoke crash-smoke fmt
+# bit-equality, admission-control, trace, crash-recovery and fuzzing
+# smoke checks, plus formatting when the formatter is installed
+# (ocamlformat is optional in the dev image).
+check: build test bench-smoke bench-numeric bench-speedup bench-admission trace-smoke crash-smoke fuzz-smoke fmt
 
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \

@@ -1292,6 +1292,35 @@ let run_micro () =
          | _ -> Printf.printf "%-40s %16s\n" name "n/a")
 
 (* ------------------------------------------------------------------ *)
+(* Correctness-harness throughput: the whole differential-oracle       *)
+(* matrix (lib/check) over a fixed seed, as a gate and a rate          *)
+(* ------------------------------------------------------------------ *)
+
+let run_fuzz () =
+  section "Fuzz: differential-oracle matrix throughput";
+  let seed = 5 and cases = 200 in
+  let t0 = Unix.gettimeofday () in
+  let report = Check.Fuzz.run ~out_dir:"_fuzz" ~seed ~cases () in
+  let dt = Unix.gettimeofday () -. t0 in
+  let failures = List.length report.Check.Fuzz.failures in
+  Printf.printf "%d cases x %d oracles in %.2fs (%.0f cases/s), %d failures\n"
+    report.Check.Fuzz.cases
+    (List.length report.Check.Fuzz.oracles_run)
+    dt
+    (float_of_int report.Check.Fuzz.cases /. dt)
+    failures;
+  Json_out.write ~experiment:"fuzz"
+    (Json_out.Obj
+       [ ("passed", Json_out.Bool (failures = 0));
+         ("seed", Json_out.Int seed);
+         ("cases", Json_out.Int report.Check.Fuzz.cases);
+         ("oracles", Json_out.Int (List.length report.Check.Fuzz.oracles_run));
+         ("seconds", Json_out.Float dt);
+         ("failures", Json_out.Int failures)
+       ]);
+  if failures > 0 then failwith "fuzz: oracle matrix caught a divergence"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("fig1a", run_fig1a);
@@ -1315,6 +1344,7 @@ let experiments =
     ("faults", run_faults);
     ("durability", run_durability);
     ("admission", run_admission);
+    ("fuzz", run_fuzz);
     ("micro", run_micro)
   ]
 

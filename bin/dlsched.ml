@@ -671,9 +671,88 @@ let serve_cmd =
           $ Flags.batch_window $ Flags.max_inflight $ Flags.max_per_client
           $ Flags.admit_priority $ Flags.cache)
 
+(* --- fuzz ----------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let cases =
+    Flags.mk [ "cases"; "n" ] "Number of generated cases per run." Arg.int 200
+  in
+  let out =
+    Flags.mk [ "out" ] ~docv:"DIR"
+      "Directory for shrunk failing cases (created only on failure)."
+      Arg.string "_fuzz"
+  in
+  let replay =
+    Flags.mk [ "replay" ] ~docv:"FILE"
+      "Replay a saved artifact (an $(b,.inst) instance or $(b,.script) serve \
+       script) against one oracle instead of generating cases; requires \
+       $(b,--oracle)."
+      Arg.(some file) None
+  in
+  let oracle =
+    Flags.mk [ "oracle" ] ~docv:"NAME"
+      "Oracle to replay against (see $(b,--list))." Arg.(some string) None
+  in
+  let aux =
+    Flags.mk [ "aux" ] ~docv:"N"
+      "Auxiliary oracle knob recorded in the artifact's $(b,.sh) file \
+       (crash index, snapshot cadence, ...)."
+      Arg.int 0
+  in
+  let list = Flags.switch [ "list" ] "List the oracle matrix and exit." in
+  let run () seed cases out replay oracle aux list =
+    if list then
+      List.iter (fun o -> Format.printf "%s@." (Check.Oracles.name o)) Check.Oracles.all
+    else
+      match replay with
+      | Some path -> (
+        let o =
+          match oracle with
+          | None ->
+            Format.eprintf "dlsched fuzz: --replay requires --oracle@.";
+            exit 2
+          | Some name -> (
+            match Check.Oracles.find name with
+            | Some o -> o
+            | None ->
+              Format.eprintf "dlsched fuzz: unknown oracle %S (try --list)@." name;
+              exit 2)
+        in
+        match or_die (fun () -> Check.Fuzz.replay ~oracle:o ~aux ~path) () with
+        | Ok () -> Format.printf "PASS: %s on %s@." (Check.Oracles.name o) path
+        | Error detail ->
+          Format.printf "FAIL: %s on %s@.  %s@." (Check.Oracles.name o) path detail;
+          exit 1)
+      | None ->
+        let report = Check.Fuzz.run ~out_dir:out ~seed ~cases () in
+        List.iter
+          (fun (name, n) -> Format.printf "%-24s %d cases@." name n)
+          (("totality", report.Check.Fuzz.cases) :: report.Check.Fuzz.oracles_run);
+        if report.Check.Fuzz.failures = [] then
+          Format.printf "fuzz: %d cases clean (seed %d)@." report.Check.Fuzz.cases seed
+        else begin
+          List.iter
+            (fun f ->
+              Format.printf "FAIL case %d oracle %s: %s@." f.Check.Fuzz.case
+                f.Check.Fuzz.oracle f.Check.Fuzz.detail;
+              Option.iter (Format.printf "  repro: %s@.") f.Check.Fuzz.repro)
+            report.Check.Fuzz.failures;
+          Format.printf "fuzz: %d/%d cases FAILED (seed %d)@."
+            (List.length report.Check.Fuzz.failures)
+            report.Check.Fuzz.cases seed;
+          exit 1
+        end
+  in
+  let doc = "Differential fuzzing: run the oracle matrix on random cases, shrink and \
+             save failures as replayable artifacts." in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ Flags.setup $ Flags.seed $ cases $ out $ replay $ oracle $ aux
+          $ list)
+
 let () =
   let doc = "exact schedulers for divisible requests on heterogeneous databanks" in
   let info = Cmd.info "dlsched" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
           [ solve_cmd; max_flow_cmd; feasible_cmd; milestones_cmd; simulate_cmd;
-            compare_cmd; generate_cmd; gripps_cmd; trace_cmd; replay_cmd; serve_cmd ]))
+            compare_cmd; generate_cmd; gripps_cmd; trace_cmd; replay_cmd; serve_cmd;
+            fuzz_cmd ]))

@@ -1,0 +1,134 @@
+module Prng = Gripps.Prng
+module I = Sched_core.Instance
+
+type failure = {
+  oracle : string;
+  case : int;
+  detail : string;
+  repro : string option;
+}
+
+type report = {
+  cases : int;
+  oracles_run : (string * int) list;
+  failures : failure list;
+}
+
+(* --- totality sweep --------------------------------------------------- *)
+
+let degeneracy_equal (a : I.degeneracy) (b : I.degeneracy) = a = b
+
+let totality p =
+  let raw = Gen.raw p in
+  let got =
+    I.make_checked ?flow_origins:raw.Gen.flow_origins ~releases:raw.Gen.releases
+      ~weights:raw.Gen.weights raw.Gen.cost
+  in
+  match (raw.Gen.planted, got) with
+  | None, Ok _ -> Ok ()
+  | None, Error d ->
+    Error
+      (Printf.sprintf "clean input rejected as %S" (I.degeneracy_to_string d))
+  | Some d, Error d' when degeneracy_equal d d' -> Ok ()
+  | Some d, Error d' ->
+    Error
+      (Printf.sprintf "planted %S but classified as %S" (I.degeneracy_to_string d)
+         (I.degeneracy_to_string d'))
+  | Some d, Ok _ ->
+    Error (Printf.sprintf "planted %S went undetected" (I.degeneracy_to_string d))
+
+(* --- artifacts -------------------------------------------------------- *)
+
+let ensure_dir dir =
+  try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let write_file path content = Out_channel.with_open_text path (fun oc ->
+    Out_channel.output_string oc content)
+
+let write_repro ~out_dir ~case ~oracle ~aux ~detail ~ext content =
+  ensure_dir out_dir;
+  let stem = Printf.sprintf "case%d-%s" case oracle in
+  let artifact = Filename.concat out_dir (stem ^ ext) in
+  write_file artifact content;
+  write_file
+    (Filename.concat out_dir (stem ^ ".sh"))
+    (Printf.sprintf
+       "#!/bin/sh\n# oracle %s failed: %s\nexec dlsched fuzz --replay %s --oracle %s --aux %d\n"
+       oracle detail (stem ^ ext) oracle aux);
+  artifact
+
+(* --- driver ----------------------------------------------------------- *)
+
+let still_fails outcome = match outcome with Oracles.Fail _ -> true | Oracles.Pass -> false
+
+let detail_of = function Oracles.Fail m -> m | Oracles.Pass -> "passed after shrinking"
+
+let run ?(out_dir = "_fuzz") ?(oracles = Oracles.all) ~seed ~cases () =
+  let counts = List.map (fun o -> (Oracles.name o, ref 0)) oracles in
+  let failures = ref [] in
+  for case = 0 to cases - 1 do
+    (* One independent stream per (seed, case): shrinking a late case never
+       perturbs an earlier one, and any case replays alone. *)
+    let p = Prng.create ((seed * 1_000_003) + case) in
+    let inst = Gen.instance p in
+    let script = Gen.script p in
+    let aux = Prng.int p (1 lsl 20) in
+    (match totality p with
+     | Ok () -> ()
+     | Error detail ->
+       failures := { oracle = "totality"; case; detail; repro = None } :: !failures);
+    List.iter
+      (fun o ->
+        incr (List.assoc (Oracles.name o) counts);
+        match o with
+        | Oracles.Offline _ -> (
+          match Oracles.run_offline o ~aux inst with
+          | Oracles.Pass -> ()
+          | Oracles.Fail _ ->
+            let small =
+              Shrink.instance
+                ~keep:(fun i -> still_fails (Oracles.run_offline o ~aux i))
+                inst
+            in
+            let detail = detail_of (Oracles.run_offline o ~aux small) in
+            let repro =
+              write_repro ~out_dir ~case ~oracle:(Oracles.name o) ~aux ~detail
+                ~ext:".inst"
+                (Sched_core.Instance_io.to_string small)
+            in
+            failures :=
+              { oracle = Oracles.name o; case; detail; repro = Some repro } :: !failures)
+        | Oracles.Serve _ -> (
+          match Oracles.run_serve o ~aux script with
+          | Oracles.Pass -> ()
+          | Oracles.Fail _ ->
+            let small =
+              Shrink.script
+                ~keep:(fun s -> still_fails (Oracles.run_serve o ~aux s))
+                script
+            in
+            let detail = detail_of (Oracles.run_serve o ~aux small) in
+            let repro =
+              write_repro ~out_dir ~case ~oracle:(Oracles.name o) ~aux ~detail
+                ~ext:".script" (Gen.script_to_string small)
+            in
+            failures :=
+              { oracle = Oracles.name o; case; detail; repro = Some repro } :: !failures))
+      oracles
+  done;
+  {
+    cases;
+    oracles_run = List.map (fun (n, r) -> (n, !r)) counts;
+    failures = List.rev !failures;
+  }
+
+let replay ~oracle ~aux ~path =
+  let outcome =
+    match oracle with
+    | Oracles.Offline _ ->
+      Oracles.run_offline oracle ~aux (Sched_core.Instance_io.load path)
+    | Oracles.Serve _ ->
+      Oracles.run_serve oracle ~aux
+        (Gen.script_of_string (In_channel.with_open_text path In_channel.input_all))
+  in
+  match outcome with Oracles.Pass -> Ok () | Oracles.Fail m -> Error m

@@ -1,0 +1,44 @@
+(** The fuzzing driver behind [dlsched fuzz].
+
+    Each case derives a fresh PRNG from [(seed, case)], generates one
+    offline instance, one degenerate raw input and one serve script, and
+    runs the whole oracle matrix on them.  A failing case is shrunk
+    ({!Shrink}) against the oracle that rejected it and written to
+    [out_dir] as a replayable artifact: the shrunk instance or script plus
+    a [.sh] file holding the [dlsched fuzz --replay] invocation that
+    reproduces the failure. *)
+
+type failure = {
+  oracle : string;
+  case : int;  (** case index within the run *)
+  detail : string;  (** the oracle's message, after shrinking *)
+  repro : string option;  (** path of the written artifact, if any *)
+}
+
+type report = {
+  cases : int;
+  oracles_run : (string * int) list;  (** oracle name, cases executed *)
+  failures : failure list;
+}
+
+val run :
+  ?out_dir:string ->
+  ?oracles:Oracles.t list ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  report
+(** [out_dir] defaults to ["_fuzz"]; it is created lazily, only when a
+    failure needs writing.  [oracles] defaults to {!Oracles.all}. *)
+
+val replay : oracle:Oracles.t -> aux:int -> path:string -> (unit, string) result
+(** Re-run one oracle on a saved artifact: an instance file
+    ({!Sched_core.Instance_io}) for an offline oracle, a script file
+    ({!Gen.script_of_string}) for a serve oracle.  [Ok ()] means the case
+    passes now. *)
+
+val totality : Gripps.Prng.t -> (unit, string) result
+(** One totality case: a degenerate raw input must be classified by
+    {!Sched_core.Instance.make_checked} exactly as planted, and the
+    solvers' [solve_total] must answer every well-formed draw without
+    raising. *)

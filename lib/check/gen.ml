@@ -1,0 +1,233 @@
+module Rat = Numeric.Rat
+module Prng = Gripps.Prng
+module W = Gripps.Workload
+module I = Sched_core.Instance
+
+(* Boundary pools.  Deliberately tiny and colliding: equal release dates,
+   repeated costs and simple ratios are exactly where milestone ties,
+   degenerate LP bases and epochal-interval edge cases live. *)
+let release_pool =
+  [| Rat.zero; Rat.zero; Rat.one; Rat.of_int 2; Rat.of_int 2; Rat.of_ints 5 2;
+     Rat.of_int 3; Rat.of_int 10 |]
+
+let weight_pool =
+  [| Rat.one; Rat.one; Rat.of_ints 1 2; Rat.of_int 2; Rat.of_int 3; Rat.of_ints 1 3 |]
+
+let cost_pool =
+  [| Rat.one; Rat.of_ints 1 2; Rat.of_int 2; Rat.of_int 3; Rat.of_ints 7 2;
+     Rat.of_int 5; Rat.of_int 10 |]
+
+let instance p =
+  let m = 1 + Prng.int p 3 in
+  let n = if Prng.int p 20 = 0 then 0 else 1 + Prng.int p 5 in
+  let releases = Array.init n (fun _ -> Prng.pick p release_pool) in
+  let weights = Array.init n (fun _ -> Prng.pick p weight_pool) in
+  (* Occasionally measure flow from before the release date, the online
+     re-optimization situation (Instance.mli): deadlines move, releases
+     don't. *)
+  let flow_origins =
+    if n > 0 && Prng.int p 4 = 0 then
+      Some
+        (Array.map
+           (fun r -> if Prng.bool p then Rat.div_int r 2 else r)
+           releases)
+    else None
+  in
+  let cost =
+    Array.init m (fun _ ->
+        Array.init n (fun _ ->
+            if Prng.int p 10 < 3 then None else Some (Prng.pick p cost_pool)))
+  in
+  (* Every job must be runnable somewhere; repair all-∞ columns. *)
+  for j = 0 to n - 1 do
+    let runnable = ref false in
+    for i = 0 to m - 1 do
+      if cost.(i).(j) <> None then runnable := true
+    done;
+    if not !runnable then cost.(Prng.int p m).(j) <- Some (Prng.pick p cost_pool)
+  done;
+  I.make ?flow_origins ~releases ~weights cost
+
+(* --- degenerate raw inputs -------------------------------------------- *)
+
+type raw = {
+  releases : Rat.t array;
+  weights : Rat.t array;
+  flow_origins : Rat.t array option;
+  cost : Rat.t option array array;
+  planted : I.degeneracy option;
+}
+
+let raw p =
+  let m = 1 + Prng.int p 3 in
+  let n = 1 + Prng.int p 4 in
+  let releases = Array.init n (fun _ -> Prng.pick p release_pool) in
+  let weights = Array.init n (fun _ -> Prng.pick p weight_pool) in
+  let cost = Array.init m (fun _ -> Array.init n (fun _ -> Some (Prng.pick p cost_pool))) in
+  let base = { releases; weights; flow_origins = None; cost; planted = None } in
+  if Prng.int p 3 = 0 then base
+  else
+    let j = Prng.int p n in
+    match Prng.int p 7 with
+    | 0 -> { base with cost = [||]; planted = Some I.No_machines }
+    | 1 ->
+      Array.iter (fun row -> row.(j) <- None) cost;
+      { base with planted = Some (I.Unrunnable_job j) }
+    | 2 ->
+      weights.(j) <- (if Prng.bool p then Rat.zero else Rat.of_int (-1));
+      { base with planted = Some (I.Nonpositive_weight j) }
+    | 3 ->
+      releases.(j) <- Rat.of_int (-1 - Prng.int p 3);
+      { base with planted = Some (I.Negative_release j) }
+    | 4 ->
+      let origins = Array.copy releases in
+      origins.(j) <-
+        (if Prng.bool p then Rat.add releases.(j) Rat.one else Rat.of_int (-1));
+      { base with flow_origins = Some origins; planted = Some (I.Bad_flow_origin j) }
+    | 5 ->
+      let i = Prng.int p m in
+      cost.(i).(j) <- Some (if Prng.bool p then Rat.zero else Rat.of_int (-2));
+      { base with planted = Some (I.Nonpositive_cost (i, j)) }
+    | _ ->
+      { base with
+        weights = Array.sub weights 0 (n - 1);
+        planted = Some (I.Shape_mismatch "weights")
+      }
+
+(* --- serve scripts ---------------------------------------------------- *)
+
+type op =
+  | Submit of { bank : int; motifs : int }
+  | Tick of int
+  | Fault of Serve.Trace.fault
+  | Drain
+
+type script = { platform : W.platform; ops : op list }
+
+let speed_pool =
+  [| Rat.one; Rat.one; Rat.of_ints 3 2; Rat.of_int 2; Rat.of_ints 1 2 |]
+
+let bank_size_pool = [| 100; 380; 1000 |]
+
+let script p =
+  let m = 1 + Prng.int p 3 in
+  let b = 1 + Prng.int p 2 in
+  let speeds = Array.init m (fun _ -> Prng.pick p speed_pool) in
+  let bank_sizes = Array.init b (fun _ -> Prng.pick p bank_size_pool) in
+  let has_bank = Array.init m (fun _ -> Array.init b (fun _ -> Prng.int p 10 < 7)) in
+  for k = 0 to b - 1 do
+    let held = ref false in
+    for i = 0 to m - 1 do
+      if has_bank.(i).(k) then held := true
+    done;
+    if not !held then has_bank.(Prng.int p m).(k) <- true
+  done;
+  let platform = { W.speeds; bank_sizes; has_bank } in
+  let nops = 3 + Prng.int p 10 in
+  let down = ref [] in
+  let ops = ref [] in
+  for _ = 1 to nops do
+    let roll = Prng.int p 10 in
+    if roll < 5 then
+      ops := Submit { bank = Prng.int p b; motifs = 1 + Prng.int p 30 } :: !ops
+    else if roll < 8 || m = 1 then ops := Tick (1 + Prng.int p 5) :: !ops
+    else if !down <> [] && Prng.bool p then begin
+      let i = List.nth !down (Prng.int p (List.length !down)) in
+      down := List.filter (( <> ) i) !down;
+      ops := Fault (Serve.Trace.Recover i) :: !ops
+    end
+    else begin
+      let i = Prng.int p m in
+      if not (List.mem i !down) then begin
+        down := i :: !down;
+        ops := Fault (Serve.Trace.Fail i) :: !ops
+      end
+    end
+  done;
+  (* Recover everything before the final drain so no job starves forever
+     and both engine configurations complete the same request set. *)
+  List.iter (fun i -> ops := Fault (Serve.Trace.Recover i) :: !ops) !down;
+  ops := Drain :: !ops;
+  { platform; ops = List.rev !ops }
+
+(* --- script text form ------------------------------------------------- *)
+
+let script_to_string s =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  let m = Array.length s.platform.W.speeds in
+  let nb = Array.length s.platform.W.bank_sizes in
+  line "script v1";
+  line "machines %d" m;
+  line "banks %d" nb;
+  Array.iteri (fun i r -> line "speed %d %s" i (Rat.to_string r)) s.platform.W.speeds;
+  Array.iteri (fun k n -> line "bank %d %d" k n) s.platform.W.bank_sizes;
+  for i = 0 to m - 1 do
+    for k = 0 to nb - 1 do
+      if s.platform.W.has_bank.(i).(k) then line "holds %d %d" i k
+    done
+  done;
+  List.iter
+    (function
+      | Submit { bank; motifs } -> line "op submit %d %d" bank motifs
+      | Tick s -> line "op tick %d" s
+      | Fault (Serve.Trace.Fail i) -> line "op fail %d" i
+      | Fault (Serve.Trace.Recover i) -> line "op recover %d" i
+      | Drain -> line "op drain")
+    s.ops;
+  Buffer.contents b
+
+let script_of_string text =
+  let fail fmt = Printf.ksprintf (fun s -> invalid_arg ("Gen.script_of_string: " ^ s)) fmt in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let int s = match int_of_string_opt s with Some n -> n | None -> fail "bad integer %S" s in
+  let rat s =
+    match Rat.of_string s with r -> r | exception _ -> fail "bad rational %S" s
+  in
+  match lines with
+  | "script v1" :: rest ->
+    let m = ref 0 and nb = ref 0 in
+    let speeds = ref [||] and bank_sizes = ref [||] and has_bank = ref [||] in
+    let ops = ref [] in
+    List.iter
+      (fun l ->
+        match String.split_on_char ' ' l |> List.filter (fun s -> s <> "") with
+        | [ "machines"; n ] ->
+          m := int n;
+          if !m <= 0 then fail "machines must be positive";
+          speeds := Array.make !m Rat.one
+        | [ "banks"; n ] ->
+          nb := int n;
+          if !nb <= 0 then fail "banks must be positive";
+          bank_sizes := Array.make !nb 1;
+          has_bank := Array.init (max 1 !m) (fun _ -> Array.make !nb false)
+        | [ "speed"; i; r ] ->
+          let i = int i in
+          if i < 0 || i >= !m then fail "speed index %d out of range" i;
+          !speeds.(i) <- rat r
+        | [ "bank"; k; n ] ->
+          let k = int k in
+          if k < 0 || k >= !nb then fail "bank index %d out of range" k;
+          !bank_sizes.(k) <- int n
+        | [ "holds"; i; k ] ->
+          let i = int i and k = int k in
+          if i < 0 || i >= !m then fail "holds machine %d out of range" i;
+          if k < 0 || k >= !nb then fail "holds bank %d out of range" k;
+          !has_bank.(i).(k) <- true
+        | [ "op"; "submit"; bank; motifs ] ->
+          ops := Submit { bank = int bank; motifs = int motifs } :: !ops
+        | [ "op"; "tick"; s ] -> ops := Tick (int s) :: !ops
+        | [ "op"; "fail"; i ] -> ops := Fault (Serve.Trace.Fail (int i)) :: !ops
+        | [ "op"; "recover"; i ] -> ops := Fault (Serve.Trace.Recover (int i)) :: !ops
+        | [ "op"; "drain" ] -> ops := Drain :: !ops
+        | _ -> fail "unrecognized line %S" l)
+      rest;
+    if !m = 0 || !nb = 0 then fail "missing machines/banks header";
+    { platform = { W.speeds = !speeds; bank_sizes = !bank_sizes; has_bank = !has_bank };
+      ops = List.rev !ops
+    }
+  | _ -> fail "missing script v1 header"

@@ -1,0 +1,60 @@
+(** Seeded adversarial generators for the correctness harness.
+
+    Everything is a deterministic function of the given {!Gripps.Prng}
+    state, so a seed pins a whole fuzzing run bit-for-bit.  Values are
+    drawn from small boundary pools on purpose: release-date collisions,
+    repeated costs, [+∞] patterns and degenerate edges are where the
+    milestone and LP machinery earns its keep, and tiny sizes keep the
+    exact solvers fast enough for hundreds of cases per CI run. *)
+
+module Rat = Numeric.Rat
+module I = Sched_core.Instance
+
+val instance : Gripps.Prng.t -> I.t
+(** A well-formed instance: 0–5 jobs (0 rarely, exercising the [`Trivial]
+    paths) on 1–3 machines, releases and costs from colliding pools, each
+    cost infinite with positive probability but every job runnable
+    somewhere. *)
+
+(** {1 Degenerate raw inputs}
+
+    [raw] draws the arrays of a would-be instance {e before} validation,
+    planting at most one deliberate degeneracy; {!Gen.planted} names it.
+    The totality oracle feeds these to {!I.make_checked} and demands the
+    planted defect be classified, not crashed on. *)
+
+type raw = {
+  releases : Rat.t array;
+  weights : Rat.t array;
+  flow_origins : Rat.t array option;
+  cost : Rat.t option array array;
+  planted : I.degeneracy option;  (** the defect planted, if any *)
+}
+
+val raw : Gripps.Prng.t -> raw
+
+(** {1 Serve scripts}
+
+    A script drives a live engine through interleaved submissions, clock
+    advances, faults and drains — the serve-path oracles run one script
+    through two engine configurations and compare final states. *)
+
+type op =
+  | Submit of { bank : int; motifs : int }  (** submit at the current date *)
+  | Tick of int  (** advance the virtual clock by this many seconds *)
+  | Fault of Serve.Trace.fault
+  | Drain
+
+type script = { platform : Gripps.Workload.platform; ops : op list }
+
+val script : Gripps.Prng.t -> script
+(** 1–3 machines, 1–2 banks (every bank held somewhere), 3–12 ops ending
+    in {!Drain}; faults appear only on multi-machine platforms and every
+    [Fail] is eventually paired with a [Recover] so drains terminate. *)
+
+val script_to_string : script -> string
+(** Line-oriented text form (a [dlsched fuzz --replay] repro artifact);
+    round-trips through {!script_of_string}. *)
+
+val script_of_string : string -> script
+(** @raise Invalid_argument on a malformed script file. *)

@@ -1,0 +1,144 @@
+module Rat = Numeric.Rat
+module I = Sched_core.Instance
+module S = Sched_core.Schedule
+
+let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let ( let* ) = Result.bind
+
+(* Distinct slice endpoints in increasing order: the epochal intervals of
+   the LP formulations.  Every slice starts and stops on an epoch, so a
+   slice's overlap with an epochal interval is all-or-nothing — but the
+   sweep below still computes true overlaps, so it stays correct on
+   adversarially perturbed schedules whose slices straddle epochs. *)
+let epochs sched =
+  List.concat_map (fun (s : S.slice) -> [ s.start; s.stop ]) (S.slices sched)
+  |> List.sort_uniq Rat.compare
+
+let overlap (a, b) (s : S.slice) =
+  let lo = Rat.max a s.start and hi = Rat.min b s.stop in
+  if Rat.compare lo hi < 0 then Rat.sub hi lo else Rat.zero
+
+let shares_sum sched =
+  let inst = S.instance sched in
+  let n = I.num_jobs inst in
+  let sums = Array.make n Rat.zero in
+  let bad = ref None in
+  List.iter
+    (fun (s : S.slice) ->
+      match I.cost inst ~machine:s.machine ~job:s.job with
+      | None ->
+        if !bad = None then
+          bad := Some (Printf.sprintf "job %d sliced on machine %d which cannot run it (c = ∞)" s.job s.machine)
+      | Some c ->
+        sums.(s.job) <- Rat.add sums.(s.job) (Rat.div (Rat.sub s.stop s.start) c))
+    (S.slices sched);
+  match !bad with
+  | Some msg -> Error msg
+  | None ->
+    let rec go j =
+      if j >= n then Ok ()
+      else if not (Rat.equal sums.(j) Rat.one) then
+        errf "job %d: shares sum to %s, not 1" j (Rat.to_string sums.(j))
+      else go (j + 1)
+    in
+    go 0
+
+let releases_respected sched =
+  let inst = S.instance sched in
+  let rec go = function
+    | [] -> Ok ()
+    | (s : S.slice) :: tl ->
+      if Rat.compare s.start (I.release inst s.job) < 0 then
+        errf "job %d runs at %s before its release date %s" s.job
+          (Rat.to_string s.start)
+          (Rat.to_string (I.release inst s.job))
+      else go tl
+  in
+  go (S.slices sched)
+
+(* Shared epochal sweep: for each consecutive epoch pair, charge every
+   slice's overlap to [key slice] and require each key's total to stay
+   within the interval length. *)
+let capacity_sweep ~what ~key sched =
+  let slices = S.slices sched in
+  let rec pairs = function
+    | a :: (b :: _ as tl) ->
+      let len = Rat.sub b a in
+      let tbl = Hashtbl.create 8 in
+      let violated = ref None in
+      List.iter
+        (fun s ->
+          let o = overlap (a, b) s in
+          if Rat.sign o > 0 then begin
+            let k = key s in
+            let total = Rat.add o (Option.value (Hashtbl.find_opt tbl k) ~default:Rat.zero) in
+            Hashtbl.replace tbl k total;
+            if Rat.compare total len > 0 && !violated = None then
+              violated :=
+                Some
+                  (Printf.sprintf "%s %d over-committed on [%s, %s): %s > %s" what k
+                     (Rat.to_string a) (Rat.to_string b) (Rat.to_string total)
+                     (Rat.to_string len))
+          end)
+        slices;
+      (match !violated with Some msg -> Error msg | None -> pairs tl)
+    | _ -> Ok ()
+  in
+  pairs (epochs sched)
+
+let machine_capacity sched =
+  capacity_sweep ~what:"machine" ~key:(fun (s : S.slice) -> s.machine) sched
+
+let job_capacity sched =
+  capacity_sweep ~what:"job" ~key:(fun (s : S.slice) -> s.job) sched
+
+let completion inst sched j =
+  List.fold_left
+    (fun acc (s : S.slice) -> if s.job = j then Rat.max acc s.stop else acc)
+    (I.release inst j) (S.slices sched)
+
+let objective_consistent ~objective sched =
+  let inst = S.instance sched in
+  let achieved = ref Rat.zero in
+  for j = 0 to I.num_jobs inst - 1 do
+    let wf =
+      Rat.mul (I.weight inst j) (Rat.sub (completion inst sched j) (I.flow_origin inst j))
+    in
+    achieved := Rat.max !achieved wf
+  done;
+  if I.num_jobs inst = 0 then Ok ()
+  else if Rat.equal !achieved objective then Ok ()
+  else
+    errf "reported objective %s but the schedule's max weighted flow is %s"
+      (Rat.to_string objective) (Rat.to_string !achieved)
+
+let deadlines_met ~objective sched =
+  let inst = S.instance sched in
+  let rec go j =
+    if j >= I.num_jobs inst then Ok ()
+    else
+      let deadline =
+        Rat.add (I.flow_origin inst j) (Rat.div objective (I.weight inst j))
+      in
+      let c = completion inst sched j in
+      if Rat.compare c deadline > 0 then
+        errf "job %d completes at %s past its deadline %s = o_j + F/w_j" j
+          (Rat.to_string c) (Rat.to_string deadline)
+      else go (j + 1)
+  in
+  go 0
+
+let divisible sched =
+  let* () = shares_sum sched in
+  let* () = releases_respected sched in
+  machine_capacity sched
+
+let preemptive sched =
+  let* () = divisible sched in
+  job_capacity sched
+
+let solution ~objective sched =
+  let* () = divisible sched in
+  let* () = objective_consistent ~objective sched in
+  deadlines_met ~objective sched

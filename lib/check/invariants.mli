@@ -1,0 +1,50 @@
+(** The paper's schedule invariants, checked directly and independently.
+
+    {!Sched_core.Schedule} has its own validators; this module deliberately
+    re-implements the checks with a different algorithm (an epochal-interval
+    sweep over all slice endpoints, the shape of LP systems (1)/(3)/(5),
+    instead of sorted-adjacency scans) so that a bug in the production
+    validator and a bug in the checker are unlikely to coincide.  All
+    arithmetic is exact.
+
+    Each invariant is exposed on its own so the qcheck perturbation tests
+    can show that each one, when deliberately violated, is caught. *)
+
+module Rat = Numeric.Rat
+module S = Sched_core.Schedule
+
+val shares_sum : S.t -> (unit, string) result
+(** Per-job shares sum to 1 exactly: [Σ_i (stop−start)/c_{i,j} = 1] over
+    the job's slices, every slice on a machine that can run the job. *)
+
+val releases_respected : S.t -> (unit, string) result
+(** No slice starts before its job's release date. *)
+
+val machine_capacity : S.t -> (unit, string) result
+(** No machine is over-committed on any epochal interval: within each
+    interval delimited by consecutive slice endpoints, the total time a
+    machine spends on slices is at most the interval's length. *)
+
+val job_capacity : S.t -> (unit, string) result
+(** The preemptive model's extra constraint (LP (5b)): within each epochal
+    interval, one job occupies at most the interval's length summed over
+    all machines — it never runs on two machines simultaneously. *)
+
+val objective_consistent : objective:Rat.t -> S.t -> (unit, string) result
+(** The reported objective equals the schedule's recomputed maximum
+    weighted flow [max_j w_j (C_j − o_j)] (flow measured from the job's
+    flow origin), exactly. *)
+
+val deadlines_met : objective:Rat.t -> S.t -> (unit, string) result
+(** Every job completes by its parametric deadline
+    [d̄_j(F) = o_j + F/w_j] (Section 4.2). *)
+
+val divisible : S.t -> (unit, string) result
+(** {!shares_sum}, {!releases_respected} and {!machine_capacity}. *)
+
+val preemptive : S.t -> (unit, string) result
+(** {!divisible} plus {!job_capacity}. *)
+
+val solution : objective:Rat.t -> S.t -> (unit, string) result
+(** {!divisible}, {!objective_consistent} and {!deadlines_met}: what a
+    claimed optimal divisible solution must satisfy. *)

@@ -1,0 +1,66 @@
+module I = Sched_core.Instance
+
+let drop_idx k a = Array.init (Array.length a - 1) (fun i -> if i < k then a.(i) else a.(i + 1))
+
+let rebuild inst ~jobs ~machines =
+  let releases = Array.map (fun j -> I.release inst j) jobs in
+  let weights = Array.map (fun j -> I.weight inst j) jobs in
+  let flow_origins = Array.map (fun j -> I.flow_origin inst j) jobs in
+  let cost =
+    Array.map
+      (fun i -> Array.map (fun j -> I.cost inst ~machine:i ~job:j) jobs)
+      machines
+  in
+  I.make_checked ~flow_origins ~releases ~weights cost
+
+let instance ~keep inst0 =
+  let shrunk = ref inst0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let inst = !shrunk in
+    let n = I.num_jobs inst and m = I.num_machines inst in
+    let all_jobs = Array.init n Fun.id and all_machines = Array.init m Fun.id in
+    (* Jobs first: losing a job shrinks every dimension of the LPs. *)
+    let try_candidate c =
+      (not !progress)
+      &&
+      match c with
+      | Ok cand when keep cand ->
+        shrunk := cand;
+        progress := true;
+        true
+      | _ -> false
+    in
+    for j = 0 to n - 1 do
+      ignore (try_candidate (rebuild inst ~jobs:(drop_idx j all_jobs) ~machines:all_machines))
+    done;
+    if not !progress then
+      for i = 0 to m - 1 do
+        (* [rebuild] runs the checked constructor, so a deletion stranding
+           some job (its last runnable machine) is rejected, not kept. *)
+        ignore
+          (try_candidate (rebuild inst ~jobs:all_jobs ~machines:(drop_idx i all_machines)))
+      done
+  done;
+  !shrunk
+
+let script ~keep (s0 : Gen.script) =
+  let shrunk = ref s0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let s = !shrunk in
+    let ops = Array.of_list s.Gen.ops in
+    let k = Array.length ops in
+    let i = ref 0 in
+    while (not !progress) && !i < k do
+      let cand = { s with Gen.ops = Array.to_list (drop_idx !i ops) } in
+      if keep cand then begin
+        shrunk := cand;
+        progress := true
+      end;
+      incr i
+    done
+  done;
+  !shrunk

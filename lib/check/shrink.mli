@@ -1,0 +1,15 @@
+(** Greedy minimization of failing cases.
+
+    [keep] is the failure predicate — "this candidate still fails the
+    oracle".  Shrinking deletes one job, machine or script op at a time,
+    keeps any deletion under which the failure survives, and repeats to a
+    fixpoint, so the reported repro is locally minimal: removing any
+    single element makes the failure disappear. *)
+
+val instance :
+  keep:(Sched_core.Instance.t -> bool) -> Sched_core.Instance.t -> Sched_core.Instance.t
+(** Greedy job deletion, then machine deletion (skipping deletions that
+    would strand a job with no runnable machine), to a fixpoint. *)
+
+val script : keep:(Gen.script -> bool) -> Gen.script -> Gen.script
+(** Greedy op deletion to a fixpoint; the platform is left intact. *)

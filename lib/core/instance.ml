@@ -8,51 +8,98 @@ type t = {
   cost : Rat.t option array array;
 }
 
-let make ?flow_origins ~releases ~weights cost =
+type degeneracy =
+  | No_machines
+  | Unrunnable_job of int
+  | Nonpositive_weight of int
+  | Negative_release of int
+  | Bad_flow_origin of int
+  | Nonpositive_cost of int * int
+  | Shape_mismatch of string
+
+let degeneracy_to_string = function
+  | No_machines -> "no machines"
+  | Unrunnable_job j -> Printf.sprintf "job %d cannot run on any machine" j
+  | Nonpositive_weight j -> Printf.sprintf "job %d: weight must be positive" j
+  | Negative_release j -> Printf.sprintf "job %d: negative release date" j
+  | Bad_flow_origin j ->
+    Printf.sprintf "job %d: flow origin negative or after release date" j
+  | Nonpositive_cost (i, j) ->
+    Printf.sprintf "machine %d, job %d: finite cost must be positive" i j
+  | Shape_mismatch what -> what ^ " length mismatch"
+
+(* Total construction: every way an input can be degenerate is reported as
+   a typed value instead of an exception, so callers generating adversarial
+   instances (lib/check) can classify rejects without parsing messages. *)
+let make_checked ?flow_origins ~releases ~weights cost =
+  let ( let* ) = Result.bind in
   let n = Array.length releases in
-  if Array.length weights <> n then invalid_arg "Instance.make: weights length mismatch";
+  let* () =
+    if Array.length weights <> n then Error (Shape_mismatch "weights") else Ok ()
+  in
   let flow_origins = Option.value flow_origins ~default:releases in
-  if Array.length flow_origins <> n then
-    invalid_arg "Instance.make: flow_origins length mismatch";
+  let* () =
+    if Array.length flow_origins <> n then Error (Shape_mismatch "flow_origins")
+    else Ok ()
+  in
   let m = Array.length cost in
-  if m = 0 then invalid_arg "Instance.make: no machines";
-  Array.iter
-    (fun row ->
-      if Array.length row <> n then invalid_arg "Instance.make: cost row length mismatch")
-    cost;
-  Array.iter
-    (fun r -> if Rat.sign r < 0 then invalid_arg "Instance.make: negative release date")
-    releases;
-  Array.iteri
-    (fun j o ->
-      if Rat.sign o < 0 then invalid_arg "Instance.make: negative flow origin";
-      if Rat.compare o releases.(j) > 0 then
-        invalid_arg "Instance.make: flow origin after release date")
-    flow_origins;
-  Array.iter
-    (fun w -> if Rat.sign w <= 0 then invalid_arg "Instance.make: weight must be positive")
-    weights;
-  Array.iter
-    (Array.iter (function
-      | Some c when Rat.sign c <= 0 ->
-        invalid_arg "Instance.make: finite cost must be positive"
-      | _ -> ()))
-    cost;
-  for j = 0 to n - 1 do
-    let runnable = ref false in
-    for i = 0 to m - 1 do
-      if cost.(i).(j) <> None then runnable := true
-    done;
-    if not !runnable then
-      invalid_arg (Printf.sprintf "Instance.make: job %d cannot run on any machine" j)
-  done;
-  {
-    jobs =
-      Array.init n (fun j ->
-          { release = releases.(j); weight = weights.(j); flow_origin = flow_origins.(j) });
-    num_machines = m;
-    cost = Array.map Array.copy cost;
-  }
+  let* () = if m = 0 then Error No_machines else Ok () in
+  let* () =
+    if Array.exists (fun row -> Array.length row <> n) cost then
+      Error (Shape_mismatch "cost row")
+    else Ok ()
+  in
+  let first_err f =
+    let rec go j = if j >= n then Ok () else match f j with Ok () -> go (j + 1) | e -> e in
+    go 0
+  in
+  let* () = first_err (fun j ->
+      if Rat.sign releases.(j) < 0 then Error (Negative_release j) else Ok ())
+  in
+  let* () = first_err (fun j ->
+      if Rat.sign flow_origins.(j) < 0
+         || Rat.compare flow_origins.(j) releases.(j) > 0
+      then Error (Bad_flow_origin j)
+      else Ok ())
+  in
+  let* () = first_err (fun j ->
+      if Rat.sign weights.(j) <= 0 then Error (Nonpositive_weight j) else Ok ())
+  in
+  let* () =
+    let rec rows i =
+      if i >= m then Ok ()
+      else
+        match
+          first_err (fun j ->
+              match cost.(i).(j) with
+              | Some c when Rat.sign c <= 0 -> Error (Nonpositive_cost (i, j))
+              | _ -> Ok ())
+        with
+        | Ok () -> rows (i + 1)
+        | e -> e
+    in
+    rows 0
+  in
+  let* () = first_err (fun j ->
+      let runnable = ref false in
+      for i = 0 to m - 1 do
+        if cost.(i).(j) <> None then runnable := true
+      done;
+      if !runnable then Ok () else Error (Unrunnable_job j))
+  in
+  Ok
+    {
+      jobs =
+        Array.init n (fun j ->
+            { release = releases.(j); weight = weights.(j); flow_origin = flow_origins.(j) });
+      num_machines = m;
+      cost = Array.map Array.copy cost;
+    }
+
+let make ?flow_origins ~releases ~weights cost =
+  match make_checked ?flow_origins ~releases ~weights cost with
+  | Ok t -> t
+  | Error d -> invalid_arg ("Instance.make: " ^ degeneracy_to_string d)
 
 let uniform ~speeds ~sizes ~releases ~weights ~available =
   let m = Array.length speeds and n = Array.length sizes in

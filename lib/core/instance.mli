@@ -27,6 +27,31 @@ type t = private {
   cost : Rat.t option array array;  (** [cost.(i).(j)], [num_machines × n] *)
 }
 
+type degeneracy =
+  | No_machines  (** [m = 0] *)
+  | Unrunnable_job of int  (** all-[+∞] cost column: [c_{i,j} = ∞] for every [i] *)
+  | Nonpositive_weight of int  (** [w_j <= 0] *)
+  | Negative_release of int  (** [r_j < 0] *)
+  | Bad_flow_origin of int  (** flow origin negative or after the release date *)
+  | Nonpositive_cost of int * int  (** finite [c_{i,j} <= 0] (machine, job) *)
+  | Shape_mismatch of string  (** array dimensions disagree *)
+(** Every way a would-be instance can violate the model of Section 3.  The
+    paper's algorithms are only defined away from these; the fuzzing
+    generators ({!Check}) deliberately produce them and classify the
+    rejection by this type rather than by exception message. *)
+
+val degeneracy_to_string : degeneracy -> string
+
+val make_checked :
+  ?flow_origins:Rat.t array ->
+  releases:Rat.t array ->
+  weights:Rat.t array ->
+  Rat.t option array array ->
+  (t, degeneracy) result
+(** Total variant of {!make}: a degenerate input is a value, not an
+    exception.  [n = 0] (no jobs) is {e not} degenerate — the empty
+    instance is valid and solvers return their [`Trivial] case on it. *)
+
 val make :
   ?flow_origins:Rat.t array ->
   releases:Rat.t array ->
@@ -34,9 +59,8 @@ val make :
   Rat.t option array array ->
   t
 (** [flow_origins] defaults to [releases].
-    @raise Invalid_argument if dimensions disagree, a release date or flow
-    origin is negative, a flow origin exceeds its release date, a weight or
-    a finite cost is not positive, or some job cannot run on any machine. *)
+    @raise Invalid_argument on any {!degeneracy} (the message carries
+    {!degeneracy_to_string}). *)
 
 val uniform :
   speeds:Rat.t array ->

@@ -19,6 +19,7 @@ let of_string text =
   let lines = String.split_on_char '\n' text in
   let machines = ref None in
   let jobs = ref [] in
+  let origins = ref [] in
   List.iteri
     (fun idx raw ->
       let line = idx + 1 in
@@ -49,19 +50,34 @@ let of_string text =
               parse_rat line weight,
               List.map (parse_cost line) costs )
             :: !jobs)
+      | [ "origin"; j; o ] -> (
+        match int_of_string_opt j with
+        | Some j when j >= 0 -> origins := (line, j, parse_rat line o) :: !origins
+        | _ -> fail line "bad job index %S" j)
       | tok :: _ -> fail line "unknown directive %S" tok)
     lines;
   match !machines with
   | None -> invalid_arg "Instance_io: missing 'machines' line"
   | Some m ->
     let jobs = Array.of_list (List.rev !jobs) in
-    if Array.length jobs = 0 then invalid_arg "Instance_io: no jobs";
     let releases = Array.map (fun (r, _, _) -> r) jobs in
     let weights = Array.map (fun (_, w, _) -> w) jobs in
     let cost =
       Array.init m (fun i -> Array.map (fun (_, _, costs) -> List.nth costs i) jobs)
     in
-    Instance.make ~releases ~weights cost
+    let flow_origins =
+      if !origins = [] then None
+      else begin
+        let fo = Array.copy releases in
+        List.iter
+          (fun (line, j, o) ->
+            if j >= Array.length jobs then fail line "origin index %d out of range" j;
+            fo.(j) <- o)
+          !origins;
+        Some fo
+      end
+    in
+    Instance.make ?flow_origins ~releases ~weights cost
 
 let to_string inst =
   let buf = Buffer.create 256 in
@@ -78,6 +94,11 @@ let to_string inst =
          | None -> " inf")
     done;
     Buffer.add_char buf '\n'
+  done;
+  for j = 0 to Instance.num_jobs inst - 1 do
+    let o = Instance.flow_origin inst j in
+    if not (Rat.equal o (Instance.release inst j)) then
+      Buffer.add_string buf (Printf.sprintf "origin %d %s\n" j (Rat.to_string o))
   done;
   Buffer.contents buf
 

@@ -11,7 +11,11 @@
 
     Costs are rationals ([3], [7/2], [1.25]) or [inf] when the machine
     cannot process the job (databank absent).  Release dates and weights
-    are rationals; weights must be positive. *)
+    are rationals; weights must be positive.
+
+    An optional [origin <job-index> <rational>] line (after the job lines)
+    overrides that job's flow origin when it differs from its release
+    date; jobs without one measure flow from their release. *)
 
 val of_string : string -> Instance.t
 (** @raise Invalid_argument with a line-numbered message on syntax or

@@ -33,6 +33,10 @@ let solve inst =
         Obs.Span.set_str "makespan" (Format.asprintf "%a" Rat.pp r.makespan);
         r)
 
+let solve_total inst =
+  if Instance.num_jobs inst = 0 then `Trivial (Schedule.make inst [])
+  else `Solved (solve inst)
+
 let lower_bound inst =
   let n = Instance.num_jobs inst and m = Instance.num_machines inst in
   let bound = ref Rat.zero in

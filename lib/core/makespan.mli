@@ -13,6 +13,10 @@ val solve : Instance.t -> result
 (** Always succeeds (every valid instance admits a schedule).
     @raise Invalid_argument on an empty instance. *)
 
+val solve_total : Instance.t -> [ `Solved of result | `Trivial of Schedule.t ]
+(** Total variant of {!solve}: the empty instance (no jobs) yields
+    [`Trivial] with an empty schedule instead of raising. *)
+
 val lower_bound : Instance.t -> Rat.t
 (** A combinatorial lower bound used by tests and benches:
     [max_j (r_j + 1 / Σ_i 1/c_{i,j})] — after its release date, job [j]

@@ -101,6 +101,14 @@ let solve ?accelerate ?cache inst =
         Obs.Span.set_str "f_hi" (Format.asprintf "%a" Rat.pp f_hi);
         r)
 
+(* Total entry point: the empty instance is a valid input with a trivial
+   optimum (no jobs, objective 0, empty schedule) rather than an
+   exception.  Degenerate *construction* inputs never reach here — they
+   are typed out by [Instance.make_checked]. *)
+let solve_total ?accelerate ?cache inst =
+  if Instance.num_jobs inst = 0 then `Trivial (Schedule.make inst [])
+  else `Solved (solve ?accelerate ?cache inst)
+
 let solve_max_stretch inst = solve (Instance.stretch_weights inst)
 
 let default_epsilon = Rat.of_ints 1 1048576 (* 2^-20 *)

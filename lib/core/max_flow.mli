@@ -28,6 +28,15 @@ val solve : ?accelerate:bool -> ?cache:Lp.Solve.cache -> Instance.t -> result
     identical in all configurations.
     @raise Invalid_argument on an empty instance. *)
 
+val solve_total :
+  ?accelerate:bool ->
+  ?cache:Lp.Solve.cache ->
+  Instance.t ->
+  [ `Solved of result | `Trivial of Schedule.t ]
+(** Total variant of {!solve}: the empty instance (no jobs) yields
+    [`Trivial] with an empty schedule instead of raising.  Never raises on
+    a well-formed {!Instance.t}. *)
+
 val solve_max_stretch : Instance.t -> result
 (** Maximum stretch as the particular case of maximum weighted flow with
     [w_j = 1 / fastest_cost j] (Section 3).  The returned schedule is for

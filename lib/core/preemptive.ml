@@ -95,4 +95,8 @@ let solve inst =
   | Sx.Infeasible -> assert false
   | Sx.Unbounded -> assert false
 
+let solve_total inst =
+  if Instance.num_jobs inst = 0 then `Trivial (Schedule.make inst [])
+  else `Solved (solve inst)
+
 let solve_max_stretch inst = solve (Instance.stretch_weights inst)

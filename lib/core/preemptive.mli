@@ -27,4 +27,8 @@ type result = {
 val solve : Instance.t -> result
 (** @raise Invalid_argument on an empty instance. *)
 
+val solve_total : Instance.t -> [ `Solved of result | `Trivial of Schedule.t ]
+(** Total variant of {!solve}: the empty instance (no jobs) yields
+    [`Trivial] with an empty schedule instead of raising. *)
+
 val solve_max_stretch : Instance.t -> result

@@ -1059,6 +1059,7 @@ type state = {
   st_last_stop : Rat.t array;
   st_num_completed : int;
   st_metrics : (string * Metrics.dump_item) list;
+  st_cache : (string * cached_decision) list;  (* sorted by fingerprint *)
 }
 
 let dump t =
@@ -1087,6 +1088,14 @@ let dump t =
     st_last_stop = Array.copy t.last_stop;
     st_num_completed = t.num_completed;
     st_metrics = Metrics.dump t.metrics;
+    (* The cache survives a checkpoint in the live engine (quiescing drops
+       the policy runner, not remembered plans), so a resumed engine must
+       get it back or its hit/miss counters — and therefore its state
+       dump — diverge from an uninterrupted run.  Sorted so equal caches
+       dump identically regardless of hash-table iteration order. *)
+    st_cache =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.decision_cache []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
   }
 
 let restore ~clock ~policy platform st =
@@ -1130,6 +1139,7 @@ let restore ~clock ~policy platform st =
   t.slices <- List.rev st.st_slices;
   Array.blit st.st_last_stop 0 t.last_stop 0 m;
   t.num_completed <- st.st_num_completed;
+  List.iter (fun (k, cd) -> Hashtbl.replace t.decision_cache k cd) st.st_cache;
   (* Last: the dump holds the exact instrument contents (including the
      gauges [create] pre-set), so loading it reproduces reports bit for
      bit. *)

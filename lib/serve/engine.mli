@@ -249,6 +249,18 @@ val rebase : t -> unit
     {!Obs.Registry.dump}).  Meaningful as a bit-identity capture only at a
     barrier — {!checkpoint} quiesces before calling {!dump}. *)
 
+type cached_decision = {
+  cd_shares : (int * int * Rat.t) list;
+      (** machine, position in announcement order, share *)
+  cd_review_offset : Rat.t option;  (** [review_at] relative to the decision date *)
+}
+(** One remembered decision, in the census-relative normal form the
+    decision cache stores (see the module preamble).  Snapshot state
+    carries the cache because the live engine keeps it across a
+    checkpoint: a resumed engine without it would miss where the
+    uninterrupted one hits, splitting the [decision_cache_hits] /
+    [decision_cache_misses] counters and with them bit-identity. *)
+
 type job_state = {
   js_id : string;
   js_arrival : Rat.t;
@@ -273,6 +285,8 @@ type state = {
   st_last_stop : Rat.t array;
   st_num_completed : int;
   st_metrics : (string * Obs.Registry.dump_item) list;
+  st_cache : (string * cached_decision) list;
+      (** live decision-cache entries, sorted by fingerprint key *)
 }
 
 val dump : t -> state

@@ -73,6 +73,15 @@ let handle_line_unlocked t ?(client = "anon") line =
   | comment :: _ when String.length comment > 0 && comment.[0] = '#' -> ([], `Continue)
   | [ "submit"; id; bank; motifs ] -> (
     match (int_of_string_opt bank, int_of_string_opt motifs) with
+    (* Reject sign errors at the door: behind an admission valve the cap /
+       shed accounting runs before the engine's own validation, so a
+       malformed request must not reach it (a shed reply and a bumped
+       [admission.sheds] for a request that could never be admitted), nor
+       count against the client's in-flight quota. *)
+    | Some bank, _ when bank < 0 ->
+      (errf "bad_request" "bank must be non-negative, got %d" bank, `Continue)
+    | _, Some motifs when motifs <= 0 ->
+      (errf "bad_request" "motif count must be positive, got %d" motifs, `Continue)
     | Some bank, Some motifs -> (
       try
         match t.admission with
@@ -97,6 +106,8 @@ let handle_line_unlocked t ?(client = "anon") line =
       `Continue )
   | [ (("fail" | "recover") as kind); machine ] -> (
     match int_of_string_opt machine with
+    | Some i when i < 0 ->
+      (errf "bad_request" "machine must be non-negative, got %d" i, `Continue)
     | Some i -> (
       let fault = if kind = "fail" then Trace.Fail i else Trace.Recover i in
       try

@@ -55,7 +55,7 @@ let state_to_string ~seq ~platform (st : Engine.state) =
         Buffer.add_char b '\n')
       fmt
   in
-  line "dlsched-snapshot v1";
+  line "dlsched-snapshot v2";
   line "seq %d" seq;
   line "platform-begin";
   let ptext = Trace.to_string { Trace.platform; entries = []; events = [] } in
@@ -122,6 +122,26 @@ let state_to_string ~seq ~platform (st : Engine.state) =
           samples;
         line "hist %s %d%s" name (Array.length samples) (Buffer.contents b2))
     st.st_metrics;
+  line "cache %d" (List.length st.st_cache);
+  List.iter
+    (fun (key, (cd : Engine.cached_decision)) ->
+      (* Fingerprint keys are built from whitespace-free atoms (policy
+         name, overlay letters, exact rational text) joined by '|'/':';
+         enforce that here so the line stays parseable. *)
+      if not (no_ws key) then fail "unencodable cache key %S" key;
+      let b2 = Buffer.create 64 in
+      List.iter
+        (fun (machine, pos, share) ->
+          Buffer.add_string b2
+            (Printf.sprintf " %d %d %s" machine pos (Rat.to_string share)))
+        cd.Engine.cd_shares;
+      line "centry %s %s %d%s" key
+        (match cd.Engine.cd_review_offset with
+         | None -> "none"
+         | Some r -> Rat.to_string r)
+        (List.length cd.Engine.cd_shares)
+        (Buffer.contents b2))
+    st.st_cache;
   let body = Buffer.contents b in
   body ^ Printf.sprintf "checksum %d\n" (Wal.adler32 body)
 
@@ -189,7 +209,7 @@ let state_of_string text =
   in
   let c = { rest = lines; lineno = 0 } in
   (match next c with
-   | "dlsched-snapshot v1" -> ()
+   | "dlsched-snapshot v2" -> ()
    | l -> perr c "not a dlsched snapshot (header %S)" l);
   let seq = count_of c "seq" in
   (match next c with
@@ -294,7 +314,28 @@ let state_of_string text =
               (Array.of_list (List.map (float_tok c) samples)) )
         | _ -> perr c "malformed metric line")
   in
-  if c.rest <> [] then perr c "trailing garbage after metrics";
+  let num_cache = count_of c "cache" in
+  let st_cache =
+    List.init num_cache (fun _ ->
+        match keyed c "centry" with
+        | key :: review :: n :: rest ->
+          let n = int_tok c n in
+          if List.length rest <> 3 * n then perr c "cache entry share count mismatch";
+          let rec shares = function
+            | [] -> []
+            | machine :: pos :: share :: tl ->
+              (int_tok c machine, int_tok c pos, rat_tok c share) :: shares tl
+            | _ -> perr c "malformed cache entry"
+          in
+          ( key,
+            {
+              Engine.cd_shares = shares rest;
+              cd_review_offset =
+                (if review = "none" then None else Some (rat_tok c review));
+            } )
+        | _ -> perr c "malformed cache entry")
+  in
+  if c.rest <> [] then perr c "trailing garbage after cache entries";
   ( seq,
     platform,
     {
@@ -310,6 +351,7 @@ let state_of_string text =
       st_last_stop;
       st_num_completed;
       st_metrics;
+      st_cache;
     } )
 
 (* --- files ------------------------------------------------------------ *)
@@ -400,8 +442,10 @@ let resume ?(snapshot_every = 0) ?(decision_cache = false) ~dir ~clock ~policies
   let engine = Engine.restore ~clock ~policy platform st in
   (* Arm the cache before the tail replays: the crashed run's decides past
      the snapshot ran with it on, and the cache counters must replay
-     bit-identically.  (A checkpoint quiesces, so the snapshot itself
-     never holds cached state — only the counters.) *)
+     bit-identically.  (A checkpoint quiesces the policy runner but keeps
+     remembered plans, so the snapshot carries the cache contents and
+     [restore] has already reloaded them; arming with [false] drops them
+     again, matching a crashed run that had the cache off.) *)
   Engine.set_decision_cache engine decision_cache;
   let records, valid_length, _torn = Wal.replay (wal_file dir) in
   let top = List.fold_left (fun acc (s, _) -> Stdlib.max acc s) seq0 records in

@@ -326,6 +326,73 @@ let prop_crash_resume_identical =
 
 (* ------------------------------------------------------------------ *)
 
+(* Regression: the decision cache is engine state and must survive a
+   crash.  Snapshots used to omit it on the assumption that checkpoint's
+   quiesce left nothing cached — wrong: quiesce drops the policy runner
+   but keeps remembered plans, so a resumed engine was cache-cold where
+   the uninterrupted one hit, and the two runs diverged (different
+   hit/miss/decision counters, different decision provenance).  Found by
+   the wal-crash-resume fuzz oracle; the shrunk script is committed as
+   test/fixtures/cache_resume_divergence.script. *)
+let test_cache_survives_crash () =
+  let uniform () =
+    { W.speeds = [| R.one; R.one |];
+      bank_sizes = [| 380 |];
+      has_bank = [| [| true |]; [| true |] |] }
+  in
+  (* Two identically-shaped episodes: the second is a cache hit in an
+     uninterrupted run, and must stay one across a crash between them.
+     The far-future straggler forces a rebuild barrier mid-episode — the
+     only point where the cache is consulted. *)
+  let episode eng tag t0 =
+    ignore (E.submit eng ~id:(tag ^ "-a") ~arrival:t0 ~bank:0 ~num_motifs:10 ());
+    ignore (E.submit eng ~id:(tag ^ "-b") ~arrival:t0 ~bank:0 ~num_motifs:20 ());
+    E.run_until eng t0;
+    ignore (E.submit eng ~id:(tag ^ "-z")
+        ~arrival:(R.add t0 (R.of_int 1_000_000)) ~bank:0 ~num_motifs:5 ());
+    E.drain eng
+  in
+  let counts e =
+    let c name = M.count (M.counter (E.metrics e) name) in
+    (c "decision_cache_hits", c "decision_cache_misses", c "decisions")
+  in
+  let final e = Snap.state_to_string ~seq:0 ~platform:(uniform ()) (E.dump e) in
+  (* Oracle: WAL armed, cache on, no crash. *)
+  let dir = fresh_dir "cache-oracle" in
+  let e = E.create ~clock:(Serve.Clock.virtual_ ())
+      ~policy:(module Online.Policies.Mct) (uniform ()) in
+  let h = Snap.arm ~dir e in
+  E.set_decision_cache e true;
+  episode e "one" R.one;
+  ignore (E.checkpoint e);
+  episode e "two" (R.add (E.now e) (R.of_int 100));
+  Snap.close h;
+  let oracle_counts = counts e and oracle_state = final e in
+  rm_rf dir;
+  let hits, _, _ = oracle_counts in
+  Alcotest.(check bool) "second episode hits in the oracle run" true (hits > 0);
+  (* Crashed twin: identical up to the checkpoint, then the process dies
+     and episode two runs on the resumed engine. *)
+  let dir = fresh_dir "cache-crash" in
+  let e0 = E.create ~clock:(Serve.Clock.virtual_ ())
+      ~policy:(module Online.Policies.Mct) (uniform ()) in
+  let h0 = Snap.arm ~dir e0 in
+  E.set_decision_cache e0 true;
+  episode e0 "one" R.one;
+  ignore (E.checkpoint e0);
+  Snap.close h0;
+  let h1, e1 = Snap.resume ~decision_cache:true ~dir
+      ~clock:(Serve.Clock.virtual_ ())
+      ~policies:[ (module Online.Policies.Mct) ] () in
+  episode e1 "two" (R.add (E.now e1) (R.of_int 100));
+  Snap.close h1;
+  let crashed_counts = counts e1 and crashed_state = final e1 in
+  rm_rf dir;
+  let pp_counts (h, m, d) = Printf.sprintf "hits=%d misses=%d decisions=%d" h m d in
+  Alcotest.(check string) "cache counters identical across the crash"
+    (pp_counts oracle_counts) (pp_counts crashed_counts);
+  Alcotest.(check string) "final engine states identical" oracle_state crashed_state
+
 let () =
   Alcotest.run "durability"
     [ ( "wal",
@@ -341,6 +408,8 @@ let () =
         [ Alcotest.test_case "from meta" `Quick test_resume_from_meta;
           Alcotest.test_case "stale records skipped" `Quick test_resume_skips_stale_records;
           Alcotest.test_case "arm refuses reuse" `Quick test_arm_refuses_reuse;
+          Alcotest.test_case "decision cache survives crash" `Quick
+            test_cache_survives_crash;
           QCheck_alcotest.to_alcotest prop_crash_resume_identical
         ] )
     ]

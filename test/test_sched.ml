@@ -783,7 +783,11 @@ let test_io_errors () =
   bad "machines 2\njob 0 1 5\n";
   bad "machines 1\njob 0 1 bogus\n";
   bad "machines 1\nfrob 0\n";
-  bad "machines 1\n" (* no jobs *)
+  bad "machines 1\njob 0 1 2\norigin 1 0\n" (* origin index out of range *);
+  bad "machines 1\njob 2 1 2\norigin 0 3\n" (* origin after release *);
+  (* A job-free file is the valid empty instance, not an error. *)
+  let empty = Sched_core.Instance_io.of_string "machines 1\n" in
+  Alcotest.(check int) "job-free file parses" 0 (I.num_jobs empty)
 
 let prop_io_roundtrip =
   QCheck.Test.make ~name:"instance text roundtrip" ~count:100 arbitrary_instance
@@ -932,6 +936,82 @@ let prop_variant_preemptive_identical =
       R.equal rs.Pre.objective rd.Pre.objective
       && print_sched rs.Pre.schedule = print_sched rd.Pre.schedule)
 
+(* ------------------------------------------------------------------ *)
+(* Degeneracy classification and total solvers                         *)
+(* ------------------------------------------------------------------ *)
+
+let degeneracy =
+  Alcotest.testable
+    (fun fmt d -> Format.pp_print_string fmt (I.degeneracy_to_string d))
+    ( = )
+
+let check_degenerate what expected ?flow_origins ~releases ~weights cost =
+  match I.make_checked ?flow_origins ~releases ~weights cost with
+  | Ok _ -> Alcotest.failf "%s: accepted a degenerate instance" what
+  | Error d -> Alcotest.check degeneracy what expected d
+
+let test_make_checked_classifies () =
+  check_degenerate "no machines" I.No_machines ~releases:[||] ~weights:[||] [||];
+  check_degenerate "unrunnable job" (I.Unrunnable_job 1)
+    ~releases:[| R.zero; R.zero |] ~weights:[| R.one; R.one |]
+    [| [| Some R.one; None |]; [| Some R.one; None |] |];
+  check_degenerate "zero weight" (I.Nonpositive_weight 0)
+    ~releases:[| R.zero |] ~weights:[| R.zero |] [| [| Some R.one |] |];
+  check_degenerate "negative release" (I.Negative_release 0)
+    ~releases:[| ri (-1) |] ~weights:[| R.one |] [| [| Some R.one |] |];
+  check_degenerate "origin after release" (I.Bad_flow_origin 0)
+    ~flow_origins:[| ri 2 |] ~releases:[| R.one |] ~weights:[| R.one |]
+    [| [| Some R.one |] |];
+  check_degenerate "nonpositive cost" (I.Nonpositive_cost (0, 0))
+    ~releases:[| R.zero |] ~weights:[| R.one |] [| [| Some (ri (-2)) |] |];
+  (match
+     I.make_checked ~releases:[| R.zero |] ~weights:[| R.one; R.one |]
+       [| [| Some R.one |] |]
+   with
+   | Error (I.Shape_mismatch _) -> ()
+   | Error d -> Alcotest.failf "shape: classified as %s" (I.degeneracy_to_string d)
+   | Ok _ -> Alcotest.fail "shape: accepted mismatched arrays");
+  (* A clean instance — including the 0-job edge — passes. *)
+  (match I.make_checked ~releases:[| R.zero |] ~weights:[| R.one |] [| [| Some R.one |] |] with
+   | Ok _ -> ()
+   | Error d -> Alcotest.failf "clean: rejected as %s" (I.degeneracy_to_string d));
+  match I.make_checked ~releases:[||] ~weights:[||] [| [||]; [||] |] with
+  | Ok inst -> Alcotest.(check int) "0 jobs accepted" 0 (I.num_jobs inst)
+  | Error d -> Alcotest.failf "0 jobs: rejected as %s" (I.degeneracy_to_string d)
+
+let test_solve_total_trivial () =
+  let empty =
+    match I.make_checked ~releases:[||] ~weights:[||] [| [||]; [||] |] with
+    | Ok i -> i
+    | Error _ -> Alcotest.fail "empty instance rejected"
+  in
+  (match Mf.solve_total empty with
+   | `Trivial sched ->
+     Alcotest.(check int) "maxflow: empty schedule" 0 (List.length (S.slices sched));
+     check_valid_divisible "maxflow trivial" sched
+   | `Solved _ -> Alcotest.fail "maxflow: 0 jobs should be `Trivial");
+  (match Mk.solve_total empty with
+   | `Trivial sched ->
+     Alcotest.(check int) "makespan: empty schedule" 0 (List.length (S.slices sched))
+   | `Solved _ -> Alcotest.fail "makespan: 0 jobs should be `Trivial");
+  match Pre.solve_total empty with
+  | `Trivial sched ->
+    Alcotest.(check int) "preemptive: empty schedule" 0 (List.length (S.slices sched));
+    check_valid_preemptive "preemptive trivial" sched
+  | `Solved _ -> Alcotest.fail "preemptive: 0 jobs should be `Trivial"
+
+let test_solve_total_agrees () =
+  let inst = simple ~releases:[| R.zero; R.one |] [| [| 2; 3 |]; [| 4; 2 |] |] in
+  (match (Mf.solve_total inst, Mf.solve inst) with
+   | `Solved r, r' -> Alcotest.check rat "maxflow objective" r'.Mf.objective r.Mf.objective
+   | `Trivial _, _ -> Alcotest.fail "maxflow: nonempty instance cannot be `Trivial");
+  (match (Mk.solve_total inst, Mk.solve inst) with
+   | `Solved r, r' -> Alcotest.check rat "makespan" r'.Mk.makespan r.Mk.makespan
+   | `Trivial _, _ -> Alcotest.fail "makespan: nonempty instance cannot be `Trivial");
+  match (Pre.solve_total inst, Pre.solve inst) with
+  | `Solved r, r' -> Alcotest.check rat "preemptive objective" r'.Pre.objective r.Pre.objective
+  | `Trivial _, _ -> Alcotest.fail "preemptive: nonempty instance cannot be `Trivial"
+
 let () =
   Alcotest.run "sched_core"
     [ ( "instance",
@@ -1019,6 +1099,11 @@ let () =
             test_preemptive_equals_divisible_on_one_machine;
           QCheck_alcotest.to_alcotest prop_preemptive_valid_and_dominates;
           QCheck_alcotest.to_alcotest prop_preemptive_single_machine_matches_divisible
+        ] );
+      ( "degeneracy",
+        [ Alcotest.test_case "make_checked classifies" `Quick test_make_checked_classifies;
+          Alcotest.test_case "solve_total on 0 jobs" `Quick test_solve_total_trivial;
+          Alcotest.test_case "solve_total agrees with solve" `Quick test_solve_total_agrees
         ] );
       ( "solver-variants",
         [ QCheck_alcotest.to_alcotest prop_variant_makespan_identical;

@@ -767,6 +767,46 @@ let test_server_admission () =
   Alcotest.(check bool) ("door reopens: " ^ reopened) true
     (String.starts_with ~prefix:"ok submitted r2 job=1 fires_at=" reopened)
 
+(* The door rejects malformed submissions before they reach the valve or
+   the engine: a negative bank or non-positive motif count is a protocol
+   error ([err bad_request]), never a shed — previously such requests at
+   full load were counted against capacity and answered [err shed],
+   polluting the shed statistics and inviting pointless retries. *)
+let test_server_door_validation () =
+  let clock = Serve.Clock.virtual_ () in
+  let eng = E.create ~clock ~policy:(module Online.Policies.Mct) (mini_platform ()) in
+  let adm = A.create ~config:{ A.default_config with max_inflight = 1 } eng in
+  let srv = Serve.Server.create ~admission:adm eng in
+  let last cmd =
+    match List.rev (fst (Serve.Server.handle_line srv cmd)) with
+    | last :: _ -> last
+    | [] -> Alcotest.fail (cmd ^ ": no reply")
+  in
+  let expect_bad cmd =
+    let reply = last cmd in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s -> err bad_request (got %s)" cmd reply)
+      true
+      (String.starts_with ~prefix:"err bad_request" reply)
+  in
+  expect_bad "submit r1 -1 5";
+  expect_bad "submit r1 0 0";
+  expect_bad "submit r1 0 -3";
+  expect_bad "fail -1";
+  expect_bad "recover -2";
+  (* Fill the valve, then submit garbage: still a protocol error, not a
+     shed, and the shed counter stays untouched. *)
+  Alcotest.(check bool) "valve admits r1" true
+    (String.starts_with ~prefix:"ok submitted r1" (last "submit r1 0 10"));
+  Alcotest.(check bool) "valve at capacity sheds r2" true
+    (String.starts_with ~prefix:"err shed" (last "submit r2 0 10"));
+  let sheds_before = M.count (M.counter (E.metrics eng) "admission.sheds") in
+  expect_bad "submit r3 -1 5";
+  expect_bad "submit r3 0 0";
+  Alcotest.(check int) "malformed submits are not counted as sheds" sheds_before
+    (M.count (M.counter (E.metrics eng) "admission.sheds"));
+  Alcotest.(check int) "engine saw only the valid submit" 1 (E.submitted eng)
+
 (* Protocol-grammar lint: every reply the implementation can emit must
    use a registered shape.  Scans the [okf]/[errf] call sites in
    server.ml (declared as a dune dep of this test) against the published
@@ -948,6 +988,7 @@ let () =
       ( "server",
         [ Alcotest.test_case "protocol" `Quick test_server_protocol;
           Alcotest.test_case "admission valve" `Quick test_server_admission;
+          Alcotest.test_case "door validation" `Quick test_server_door_validation;
           Alcotest.test_case "grammar lint" `Quick test_protocol_grammar_lint;
           Alcotest.test_case "tick guard" `Quick test_server_tick_guard
         ] )
